@@ -1,0 +1,438 @@
+package repro
+
+// The benchmark harness regenerates every figure-level experiment of the
+// paper (ids from DESIGN.md). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Scaling sweeps (E-SYM, E-UNF, E-POR) print the engine-vs-engine series
+// whose shape Section 2.2 describes: explicit enumeration explodes
+// exponentially with concurrency while symbolic, unfolding and stubborn-set
+// engines stay polynomial.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/boolmin"
+	"repro/internal/burstmode"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/reach"
+	"repro/internal/regions"
+	"repro/internal/sim"
+	"repro/internal/stg"
+	"repro/internal/structural"
+	"repro/internal/stubborn"
+	"repro/internal/symbolic"
+	"repro/internal/techmap"
+	"repro/internal/timing"
+	"repro/internal/unfold"
+	"repro/internal/vme"
+)
+
+// E-F2/3 — waveform to STG compilation.
+func BenchmarkFig3ReadSTG(b *testing.B) {
+	w := vme.ReadWaveform()
+	for i := 0; i < b.N; i++ {
+		if _, err := stg.FromWaveform(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E-F4 — state graph generation of the READ cycle.
+func BenchmarkFig4StateGraph(b *testing.B) {
+	g := vme.ReadSTG()
+	for i := 0; i < b.N; i++ {
+		sg, err := reach.BuildSG(g, reach.Options{})
+		if err != nil || sg.NumStates() != 14 {
+			b.Fatal("wrong SG")
+		}
+	}
+}
+
+// E-F5 — state graph of the READ+WRITE spec with choice.
+func BenchmarkFig5ReadWrite(b *testing.B) {
+	g := vme.ReadWriteSTG()
+	for i := 0; i < b.N; i++ {
+		if _, err := reach.BuildSG(g, reach.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E-F6 — linear reductions, SM cover, invariant approximation, dense
+// encoding.
+func BenchmarkFig6Reductions(b *testing.B) {
+	g := vme.ReadWriteSTG()
+	for i := 0; i < b.N; i++ {
+		reduced, _ := structural.Reduce(g.Net)
+		if _, ok := structural.SMCover(reduced); !ok {
+			b.Fatal("no SM cover")
+		}
+		if _, err := symbolic.NewDense(reduced); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E-F7 — CSC resolution by state-signal insertion (manual paper solution).
+func BenchmarkFig7CSC(b *testing.B) {
+	g := vme.ReadSTG()
+	lds := g.Net.TransitionIndex("LDS+")
+	dm := g.Net.TransitionIndex("D-")
+	for i := 0; i < b.N; i++ {
+		g2, err := encoding.InsertSignal(g, "csc0", lds, dm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sg, err := reach.BuildSG(g2, reach.Options{})
+		if err != nil || !sg.HasCSC() {
+			b.Fatal("CSC not resolved")
+		}
+	}
+}
+
+// E-F7b — automatic CSC solving (search over insertion points).
+func BenchmarkSolveCSC(b *testing.B) {
+	g := vme.ReadSTG()
+	for i := 0; i < b.N; i++ {
+		if _, err := encoding.SolveCSC(g, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E-EQ — next-state function derivation and minimization.
+func BenchmarkEquationDerivation(b *testing.B) {
+	g := vme.ReadSTG()
+	g2, err := encoding.InsertSignal(g, "csc0",
+		g.Net.TransitionIndex("LDS+"), g.Net.TransitionIndex("D-"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sg, err := reach.BuildSG(g2, reach.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := logic.DeriveAll(sg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E-F8 — synthesis + speed-independence verification per architecture.
+func BenchmarkFig8Verify(b *testing.B) {
+	g := vme.ReadSTG()
+	spec, err := encoding.InsertSignal(g, "csc0",
+		g.Net.TransitionIndex("LDS+"), g.Net.TransitionIndex("D-"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sg, err := reach.BuildSG(spec, reach.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, style := range []logic.Style{logic.ComplexGate, logic.GeneralizedC, logic.StandardC} {
+		b.Run(style.String(), func(b *testing.B) {
+			nl, err := logic.Synthesize(sg, style)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Verify(nl, spec, sim.Options{})
+				if err != nil || !res.OK() {
+					b.Fatal("verification failed")
+				}
+			}
+		})
+	}
+}
+
+// E-F9 — hazard-aware decomposition to a two-input library.
+func BenchmarkFig9Map(b *testing.B) {
+	g := vme.ReadSTG()
+	spec, err := encoding.InsertSignal(g, "csc0",
+		g.Net.TransitionIndex("LDS+"), g.Net.TransitionIndex("D-"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sg, err := reach.BuildSG(spec, reach.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl, err := logic.Synthesize(sg, logic.ComplexGate)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := techmap.Map(nl, spec, techmap.Options{MaxFanIn: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E-F10 — back-annotation: PN synthesis from the implementation SG.
+func BenchmarkFig10Regions(b *testing.B) {
+	sg, err := reach.BuildSG(vme.ReadSTG(), reach.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := regions.Synthesize(sg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E-F11 — timing-optimized synthesis (both assumptions, Figure 11c).
+func BenchmarkFig11Timed(b *testing.B) {
+	g := vme.ReadSTG()
+	for i := 0; i < b.N; i++ {
+		timed, _, err := timing.AddTimingOrder(g, "LDTACK-", "DSr+")
+		if err != nil {
+			b.Fatal(err)
+		}
+		timed, _, err = timing.Retrigger(timed, "LDS-", "D-", "DSr-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sg, err := reach.BuildSG(timed, reach.Options{})
+		if err != nil || !sg.HasCSC() {
+			b.Fatal("Fig 11c CSC")
+		}
+		if _, err := logic.Synthesize(sg, logic.ComplexGate); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E-F11b — exact time-separation analysis on the READ cycle.
+func BenchmarkTSE(b *testing.B) {
+	g := vme.ReadSTG()
+	delays := make([]timing.Delay, len(g.Net.Transitions))
+	for i := range delays {
+		delays[i] = timing.Fixed(1)
+	}
+	delays[g.Net.TransitionIndex("DSr+")] = timing.Delay{Min: 50, Max: 60}
+	delays[g.Net.TransitionIndex("LDS-")] = timing.Delay{Min: 1, Max: 3}
+	s := timing.Spec{G: g, Delays: delays}
+	from := timing.Occurrence{Transition: g.Net.TransitionIndex("LDTACK-"), Cycle: 2}
+	to := timing.Occurrence{Transition: g.Net.TransitionIndex("DSr+"), Cycle: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := timing.MaxSeparation(s, from, to, 4, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E-SYM — explicit vs symbolic reachability over concurrency depth: the
+// crossover of Section 2.2.
+func BenchmarkSymbolicVsExplicit(b *testing.B) {
+	for _, n := range []int{4, 8, 12, 16} {
+		net := gen.IndependentToggles(n)
+		b.Run(fmt.Sprintf("explicit/toggles-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rg, err := reach.Explore(net, reach.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rg.NumStates()), "states")
+			}
+		})
+		b.Run(fmt.Sprintf("symbolic/toggles-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := symbolic.Reach(net)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Count, "states")
+				b.ReportMetric(float64(res.PeakNodes), "bddnodes")
+			}
+		})
+	}
+	for _, n := range []int{3, 5, 7} {
+		g := gen.MullerPipeline(n)
+		b.Run(fmt.Sprintf("explicit/muller-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rg, err := reach.Explore(g.Net, reach.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rg.NumStates()), "states")
+			}
+		})
+		b.Run(fmt.Sprintf("symbolic/muller-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := symbolic.Reach(g.Net)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Count, "states")
+			}
+		})
+	}
+}
+
+// E-UNF — unfolding prefix vs reachability graph size.
+func BenchmarkUnfoldingVsRG(b *testing.B) {
+	for _, n := range []int{4, 8, 12} {
+		net := gen.IndependentToggles(n)
+		b.Run(fmt.Sprintf("toggles-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				u, err := unfold.Build(net, unfold.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, events, _ := u.Stats()
+				b.ReportMetric(float64(events), "events")
+			}
+		})
+	}
+}
+
+// E-POR — stubborn-set reduction factors.
+func BenchmarkStubbornReduction(b *testing.B) {
+	for _, n := range []int{8, 12, 16} {
+		net := gen.IndependentToggles(n)
+		b.Run(fmt.Sprintf("toggles-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := stubborn.Explore(net, stubborn.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.States), "states")
+			}
+		})
+	}
+	for _, n := range []int{4, 6} {
+		net := gen.Philosophers(n)
+		b.Run(fmt.Sprintf("phil-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := stubborn.Explore(net, stubborn.Options{})
+				if err != nil || len(res.Deadlocks) == 0 {
+					b.Fatal("deadlock must be found")
+				}
+				b.ReportMetric(float64(res.States), "states")
+			}
+		})
+	}
+}
+
+// E-BM — burst-mode synthesis with hazard-free two-level minimization.
+func BenchmarkBurstModeSynth(b *testing.B) {
+	m := burstmode.NewMachine("dma-grant",
+		[]string{"req", "dav", "abort"},
+		[]string{"grant", "busy"})
+	s0 := m.AddState()
+	s1 := m.AddState()
+	s2 := m.AddState()
+	m.AddArc(s0, []burstmode.Edge{{Sig: 0, Rise: true}, {Sig: 1, Rise: true}},
+		[]burstmode.Edge{{Sig: 0, Rise: true}}, s1)
+	m.AddArc(s1, []burstmode.Edge{{Sig: 0, Rise: false}, {Sig: 1, Rise: false}},
+		[]burstmode.Edge{{Sig: 0, Rise: false}}, s0)
+	m.AddArc(s0, []burstmode.Edge{{Sig: 2, Rise: true}},
+		[]burstmode.Edge{{Sig: 1, Rise: true}}, s2)
+	m.AddArc(s2, []burstmode.Edge{{Sig: 2, Rise: false}},
+		[]burstmode.Edge{{Sig: 1, Rise: false}}, s0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := burstmode.Synthesize(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// End-to-end flow benchmark: spec to verified netlist.
+func BenchmarkFullFlow(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		g    *stg.STG
+	}{
+		{"vme-read", vme.ReadSTG()},
+		{"vme-read-write", vme.ReadWriteSTG()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Synthesize(tc.g, core.Options{})
+				if err != nil || !rep.Verification.OK() {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E-CONF — STG-level trace conformance (implementation verification, §2.1).
+func BenchmarkConformance(b *testing.B) {
+	g := vme.ReadSTG()
+	impl, err := encoding.InsertSignal(g, "csc0",
+		g.Net.TransitionIndex("LDS+"), g.Net.TransitionIndex("D-"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		viol, err := sim.ConformsSTG(impl, g, 0)
+		if err != nil || len(viol) != 0 {
+			b.Fatal("conformance must hold")
+		}
+	}
+}
+
+// E-BOUND — boundedness with covering witness (§2.1 property #1).
+func BenchmarkBoundedness(b *testing.B) {
+	net := vme.ReadWriteSTG().Net
+	for i := 0; i < b.N; i++ {
+		res, err := reach.CheckBounded(net, 0)
+		if err != nil || !res.Bounded {
+			b.Fatal("read/write net is bounded")
+		}
+	}
+}
+
+// E-SYMDEAD — fully symbolic deadlock detection (§2.2).
+func BenchmarkSymbolicDeadlock(b *testing.B) {
+	net := gen.Philosophers(5)
+	for i := 0; i < b.N; i++ {
+		res, err := symbolic.Reach(net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, dead := symbolic.DeadStates(net, res); dead == 0 {
+			b.Fatal("philosophers must deadlock")
+		}
+	}
+}
+
+// Substrate microbenchmarks.
+func BenchmarkBoolminQMC(b *testing.B) {
+	on := []uint64{4, 8, 10, 11, 12, 15, 3, 7}
+	dc := []uint64{9, 14, 1}
+	for i := 0; i < b.N; i++ {
+		boolmin.Minimize(on, dc, 4)
+	}
+}
+
+func BenchmarkTokenGame(b *testing.B) {
+	g := vme.ReadSTG()
+	n := g.Net
+	m := n.InitialMarking()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range n.EnabledList(m) {
+			next := n.Fire(m, t)
+			_ = next
+			break
+		}
+	}
+}

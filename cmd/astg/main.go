@@ -1,0 +1,87 @@
+// Command astg loads a Signal Transition Graph in .g (astg) format and
+// reports the Section 2.1 implementability properties: boundedness/safeness,
+// consistency, complete state coding, persistency and deadlock freedom.
+//
+// Usage:
+//
+//	astg [-sg] [-dot] [-sgdot] [-wave] [-conflicts] file.g
+//
+// With no file the spec is read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/encoding"
+	"repro/internal/reach"
+	"repro/internal/stg"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "astg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("astg", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	dumpSG := fs.Bool("sg", false, "dump the state graph")
+	dumpDOT := fs.Bool("dot", false, "dump the Petri net in DOT format")
+	dumpSGDOT := fs.Bool("sgdot", false, "dump the state graph in DOT format")
+	wave := fs.Bool("wave", false, "render one cycle as an ASCII timing diagram")
+	showConflicts := fs.Bool("conflicts", false, "list CSC conflicts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := load(fs.Arg(0), stdin)
+	if err != nil {
+		return err
+	}
+	if *dumpDOT {
+		return g.Net.WriteDOT(stdout)
+	}
+	fmt.Fprintf(stdout, "model %s: %d signals, %d transitions, %d places\n",
+		g.Name(), len(g.Signals), len(g.Net.Transitions), len(g.Net.Places))
+	fmt.Fprintf(stdout, "structure: marked-graph=%v free-choice=%v choice-places=%d\n",
+		g.Net.IsMarkedGraph(), g.Net.IsFreeChoice(), len(g.Net.ChoicePlaces()))
+
+	sg, err := reach.BuildSG(g, reach.Options{})
+	if err != nil {
+		return fmt.Errorf("state graph: %w", err)
+	}
+	if *dumpSGDOT {
+		return sg.WriteDOT(stdout)
+	}
+	fmt.Fprintf(stdout, "state graph: %d states, %d arcs, %d distinct codes\n",
+		sg.NumStates(), sg.NumArcs(), sg.DistinctCodes())
+	fmt.Fprintf(stdout, "properties: %s\n", sg.CheckImplementability())
+	if *showConflicts {
+		fmt.Fprintln(stdout, encoding.ConflictSummary(sg))
+	}
+	if *wave {
+		fmt.Fprint(stdout, sg.ASCIIWaveform(sg.Cycle()))
+	}
+	if *dumpSG {
+		fmt.Fprint(stdout, sg.Dump())
+	}
+	return nil
+}
+
+func load(path string, stdin io.Reader) (*stg.STG, error) {
+	r := stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return stg.ParseG(r)
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const vmeRead = `
+.model vme-read
+.inputs DSr LDTACK
+.outputs DTACK LDS D
+.graph
+DSr+ LDS+
+LDS+ LDTACK+
+LDTACK+ D+
+D+ DTACK+
+DTACK+ DSr-
+DSr- D-
+D- DTACK- LDS-
+DTACK- DSr+
+LDS- LDTACK-
+LDTACK- LDS+
+.marking { <DTACK-,DSr+> <LDTACK-,LDS+> }
+.end
+`
+
+func TestRunReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-conflicts"}, strings.NewReader(vmeRead), &out); err != nil {
+		t.Fatal(err)
+	}
+	// Note: the .g file declares inputs before outputs, so the conflict
+	// code prints as 11010 in declaration order — the same pair of states
+	// as the paper's 10110 in <DSr,DTACK,LDTACK,LDS,D> order.
+	for _, want := range []string{"14 states", "csc=NO", "code 11010", "(signal LDS)", "marked-graph=true"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dot"}, strings.NewReader(vmeRead), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digraph") {
+		t.Fatal("DOT output expected")
+	}
+	out.Reset()
+	if err := run([]string{"-sgdot"}, strings.NewReader(vmeRead), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "lightcoral") {
+		t.Fatal("SG DOT must highlight the conflict")
+	}
+}
+
+func TestRunWaveAndSG(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-wave", "-sg"}, strings.NewReader(vmeRead), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "~~") || !strings.Contains(out.String(), "--DSr+-->") {
+		t.Fatalf("waveform and SG dump expected:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("garbage"), &out); err == nil {
+		t.Fatal("parse error expected")
+	}
+	if err := run([]string{"nonexistent.g"}, nil, &out); err == nil {
+		t.Fatal("missing file error expected")
+	}
+}

@@ -1,0 +1,105 @@
+// Command reach compares the state-space engines of Section 2.2 on one
+// specification: explicit enumeration, BDD-based symbolic traversal,
+// McMillan unfolding prefix, and stubborn-set partial-order reduction.
+//
+// Usage:
+//
+//	reach [-engine all|explicit|symbolic|unfold|stubborn] file.g
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/reach"
+	"repro/internal/stg"
+	"repro/internal/stubborn"
+	"repro/internal/symbolic"
+	"repro/internal/unfold"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "reach:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("reach", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	engine := fs.String("engine", "all", "engine: all, explicit, symbolic, unfold, stubborn")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := load(fs.Arg(0), stdin)
+	if err != nil {
+		return err
+	}
+	n := g.Net
+
+	run := func(name string, f func() (string, error)) {
+		if *engine != "all" && *engine != name {
+			return
+		}
+		start := time.Now()
+		out, err := f()
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(stdout, "%-9s error: %v\n", name, err)
+			return
+		}
+		fmt.Fprintf(stdout, "%-9s %-55s %v\n", name, out, elapsed.Round(time.Microsecond))
+	}
+
+	run("explicit", func() (string, error) {
+		rg, err := reach.Explore(n, reach.Options{})
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d states, %d arcs, %d deadlocks",
+			rg.NumStates(), rg.NumArcs(), len(rg.Deadlocks())), nil
+	})
+	run("symbolic", func() (string, error) {
+		res, err := symbolic.Reach(n)
+		if err != nil {
+			return "", err
+		}
+		_, dead := symbolic.DeadStates(n, res)
+		return fmt.Sprintf("%.0f states, %d BDD nodes, %d iterations, %.0f deadlocks",
+			res.Count, res.PeakNodes, res.Iterations, dead), nil
+	})
+	run("unfold", func() (string, error) {
+		u, err := unfold.Build(n, unfold.Options{})
+		if err != nil {
+			return "", err
+		}
+		c, e, k := u.Stats()
+		return fmt.Sprintf("%d conditions, %d events, %d cutoffs", c, e, k), nil
+	})
+	run("stubborn", func() (string, error) {
+		res, err := stubborn.Explore(n, stubborn.Options{})
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d states, %d arcs, %d deadlocks",
+			res.States, res.Arcs, len(res.Deadlocks)), nil
+	})
+	return nil
+}
+
+func load(path string, stdin io.Reader) (*stg.STG, error) {
+	r := stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return stg.ParseG(r)
+}

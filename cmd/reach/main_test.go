@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const muller2 = `
+.model muller2
+.inputs r0 r1
+.outputs a0 a1
+.graph
+r0+ a0+
+a0+ r0- r1+
+r0- a0-
+a0- r0+
+r1+ a1+
+a1+ r1-
+r1- a1-
+a1- r0+ r1+
+.marking { <a0-,r0+> <a1-,r0+> <a1-,r1+> }
+.end
+`
+
+func TestReachAllEngines(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(muller2), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"explicit", "symbolic", "unfold", "stubborn", "0 deadlocks"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q:\n%s", want, s)
+		}
+	}
+	// Explicit and symbolic state counts agree.
+	if !strings.Contains(s, "states") {
+		t.Fatal("state counts expected")
+	}
+}
+
+func TestReachSingleEngine(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-engine", "unfold"}, strings.NewReader(muller2), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "explicit") {
+		t.Fatal("engine filter broken")
+	}
+}
+
+func TestReachParseError(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("junk"), &out); err == nil {
+		t.Fatal("parse error expected")
+	}
+}

@@ -1,0 +1,154 @@
+// Command synth runs the full synthesis flow on an STG specification:
+// analysis, state encoding, next-state function derivation, gate synthesis,
+// optional decomposition to a fan-in budget, and verification against the
+// specification mirror.
+//
+// Usage:
+//
+//	synth [-style complex|gc|rs] [-maxfanin N] [-method insert|reduce]
+//	      [-quiet] [-spec out.g] file.g
+//
+// With -spec the final specification (including inserted state signals) is
+// written in .g format to the given file ("-" for stdout).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/logic"
+	"repro/internal/reach"
+	"repro/internal/sim"
+	"repro/internal/stg"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "synth:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("synth", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	styleName := fs.String("style", "complex", "gate architecture: complex, gc, rs")
+	maxFanIn := fs.Int("maxfanin", 0, "decompose to this gate fan-in (0 = no mapping)")
+	method := fs.String("method", "insert", "CSC method: insert (state signals) or reduce (concurrency)")
+	quiet := fs.Bool("quiet", false, "print only the equations")
+	specOut := fs.String("spec", "", "write the final specification (.g) to this file, '-' for stdout")
+	eqnOut := fs.String("out", "", "write the netlist (.eqn, verify-compatible) to this file, '-' for stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var style logic.Style
+	switch *styleName {
+	case "complex":
+		style = logic.ComplexGate
+	case "gc":
+		style = logic.GeneralizedC
+	case "rs":
+		style = logic.StandardC
+	default:
+		return fmt.Errorf("unknown style %q", *styleName)
+	}
+
+	g, err := load(fs.Arg(0), stdin)
+	if err != nil {
+		return err
+	}
+
+	var rep *core.Report
+	if *method == "reduce" {
+		rep, err = synthesizeByReduction(g, style)
+	} else {
+		rep, err = core.Synthesize(g, core.Options{Style: style, MaxFanIn: *maxFanIn})
+	}
+	if err != nil {
+		return err
+	}
+	if *specOut != "" {
+		w := stdout
+		if *specOut != "-" {
+			f, err := os.Create(*specOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rep.Spec.WriteG(w); err != nil {
+			return err
+		}
+	}
+	if *eqnOut != "" {
+		w := stdout
+		if *eqnOut != "-" {
+			f, err := os.Create(*eqnOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rep.Netlist.WriteEquations(w); err != nil {
+			return err
+		}
+	}
+	if *quiet {
+		fmt.Fprintln(stdout, rep.Equations())
+		return nil
+	}
+	fmt.Fprint(stdout, rep.Summary())
+	return nil
+}
+
+// synthesizeByReduction runs the flow with the concurrency-reduction CSC
+// method instead of signal insertion.
+func synthesizeByReduction(g *stg.STG, style logic.Style) (*core.Report, error) {
+	sg, err := reach.BuildSG(g, reach.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rep := &core.Report{Input: g, Spec: g, SG: sg, Properties: sg.CheckImplementability()}
+	if !rep.Properties.Persistent {
+		return nil, fmt.Errorf("specification is not persistent (arbitration needed)")
+	}
+	if !rep.Properties.CSC {
+		sol, err := encoding.SolveByReduction(g, 0)
+		if err != nil {
+			return nil, err
+		}
+		rep.Spec, rep.SG, rep.CSC = sol.STG, sol.SG, sol.Description
+	}
+	rep.Netlist, err = logic.Synthesize(rep.SG, style)
+	if err != nil {
+		return nil, err
+	}
+	rep.Verification, err = sim.Verify(rep.Netlist, rep.Spec, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Verification.OK() {
+		return rep, fmt.Errorf("implementation fails verification: %v", rep.Verification.Violations)
+	}
+	return rep, nil
+}
+
+func load(path string, stdin io.Reader) (*stg.STG, error) {
+	r := stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return stg.ParseG(r)
+}

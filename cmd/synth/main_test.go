@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const vmeRead = `
+.model vme-read
+.inputs DSr LDTACK
+.outputs DTACK LDS D
+.graph
+DSr+ LDS+
+LDS+ LDTACK+
+LDTACK+ D+
+D+ DTACK+
+DTACK+ DSr-
+DSr- D-
+D- DTACK- LDS-
+DTACK- DSr+
+LDS- LDTACK-
+LDTACK- LDS+
+.marking { <DTACK-,DSr+> <LDTACK-,LDS+> }
+.end
+`
+
+func TestSynthDefault(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(vmeRead), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"csc0", "speed-independent", "DTACK = D"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSynthQuietStyles(t *testing.T) {
+	for _, style := range []string{"complex", "gc", "rs"} {
+		var out bytes.Buffer
+		if err := run([]string{"-style", style, "-quiet"}, strings.NewReader(vmeRead), &out); err != nil {
+			t.Fatalf("style %s: %v", style, err)
+		}
+		if !strings.Contains(out.String(), "=") {
+			t.Fatalf("style %s: no equations", style)
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-style", "bogus"}, strings.NewReader(vmeRead), &out); err == nil {
+		t.Fatal("bogus style must error")
+	}
+}
+
+func TestSynthReduceMethod(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-method", "reduce"}, strings.NewReader(vmeRead), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "delay") {
+		t.Fatalf("reduction description expected:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "csc0") {
+		t.Fatal("concurrency reduction must not add signals")
+	}
+}
+
+func TestSynthSpecOut(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quiet", "-spec", "-"}, strings.NewReader(vmeRead), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), ".internal csc0") {
+		t.Fatalf("final spec with csc0 expected:\n%s", out.String())
+	}
+}
+
+func TestSynthEqnOut(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quiet", "-out", "-"}, strings.NewReader(vmeRead), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), ".internal csc0") || !strings.Contains(out.String(), ".inputs DSr") {
+		t.Fatalf("netlist header expected:\n%s", out.String())
+	}
+}
+
+func TestSynthMapped(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-maxfanin", "2"}, strings.NewReader(vmeRead), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "max fan-in 2") {
+		t.Fatalf("mapped output expected:\n%s", out.String())
+	}
+}

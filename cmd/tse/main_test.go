@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const ring = `
+.model hs
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end
+`
+
+func TestTSECycleTimeOnly(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-delay", "req+=3:5"}, strings.NewReader(ring), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cycle time: [6.0, 8.0]") {
+		t.Fatalf("cycle time expected:\n%s", out.String())
+	}
+}
+
+func TestTSESeparation(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-from", "ack+@2", "-to", "req-@2", "-delay", "req-=10:12"}
+	if err := run(args, strings.NewReader(ring), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sep<0 holds") {
+		t.Fatalf("negative separation expected:\n%s", out.String())
+	}
+}
+
+func TestTSEErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-delay", "zz=1:2"}, strings.NewReader(ring), &out); err == nil {
+		t.Fatal("unknown transition must error")
+	}
+	if err := run([]string{"-delay", "broken"}, strings.NewReader(ring), &out); err == nil {
+		t.Fatal("malformed delay must error")
+	}
+	if err := run([]string{"-from", "zz@0", "-to", "ack+@0"}, strings.NewReader(ring), &out); err == nil {
+		t.Fatal("unknown occurrence must error")
+	}
+}

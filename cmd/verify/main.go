@@ -1,0 +1,146 @@
+// Command verify performs implementation verification (Section 2.1):
+//
+//	verify -impl circuit.eqn spec.g          gate-level vs specification
+//	verify -conform impl.g spec.g            STG vs STG trace conformance
+//	verify -impl c.eqn -sep 'D-<LDS-' spec.g SI under relative timing
+//
+// The gate-level check composes the netlist with the specification mirror
+// and reports hazards (semimodularity violations), conformance failures,
+// C-element drive fights and deadlocks. The STG check verifies safety and
+// receptiveness on the specification alphabet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/sim"
+	"repro/internal/stg"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "verify:", err)
+		os.Exit(1)
+	}
+}
+
+type sepFlags []sim.RelativeOrder
+
+func (s *sepFlags) String() string { return fmt.Sprint([]sim.RelativeOrder(*s)) }
+
+func (s *sepFlags) Set(v string) error {
+	// "A-<B+" means sep(A-, B+) < 0: A- before B+.
+	i := strings.Index(v, "<")
+	if i <= 0 || i+1 >= len(v) {
+		return fmt.Errorf("want EARLIER<LATER (e.g. 'D-<LDS-'), got %q", v)
+	}
+	earlier, err := parseEvent(v[:i])
+	if err != nil {
+		return err
+	}
+	later, err := parseEvent(v[i+1:])
+	if err != nil {
+		return err
+	}
+	*s = append(*s, sim.RelativeOrder{Earlier: earlier, Later: later})
+	return nil
+}
+
+func parseEvent(s string) (sim.EventRef, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 {
+		return sim.EventRef{}, fmt.Errorf("bad event %q", s)
+	}
+	dir := stg.Rise
+	switch s[len(s)-1] {
+	case '+':
+	case '-':
+		dir = stg.Fall
+	default:
+		return sim.EventRef{}, fmt.Errorf("event %q needs +/- suffix", s)
+	}
+	return sim.EventRef{Signal: s[:len(s)-1], Dir: dir}, nil
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	implEqn := fs.String("impl", "", "gate-level implementation (.eqn)")
+	conform := fs.String("conform", "", "implementation STG (.g) for trace conformance")
+	var seps sepFlags
+	fs.Var(&seps, "sep", "relative timing assumption EARLIER<LATER (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := loadSTG(fs.Arg(0), stdin)
+	if err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+
+	switch {
+	case *implEqn != "":
+		f, err := os.Open(*implEqn)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		nl, err := logic.ParseEquations(f)
+		if err != nil {
+			return fmt.Errorf("impl: %w", err)
+		}
+		res, err := sim.Verify(nl, spec, sim.Options{Constraints: seps, MaxViolations: 10})
+		if err != nil {
+			return err
+		}
+		if res.OK() {
+			fmt.Fprintf(stdout, "OK: speed-independent and conformant (%d composed states)\n", res.States)
+			return nil
+		}
+		for _, v := range res.Violations {
+			fmt.Fprintln(stdout, "violation:", v)
+		}
+		return fmt.Errorf("verification failed with %d violation(s)", len(res.Violations))
+	case *conform != "":
+		f, err := os.Open(*conform)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		impl, err := stg.ParseG(f)
+		if err != nil {
+			return fmt.Errorf("impl: %w", err)
+		}
+		viol, err := sim.ConformsSTG(impl, spec, 0)
+		if err != nil {
+			return err
+		}
+		if len(viol) == 0 {
+			fmt.Fprintln(stdout, "OK: implementation STG conforms (safety and receptiveness)")
+			return nil
+		}
+		for _, v := range viol {
+			fmt.Fprintln(stdout, "violation:", v)
+		}
+		return fmt.Errorf("conformance failed with %d violation(s)", len(viol))
+	default:
+		return fmt.Errorf("one of -impl or -conform is required")
+	}
+}
+
+func loadSTG(path string, stdin io.Reader) (*stg.STG, error) {
+	r := stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return stg.ParseG(r)
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const spec = `
+.model hs
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end
+`
+
+const goodEqn = `
+.inputs req
+.outputs ack
+ack = req
+`
+
+const badEqn = `
+.inputs req
+.outputs ack
+ack = req'
+`
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestVerifyGateLevelOK(t *testing.T) {
+	var out bytes.Buffer
+	eqn := write(t, "good.eqn", goodEqn)
+	if err := run([]string{"-impl", eqn}, strings.NewReader(spec), &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "OK: speed-independent") {
+		t.Fatalf("OK expected:\n%s", out.String())
+	}
+}
+
+func TestVerifyGateLevelFails(t *testing.T) {
+	var out bytes.Buffer
+	eqn := write(t, "bad.eqn", badEqn)
+	if err := run([]string{"-impl", eqn}, strings.NewReader(spec), &out); err == nil {
+		t.Fatal("inverted circuit must fail")
+	}
+	if !strings.Contains(out.String(), "violation:") {
+		t.Fatalf("violations expected:\n%s", out.String())
+	}
+}
+
+func TestVerifyConformance(t *testing.T) {
+	var out bytes.Buffer
+	implG := write(t, "impl.g", spec)
+	if err := run([]string{"-conform", implG}, strings.NewReader(spec), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "OK: implementation STG conforms") {
+		t.Fatalf("conformance OK expected:\n%s", out.String())
+	}
+}
+
+func TestVerifySepFlag(t *testing.T) {
+	var out bytes.Buffer
+	eqn := write(t, "good.eqn", goodEqn)
+	if err := run([]string{"-impl", eqn, "-sep", "req+<ack+"}, strings.NewReader(spec), &out); err != nil {
+		t.Fatal(err)
+	}
+	// Malformed separations.
+	for _, bad := range []string{"nope", "a<", "a?<b+"} {
+		var o bytes.Buffer
+		if err := run([]string{"-impl", eqn, "-sep", bad}, strings.NewReader(spec), &o); err == nil {
+			t.Fatalf("bad sep %q must be rejected", bad)
+		}
+	}
+}
+
+func TestVerifyNeedsMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(spec), &out); err == nil {
+		t.Fatal("missing mode must error")
+	}
+}

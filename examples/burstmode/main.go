@@ -1,0 +1,69 @@
+// Burst-mode design (Section 6): an alternative specification style for
+// controllers whose environment respects the fundamental mode — after each
+// input burst, the circuit settles before the next burst arrives.
+//
+// The example specifies a small DMA-grant controller: requests arrive as a
+// two-signal burst (req+ dav+ -> grant+), a single abort signal cancels
+// (abort+ -> grant stays low via a different path), and synthesis produces
+// hazard-free two-level logic verified by exhaustive burst simulation.
+//
+// Run with: go run ./examples/burstmode
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/burstmode"
+)
+
+func main() {
+	m := burstmode.NewMachine("dma-grant",
+		[]string{"req", "dav", "abort"},
+		[]string{"grant", "busy"})
+	s0 := m.AddState()
+	s1 := m.AddState()
+	s2 := m.AddState()
+
+	// s0: req+ dav+ / grant+ -> s1   (normal grant)
+	m.AddArc(s0,
+		[]burstmode.Edge{{Sig: 0, Rise: true}, {Sig: 1, Rise: true}},
+		[]burstmode.Edge{{Sig: 0, Rise: true}}, s1)
+	// s1: req- dav- / grant- -> s0   (release)
+	m.AddArc(s1,
+		[]burstmode.Edge{{Sig: 0, Rise: false}, {Sig: 1, Rise: false}},
+		[]burstmode.Edge{{Sig: 0, Rise: false}}, s0)
+	// s0: abort+ / busy+ -> s2       (abort path)
+	m.AddArc(s0,
+		[]burstmode.Edge{{Sig: 2, Rise: true}},
+		[]burstmode.Edge{{Sig: 1, Rise: true}}, s2)
+	// s2: abort- / busy- -> s0
+	m.AddArc(s2,
+		[]burstmode.Edge{{Sig: 2, Rise: false}},
+		[]burstmode.Edge{{Sig: 1, Rise: false}}, s0)
+
+	if err := m.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("burst-mode machine validated: maximal-set and unique-entry hold")
+
+	impl, err := burstmode.Synthesize(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range impl.Covers {
+		fmt.Printf("%s = %s\n", m.Outputs[r.Output], r.Cover.Expr(impl.Vars))
+	}
+
+	// Fundamental-mode validation: every burst in every arrival order.
+	checked := 0
+	for s := range m.Arcs {
+		for ai := range m.Arcs[s] {
+			if err := impl.SimulateBurst(s, ai); err != nil {
+				log.Fatalf("hazard: %v", err)
+			}
+			checked++
+		}
+	}
+	fmt.Printf("simulated %d bursts in all arrival orders: no glitches, all outputs settle per spec\n", checked)
+}

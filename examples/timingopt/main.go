@@ -1,0 +1,146 @@
+// Timing optimization (Section 5, Figure 11): synthesizing the READ-cycle
+// controller under relative timing assumptions.
+//
+//	(a) sep(LDTACK-, DSr+) < 0  — the local handshake resets faster than the
+//	    bus issues the next request: the CSC conflict disappears and no
+//	    state signal is needed;
+//	(b) sep(D-, LDS-) < 0 — LDS- may be triggered early from DSr-;
+//	(c) both.
+//
+// Each variant is verified speed-independent under its assumptions, and the
+// assumptions themselves are checked numerically with the time-separation
+// engine given plausible delay budgets.
+//
+// Run with: go run ./examples/timingopt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/encoding"
+	"repro/internal/logic"
+	"repro/internal/reach"
+	"repro/internal/sim"
+	"repro/internal/timing"
+	"repro/internal/vme"
+)
+
+func main() {
+	g := vme.ReadSTG()
+
+	// Baseline: untimed synthesis needs a state signal.
+	sol, err := encoding.SolveCSC(g, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := logic.Synthesize(sol.SG, logic.ComplexGate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("untimed: %s (%d literals)\n%s\n\n", sol.Description, base.LiteralCount(), indent(base.Equations()))
+
+	// Check the (a) assumption numerically: slow bus, fast device.
+	delays := make([]timing.Delay, len(g.Net.Transitions))
+	for i := range delays {
+		delays[i] = timing.Fixed(2)
+	}
+	delays[g.Net.TransitionIndex("DSr+")] = timing.Delay{Min: 40, Max: 80}
+	spec := timing.Spec{G: g, Delays: delays}
+	sep, err := timing.MaxSeparation(spec,
+		timing.Occurrence{Transition: g.Net.TransitionIndex("LDTACK-"), Cycle: 2},
+		timing.Occurrence{Transition: g.Net.TransitionIndex("DSr+"), Cycle: 3}, 4, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TSE check: max sep(LDTACK-, DSr+next) = %d (assumption %v)\n\n", sep, sep < 0)
+
+	// (a) Encode the assumption, resynthesize.
+	timed, _, err := timing.AddTimingOrder(g, "LDTACK-", "DSr+")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sgA, err := reach.BuildSG(timed, reach.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nlA, err := logic.Synthesize(sgA, logic.ComplexGate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resA, err := sim.Verify(nlA, timed, sim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(a) sep(LDTACK-,DSr+)<0: CSC=%v, %d literals, SI=%v\n%s\n\n",
+		sgA.HasCSC(), nlA.LiteralCount(), resA.OK(), indent(nlA.Equations()))
+
+	// (b) Early enabling of LDS-.
+	early, cons, err := timing.Retrigger(g, "LDS-", "D-", "DSr-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	solB, err := encoding.SolveCSC(early, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nlB, err := logic.Synthesize(solB.SG, logic.ComplexGate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resB, err := sim.Verify(nlB, g, sim.Options{Constraints: []sim.RelativeOrder{cons}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(b) %v: %d literals, SI under constraint=%v\n%s\n\n",
+		cons, nlB.LiteralCount(), resB.OK(), indent(nlB.Equations()))
+
+	// (c) Both assumptions.
+	both, _, err := timing.AddTimingOrder(g, "LDTACK-", "DSr+")
+	if err != nil {
+		log.Fatal(err)
+	}
+	both, cons2, err := timing.Retrigger(both, "LDS-", "D-", "DSr-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sgC, err := reach.BuildSG(both, reach.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nlC, err := logic.Synthesize(sgC, logic.ComplexGate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resC, err := sim.Verify(nlC, both, sim.Options{Constraints: []sim.RelativeOrder{cons2}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(c) both assumptions: CSC=%v, %d literals, SI=%v\n%s\n",
+		sgC.HasCSC(), nlC.LiteralCount(), resC.OK(), indent(nlC.Equations()))
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/reach"
+	"repro/internal/regions"
+	"repro/internal/stg"
+	"repro/internal/symbolic"
+	"repro/internal/unfold"
+)
+
+// randomSpec builds a random cyclic marked-graph STG from a synthetic
+// waveform: k signals, each rising then falling once per cycle, sequenced by
+// a random total order plus random forward causality arcs. Consistency and
+// persistency hold by construction; CSC may or may not.
+func randomSpec(rng *rand.Rand) *stg.STG {
+	k := 2 + rng.Intn(3)
+	w := stg.Waveform{Name: fmt.Sprintf("fuzz%d", rng.Int31())}
+	for i := 0; i < k; i++ {
+		kind := stg.Output
+		if i > 0 && rng.Intn(2) == 0 {
+			kind = stg.Input
+		}
+		w.Signals = append(w.Signals, stg.Signal{Name: fmt.Sprintf("s%d", i), Kind: kind})
+	}
+	// Event order: interleave rises and falls keeping rise-before-fall per
+	// signal: generate a random permutation of 2k slots with the
+	// constraint, by inserting each signal's pair at random positions.
+	type ev struct {
+		sig  int
+		rise bool
+	}
+	var order []ev
+	for i := 0; i < k; i++ {
+		// Insert rise at a random position, fall at a random later one.
+		rp := rng.Intn(len(order) + 1)
+		order = append(order[:rp], append([]ev{{i, true}}, order[rp:]...)...)
+		fp := rp + 1 + rng.Intn(len(order)-rp)
+		order = append(order[:fp], append([]ev{{i, false}}, order[fp:]...)...)
+	}
+	for _, e := range order {
+		dir := stg.Fall
+		if e.rise {
+			dir = stg.Rise
+		}
+		w.Events = append(w.Events, stg.WaveEvent{Signal: w.Signals[e.sig].Name, Dir: dir})
+	}
+	n := len(w.Events)
+	for i := 0; i+1 < n; i++ {
+		w.Causality = append(w.Causality, [2]int{i, i + 1})
+	}
+	w.Causality = append(w.Causality, [2]int{n - 1, 0})
+	// A few random forward concurrency-reducing arcs (harmless in a chain).
+	for extra := rng.Intn(3); extra > 0; extra-- {
+		i := rng.Intn(n - 1)
+		j := i + 1 + rng.Intn(n-i-1)
+		w.Causality = append(w.Causality, [2]int{i, j})
+	}
+	g, err := stg.FromWaveform(w)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestFuzzFullFlow: every random spec flows to a verified implementation,
+// and the analysis engines agree with each other on it.
+func TestFuzzFullFlow(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomSpec(rng)
+		sg, err := reach.BuildSG(g, reach.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, g)
+		}
+		if !sg.IsPersistent() {
+			t.Fatalf("seed %d: a marked graph spec must be persistent", seed)
+		}
+		// Engines agree.
+		sym, err := symbolic.Reach(g.Net)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if float64(sg.NumStates()) != sym.Count {
+			t.Fatalf("seed %d: explicit %d vs symbolic %v", seed, sg.NumStates(), sym.Count)
+		}
+		u, err := unfold.Build(g.Net, unfold.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := len(u.ReachableMarkings()); got != sg.NumStates() {
+			t.Fatalf("seed %d: prefix cuts %d vs explicit %d", seed, got, sg.NumStates())
+		}
+		// Flow.
+		rep, err := core.Synthesize(g, core.Options{})
+		if err != nil {
+			if strings.Contains(err.Error(), "state encoding") {
+				continue // CSC unsolvable within budget: acceptable for fuzz
+			}
+			t.Fatalf("seed %d: %v\n%s", seed, err, g)
+		}
+		if !rep.Verification.OK() {
+			t.Fatalf("seed %d: verification failed: %v", seed, rep.Verification.Violations)
+		}
+	}
+}
+
+// TestFuzzRegionsRoundTrip: back-annotation regenerates random SGs exactly
+// (state/arc counts and code multisets).
+func TestFuzzRegionsRoundTrip(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomSpec(rng)
+		sg, err := reach.BuildSG(g, reach.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := regions.Synthesize(sg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sg2, err := reach.BuildSG(back, reach.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: rebuilt SG: %v", seed, err)
+		}
+		if sg2.NumStates() != sg.NumStates() || sg2.NumArcs() != sg.NumArcs() {
+			t.Fatalf("seed %d: round trip %d/%d -> %d/%d", seed,
+				sg.NumStates(), sg.NumArcs(), sg2.NumStates(), sg2.NumArcs())
+		}
+	}
+}
+
+// TestFuzzGRoundTrip: .g serialization is stable on random specs.
+func TestFuzzGRoundTrip(t *testing.T) {
+	for seed := int64(200); seed < 230; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomSpec(rng)
+		var a strings.Builder
+		if err := g.WriteG(&a); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := stg.ParseG(strings.NewReader(a.String()))
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, a.String())
+		}
+		var b strings.Builder
+		if err := g2.WriteG(&b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: unstable serialization", seed)
+		}
+	}
+}

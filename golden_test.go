@@ -1,0 +1,34 @@
+package repro
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/reach"
+	"repro/internal/vme"
+)
+
+// TestFig4Golden pins the exact READ-cycle state graph (Figure 4) and the
+// regenerated timing diagram (Figure 2): any change to exploration order,
+// code assignment or rendering shows up as a diff against the golden files.
+func TestFig4Golden(t *testing.T) {
+	sg, err := reach.BuildSG(vme.ReadSTG(), reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		path string
+		got  string
+	}{
+		{"testdata/fig4-sg.golden", sg.Dump()},
+		{"testdata/fig4-waveform.golden", sg.ASCIIWaveform(sg.Cycle())},
+	} {
+		want, err := os.ReadFile(tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.got != string(want) {
+			t.Errorf("%s drifted:\n--- got ---\n%s\n--- want ---\n%s", tc.path, tc.got, want)
+		}
+	}
+}

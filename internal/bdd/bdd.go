@@ -1,0 +1,426 @@
+// Package bdd implements reduced ordered binary decision diagrams (Bryant,
+// reference [3] of the paper): the symbolic representation used in Section
+// 2.2 for implicit traversal of reachability graphs. Nodes live in an arena
+// indexed by dense ids; hash-consing guarantees canonicity, so equality of
+// functions is pointer (id) equality.
+package bdd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node is a BDD vertex: variable index and two cofactor ids. Terminals use
+// Level == terminalLevel.
+type node struct {
+	level  int32 // variable index; terminals get math.MaxInt32
+	lo, hi int32 // else / then children
+}
+
+const terminalLevel = math.MaxInt32
+
+// Ref is a BDD function handle.
+type Ref int32
+
+// Manager owns the node arena, the unique table and the operation caches.
+// It is not safe for concurrent use.
+type Manager struct {
+	nodes   []node
+	unique  map[node]Ref
+	iteC    map[[3]Ref]Ref
+	qC      map[qKey]Ref
+	aePairs map[qKey][2]Ref
+
+	numVars int
+}
+
+type qKey struct {
+	f    Ref
+	vars string // bitmask of quantified variables
+	op   byte   // 'e' exists, 'a' forall, 'r' relprod-with (unused marker)
+}
+
+// False and True are the terminal functions.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+// New creates a manager for the given number of variables.
+func New(numVars int) *Manager {
+	if numVars < 0 {
+		panic("bdd: negative variable count")
+	}
+	m := &Manager{
+		unique:  make(map[node]Ref),
+		iteC:    make(map[[3]Ref]Ref),
+		qC:      make(map[qKey]Ref),
+		numVars: numVars,
+	}
+	// ids 0 and 1 are the terminals.
+	m.nodes = append(m.nodes,
+		node{level: terminalLevel, lo: 0, hi: 0},
+		node{level: terminalLevel, lo: 1, hi: 1})
+	return m
+}
+
+// NumVars returns the variable count.
+func (m *Manager) NumVars() int { return m.numVars }
+
+// Size returns the number of live nodes (including terminals).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// Var returns the function of variable i.
+func (m *Manager) Var(i int) Ref {
+	m.checkVar(i)
+	return m.mk(int32(i), False, True)
+}
+
+// NVar returns the negation of variable i.
+func (m *Manager) NVar(i int) Ref {
+	m.checkVar(i)
+	return m.mk(int32(i), True, False)
+}
+
+func (m *Manager) checkVar(i int) {
+	if i < 0 || i >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.numVars))
+	}
+}
+
+// mk returns the canonical node (level, lo, hi).
+func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	n := node{level: level, lo: int32(lo), hi: int32(hi)}
+	if r, ok := m.unique[n]; ok {
+		return r
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, n)
+	m.unique[n] = r
+	return r
+}
+
+func (m *Manager) level(f Ref) int32 { return m.nodes[f].level }
+func (m *Manager) lo(f Ref) Ref      { return Ref(m.nodes[f].lo) }
+func (m *Manager) hi(f Ref) Ref      { return Ref(m.nodes[f].hi) }
+
+// ITE computes if-then-else(f, g, h), the universal connective.
+func (m *Manager) ITE(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := [3]Ref{f, g, h}
+	if r, ok := m.iteC[key]; ok {
+		return r
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	r := m.mk(top, m.ITE(f0, g0, h0), m.ITE(f1, g1, h1))
+	m.iteC[key] = r
+	return r
+}
+
+func (m *Manager) cofactors(f Ref, level int32) (lo, hi Ref) {
+	if m.level(f) != level {
+		return f, f
+	}
+	return m.lo(f), m.hi(f)
+}
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g Ref) Ref { return m.ITE(f, g, False) }
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g Ref) Ref { return m.ITE(f, True, g) }
+
+// Not returns ¬f.
+func (m *Manager) Not(f Ref) Ref { return m.ITE(f, False, True) }
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.ITE(f, m.Not(g), g) }
+
+// Implies returns f → g.
+func (m *Manager) Implies(f, g Ref) Ref { return m.ITE(f, g, True) }
+
+// Diff returns f ∧ ¬g.
+func (m *Manager) Diff(f, g Ref) Ref { return m.ITE(g, False, f) }
+
+// AndN folds And over the arguments (True for none).
+func (m *Manager) AndN(fs ...Ref) Ref {
+	r := True
+	for _, f := range fs {
+		r = m.And(r, f)
+	}
+	return r
+}
+
+// OrN folds Or over the arguments (False for none).
+func (m *Manager) OrN(fs ...Ref) Ref {
+	r := False
+	for _, f := range fs {
+		r = m.Or(r, f)
+	}
+	return r
+}
+
+// Restrict fixes variable v to value in f (Shannon cofactor).
+func (m *Manager) Restrict(f Ref, v int, value bool) Ref {
+	m.checkVar(v)
+	return m.restrict(f, int32(v), value)
+}
+
+func (m *Manager) restrict(f Ref, v int32, value bool) Ref {
+	l := m.level(f)
+	if l > v {
+		return f
+	}
+	if l == v {
+		if value {
+			return m.hi(f)
+		}
+		return m.lo(f)
+	}
+	// l < v: rebuild.
+	return m.mk(l, m.restrict(m.lo(f), v, value), m.restrict(m.hi(f), v, value))
+}
+
+// Exists existentially quantifies the given variables out of f.
+func (m *Manager) Exists(f Ref, vars []int) Ref {
+	return m.quantify(f, m.varMask(vars), true)
+}
+
+// Forall universally quantifies the given variables out of f.
+func (m *Manager) Forall(f Ref, vars []int) Ref {
+	return m.quantify(f, m.varMask(vars), false)
+}
+
+func (m *Manager) varMask(vars []int) []byte {
+	mask := make([]byte, (m.numVars+7)/8)
+	for _, v := range vars {
+		m.checkVar(v)
+		mask[v/8] |= 1 << uint(v%8)
+	}
+	return mask
+}
+
+func (m *Manager) quantify(f Ref, mask []byte, exists bool) Ref {
+	if f == True || f == False {
+		return f
+	}
+	op := byte('a')
+	if exists {
+		op = 'e'
+	}
+	key := qKey{f: f, vars: string(mask), op: op}
+	if r, ok := m.qC[key]; ok {
+		return r
+	}
+	l := m.level(f)
+	lo := m.quantify(m.lo(f), mask, exists)
+	hi := m.quantify(m.hi(f), mask, exists)
+	var r Ref
+	if mask[l/8]&(1<<uint(l%8)) != 0 {
+		if exists {
+			r = m.Or(lo, hi)
+		} else {
+			r = m.And(lo, hi)
+		}
+	} else {
+		r = m.mk(l, lo, hi)
+	}
+	m.qC[key] = r
+	return r
+}
+
+// AndExists computes ∃vars (f ∧ g) without building the full conjunction
+// (the relational-product operation of symbolic traversal).
+func (m *Manager) AndExists(f, g Ref, vars []int) Ref {
+	return m.andExists(f, g, m.varMask(vars))
+}
+
+func (m *Manager) andExists(f, g Ref, mask []byte) Ref {
+	switch {
+	case f == False || g == False:
+		return False
+	case f == True && g == True:
+		return True
+	}
+	// Cache piggybacks on qC via a distinct op marker by combining refs.
+	key := qKey{f: f ^ (g << 16) ^ (g >> 16), vars: string(mask), op: 'r'}
+	if r, ok := m.qC[key]; ok && m.aeCheck(key, f, g) {
+		return r
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	var r Ref
+	if top != terminalLevel && mask[top/8]&(1<<uint(top%8)) != 0 {
+		a := m.andExists(f0, g0, mask)
+		if a == True {
+			r = True
+		} else {
+			r = m.Or(a, m.andExists(f1, g1, mask))
+		}
+	} else {
+		r = m.mk(top, m.andExists(f0, g0, mask), m.andExists(f1, g1, mask))
+	}
+	m.qC[key] = r
+	m.aeStore(key, f, g)
+	return r
+}
+
+// The xor-combined cache key can collide between (f,g) pairs; aeCheck/aeStore
+// disambiguate with a secondary map.
+func (m *Manager) aeCheck(key qKey, f, g Ref) bool {
+	if m.aePairs == nil {
+		return false
+	}
+	p, ok := m.aePairs[key]
+	return ok && p == [2]Ref{f, g}
+}
+
+func (m *Manager) aeStore(key qKey, f, g Ref) {
+	if m.aePairs == nil {
+		m.aePairs = make(map[qKey][2]Ref)
+	}
+	m.aePairs[key] = [2]Ref{f, g}
+}
+
+// Eval evaluates f under the assignment (bit i of env = variable i).
+func (m *Manager) Eval(f Ref, env uint64) bool {
+	for f != True && f != False {
+		l := m.level(f)
+		if env&(1<<uint(l)) != 0 {
+			f = m.hi(f)
+		} else {
+			f = m.lo(f)
+		}
+	}
+	return f == True
+}
+
+// SatCount returns the number of satisfying assignments over all NumVars
+// variables, computed via the satisfying fraction (exact for counts below
+// 2^53).
+func (m *Manager) SatCount(f Ref) float64 {
+	memo := map[Ref]float64{}
+	var frac func(f Ref) float64
+	frac = func(f Ref) float64 {
+		switch f {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if p, ok := memo[f]; ok {
+			return p
+		}
+		p := 0.5*frac(m.lo(f)) + 0.5*frac(m.hi(f))
+		memo[f] = p
+		return p
+	}
+	return frac(f) * math.Exp2(float64(m.numVars))
+}
+
+// Support returns the variables f depends on, ascending.
+func (m *Manager) Support(f Ref) []int {
+	seen := map[Ref]bool{}
+	vars := map[int32]bool{}
+	var walk func(Ref)
+	walk = func(g Ref) {
+		if g == True || g == False || seen[g] {
+			return
+		}
+		seen[g] = true
+		vars[m.level(g)] = true
+		walk(m.lo(g))
+		walk(m.hi(g))
+	}
+	walk(f)
+	out := make([]int, 0, len(vars))
+	for v := range vars {
+		out = append(out, int(v))
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// AnySat returns one satisfying assignment (as a bit vector over NumVars),
+// or ok=false for the constant-false function.
+func (m *Manager) AnySat(f Ref) (uint64, bool) {
+	if f == False {
+		return 0, false
+	}
+	var env uint64
+	for f != True {
+		if m.lo(f) != False {
+			f = m.lo(f)
+			continue
+		}
+		env |= 1 << uint(m.level(f))
+		f = m.hi(f)
+	}
+	return env, true
+}
+
+// NodeCount returns the number of distinct internal nodes of f.
+func (m *Manager) NodeCount(f Ref) int {
+	seen := map[Ref]bool{}
+	var walk func(Ref)
+	walk = func(g Ref) {
+		if g == True || g == False || seen[g] {
+			return
+		}
+		seen[g] = true
+		walk(m.lo(g))
+		walk(m.hi(g))
+	}
+	walk(f)
+	return len(seen)
+}
+
+// Cube builds the conjunction of literals: vars[i] at polarity pols[i].
+func (m *Manager) Cube(vars []int, pols []bool) Ref {
+	if len(vars) != len(pols) {
+		panic("bdd: vars/pols length mismatch")
+	}
+	r := True
+	for i, v := range vars {
+		if pols[i] {
+			r = m.And(r, m.Var(v))
+		} else {
+			r = m.And(r, m.NVar(v))
+		}
+	}
+	return r
+}

@@ -1,0 +1,90 @@
+package bdd
+
+import "repro/internal/boolmin"
+
+// ISOP computes an irredundant sum-of-products G with L ⊆ G ⊆ U using the
+// Minato–Morreale algorithm: the BDD-native route from symbolic functions to
+// two-level covers, used when the care space is too large for
+// Quine–McCluskey. L is the on-set lower bound (must be covered), U the
+// upper bound (on ∪ don't-care).
+func (m *Manager) ISOP(l, u Ref) boolmin.Cover {
+	cubes, _ := m.isop(l, u)
+	return boolmin.Cover{N: m.numVars, Cubes: cubes}
+}
+
+// isop returns the cubes and the BDD of their disjunction.
+func (m *Manager) isop(l, u Ref) ([]boolmin.Cube, Ref) {
+	if l == False {
+		return nil, False
+	}
+	if u == True {
+		return []boolmin.Cube{boolmin.FullCube()}, True
+	}
+	// Top variable of l or u.
+	v := m.level(l)
+	if lu := m.level(u); lu < v {
+		v = lu
+	}
+	l0, l1 := m.cofactors(l, v)
+	u0, u1 := m.cofactors(u, v)
+
+	// Cubes that must contain the negative literal of v: the part of l0 not
+	// coverable by cubes valid at v=1.
+	c0, g0 := m.isop(m.Diff(l0, u1), u0)
+	// Cubes that must contain the positive literal.
+	c1, g1 := m.isop(m.Diff(l1, u0), u1)
+	// Remainder: coverable without mentioning v.
+	lr := m.Or(m.Diff(l0, g0), m.Diff(l1, g1))
+	cr, gr := m.isop(lr, m.And(u0, u1))
+
+	var cubes []boolmin.Cube
+	for _, c := range c0 {
+		cubes = append(cubes, c.WithLiteral(int(v), false))
+	}
+	for _, c := range c1 {
+		cubes = append(cubes, c.WithLiteral(int(v), true))
+	}
+	cubes = append(cubes, cr...)
+
+	varRef := m.mk(v, False, True)
+	g := m.OrN(m.And(m.Not(varRef), g0), m.And(varRef, g1), gr)
+	return cubes, g
+}
+
+// FromCover builds the BDD of a sum-of-products cover.
+func (m *Manager) FromCover(cv boolmin.Cover) Ref {
+	r := False
+	for _, c := range cv.Cubes {
+		cube := True
+		for v := 0; v < m.numVars; v++ {
+			bit := uint64(1) << uint(v)
+			if c.Care&bit == 0 {
+				continue
+			}
+			if c.Val&bit != 0 {
+				cube = m.And(cube, m.Var(v))
+			} else {
+				cube = m.And(cube, m.NVar(v))
+			}
+		}
+		r = m.Or(r, cube)
+	}
+	return r
+}
+
+// FromMinterms builds the BDD of a set of minterms.
+func (m *Manager) FromMinterms(ms []uint64) Ref {
+	r := False
+	for _, mt := range ms {
+		cube := True
+		for v := 0; v < m.numVars; v++ {
+			if mt&(1<<uint(v)) != 0 {
+				cube = m.And(cube, m.Var(v))
+			} else {
+				cube = m.And(cube, m.NVar(v))
+			}
+		}
+		r = m.Or(r, cube)
+	}
+	return r
+}

@@ -1,0 +1,143 @@
+package boolmin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinimizeOnOffSmallUsesQMC(t *testing.T) {
+	on := []uint64{0b0000, 0b0001, 0b0011}
+	off := []uint64{0b1111, 0b1110}
+	cv := MinimizeOnOff(on, off, 4)
+	for _, m := range on {
+		if !cv.Eval(m) {
+			t.Fatalf("on minterm %b uncovered", m)
+		}
+	}
+	for _, m := range off {
+		if cv.Eval(m) {
+			t.Fatalf("off minterm %b covered", m)
+		}
+	}
+}
+
+func TestMinimizeOnOffEmpty(t *testing.T) {
+	cv := MinimizeOnOff(nil, []uint64{1}, 4)
+	if len(cv.Cubes) != 0 {
+		t.Fatal("empty on-set yields empty cover")
+	}
+	cvBig := MinimizeOnOff(nil, nil, 20)
+	if len(cvBig.Cubes) != 0 {
+		t.Fatal("empty on-set yields empty cover (wide)")
+	}
+}
+
+// The expansion path (n > 14) must produce correct covers.
+func TestMinimizeOnOffWide(t *testing.T) {
+	const n = 16
+	rng := rand.New(rand.NewSource(5))
+	var on, off []uint64
+	seen := map[uint64]bool{}
+	for len(on) < 40 {
+		m := rng.Uint64() & (1<<n - 1)
+		if !seen[m] {
+			seen[m] = true
+			on = append(on, m)
+		}
+	}
+	for len(off) < 40 {
+		m := rng.Uint64() & (1<<n - 1)
+		if !seen[m] {
+			seen[m] = true
+			off = append(off, m)
+		}
+	}
+	cv := MinimizeOnOff(on, off, n)
+	for _, m := range on {
+		if !cv.Eval(m) {
+			t.Fatalf("on minterm %b uncovered", m)
+		}
+	}
+	for _, m := range off {
+		if cv.Eval(m) {
+			t.Fatalf("off minterm %b covered", m)
+		}
+	}
+	// Duplicated on-set minterms are deduplicated, not double-covered.
+	cv2 := MinimizeOnOff(append(on, on...), off, n)
+	if len(cv2.Cubes) > len(on) {
+		t.Fatal("duplicates must not inflate the cover")
+	}
+}
+
+func TestExpand(t *testing.T) {
+	// Expanding 0000 against off {1111} can drop three literals but not all
+	// four.
+	c := Expand(0b0000, []uint64{0b1111}, 4, 0)
+	if c.Care == 0 {
+		t.Fatal("expansion must stop before covering the off-set")
+	}
+	if c.Contains(0b1111) {
+		t.Fatal("expanded cube covers the off minterm")
+	}
+	if !c.Contains(0b0000) {
+		t.Fatal("expanded cube must keep its seed")
+	}
+	// The keep mask pins a literal.
+	k := Expand(0b0101, nil, 4, 1<<2)
+	if k.Care&(1<<2) == 0 {
+		t.Fatal("kept literal must remain")
+	}
+	if k.Care != 1<<2 {
+		t.Fatalf("all other literals should drop with empty off-set: %s", k.String(4))
+	}
+}
+
+// Property: wide-path covers are always correct separations.
+func TestQuickMinimizeOnOffWide(t *testing.T) {
+	const n = 15
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		assign := map[uint64]bool{}
+		var on, off []uint64
+		for i := 0; i < 60; i++ {
+			m := rng.Uint64() & (1<<n - 1)
+			if _, dup := assign[m]; dup {
+				continue
+			}
+			v := rng.Intn(2) == 0
+			assign[m] = v
+			if v {
+				on = append(on, m)
+			} else {
+				off = append(off, m)
+			}
+		}
+		cv := MinimizeOnOff(on, off, n)
+		for _, m := range on {
+			if !cv.Eval(m) {
+				return false
+			}
+		}
+		for _, m := range off {
+			if cv.Eval(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskN64(t *testing.T) {
+	if maskN(64) != ^uint64(0) {
+		t.Fatal("64-variable mask must be all ones")
+	}
+	c := MintermCube(^uint64(0), 64)
+	if !c.Contains(^uint64(0)) || c.Contains(0) {
+		t.Fatal("64-var minterm cube broken")
+	}
+}

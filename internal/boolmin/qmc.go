@@ -1,0 +1,297 @@
+package boolmin
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Minimize computes a minimal (exact for small instances, near-minimal
+// otherwise) sum-of-products cover of the incompletely specified function
+// with the given on-set and don't-care minterms over n variables, using
+// Quine–McCluskey prime generation and Petrick/greedy covering.
+//
+// The result covers every on-set minterm, covers no off-set minterm, and
+// consists of prime implicants of on ∪ dc.
+func Minimize(on, dc []uint64, n int) Cover {
+	if len(on) == 0 {
+		return Cover{N: n}
+	}
+	primes := Primes(on, dc, n)
+	chosen := selectCover(primes, on, n)
+	return Cover{N: n, Cubes: chosen}
+}
+
+// Primes generates all prime implicants of the function whose on-set is
+// on ∪ dc (don't-cares participate in merging, as usual).
+func Primes(on, dc []uint64, n int) []Cube {
+	mask := maskN(n)
+	current := map[Cube]bool{} // cube -> "was merged" flag comes later
+	for _, m := range on {
+		current[Cube{Val: m & mask, Care: mask}] = true
+	}
+	for _, m := range dc {
+		current[Cube{Val: m & mask, Care: mask}] = true
+	}
+
+	var primes []Cube
+	for len(current) > 0 {
+		// Group cubes by care mask and popcount for the adjacency scan.
+		merged := map[Cube]bool{}
+		next := map[Cube]bool{}
+		groups := map[uint64][]Cube{}
+		for c := range current {
+			groups[c.Care] = append(groups[c.Care], c)
+		}
+		for _, cubes := range groups {
+			sort.Slice(cubes, func(i, j int) bool {
+				pi, pj := bits.OnesCount64(cubes[i].Val), bits.OnesCount64(cubes[j].Val)
+				if pi != pj {
+					return pi < pj
+				}
+				return cubes[i].Val < cubes[j].Val
+			})
+			// Only cubes whose popcounts differ by one can merge.
+			byPop := map[int][]Cube{}
+			for _, c := range cubes {
+				p := bits.OnesCount64(c.Val)
+				byPop[p] = append(byPop[p], c)
+			}
+			for p, lo := range byPop {
+				hi := byPop[p+1]
+				for _, a := range lo {
+					for _, b := range hi {
+						if m, ok := Merge(a, b); ok {
+							next[m] = true
+							merged[a] = true
+							merged[b] = true
+						}
+					}
+				}
+			}
+		}
+		for c := range current {
+			if !merged[c] {
+				primes = append(primes, c)
+			}
+		}
+		current = next
+	}
+	// Deduplicate and drop primes covered by other primes (can happen when
+	// don't-cares create containment between different-order merges).
+	sort.Slice(primes, func(i, j int) bool {
+		if primes[i].Literals() != primes[j].Literals() {
+			return primes[i].Literals() < primes[j].Literals()
+		}
+		if primes[i].Care != primes[j].Care {
+			return primes[i].Care < primes[j].Care
+		}
+		return primes[i].Val < primes[j].Val
+	})
+	var out []Cube
+	for _, c := range primes {
+		dominated := false
+		for _, d := range out {
+			if d.Covers(c) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// selectCover picks a subset of primes covering every on-set minterm:
+// essential primes first, then Petrick's method when the residual problem is
+// small, else greedy set cover.
+func selectCover(primes []Cube, on []uint64, n int) []Cube {
+	mask := maskN(n)
+	// coverers[i] = indexes of primes covering on[i].
+	coverers := make([][]int, len(on))
+	for i, m := range on {
+		for pi, p := range primes {
+			if p.Contains(m & mask) {
+				coverers[i] = append(coverers[i], pi)
+			}
+		}
+	}
+	chosen := map[int]bool{}
+	covered := make([]bool, len(on))
+	// Essential primes.
+	for _, cs := range coverers {
+		if len(cs) == 1 {
+			chosen[cs[0]] = true
+		}
+	}
+	markCovered := func() {
+		for i, m := range on {
+			if covered[i] {
+				continue
+			}
+			for pi := range chosen {
+				if primes[pi].Contains(m & mask) {
+					covered[i] = true
+					break
+				}
+			}
+		}
+	}
+	markCovered()
+
+	var residual []int
+	for i := range on {
+		if !covered[i] {
+			residual = append(residual, i)
+		}
+	}
+	if len(residual) > 0 {
+		// Candidate primes for the residual.
+		candSet := map[int]bool{}
+		for _, i := range residual {
+			for _, pi := range coverers[i] {
+				candSet[pi] = true
+			}
+		}
+		var cands []int
+		for pi := range candSet {
+			cands = append(cands, pi)
+		}
+		sort.Ints(cands)
+		var pick []int
+		if len(cands) <= 16 && len(residual) <= 24 {
+			pick = petrick(primes, cands, residual, coverers)
+		} else {
+			pick = greedyCover(primes, cands, residual, coverers)
+		}
+		for _, pi := range pick {
+			chosen[pi] = true
+		}
+	}
+
+	var out []Cube
+	var idx []int
+	for pi := range chosen {
+		idx = append(idx, pi)
+	}
+	sort.Ints(idx)
+	for _, pi := range idx {
+		out = append(out, primes[pi])
+	}
+	return out
+}
+
+// petrick finds a minimum-cost subset of cands covering all residual
+// minterms by exhaustive search over subsets ordered by cost (branch and
+// bound on total literal count, then cube count).
+func petrick(primes []Cube, cands, residual []int, coverers [][]int) []int {
+	best := append([]int(nil), cands...) // worst case: all
+	bestCost := coverCost(primes, best)
+	var cur []int
+	var rec func(ri int)
+	covered := map[int]int{} // residual index -> count of chosen coverers
+	rec = func(ri int) {
+		if coverCost(primes, cur) >= bestCost {
+			return
+		}
+		// Find first uncovered residual minterm.
+		for ; ri < len(residual); ri++ {
+			if covered[ri] == 0 {
+				break
+			}
+		}
+		if ri == len(residual) {
+			best = append([]int(nil), cur...)
+			bestCost = coverCost(primes, cur)
+			return
+		}
+		for _, pi := range coverers[residual[ri]] {
+			cur = append(cur, pi)
+			var bumped []int
+			for rj := range residual {
+				for _, c := range coverers[residual[rj]] {
+					if c == pi {
+						covered[rj]++
+						bumped = append(bumped, rj)
+						break
+					}
+				}
+			}
+			rec(ri + 1)
+			for _, rj := range bumped {
+				covered[rj]--
+			}
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	sort.Ints(best)
+	return best
+}
+
+func coverCost(primes []Cube, pick []int) int {
+	cost := 0
+	for _, pi := range pick {
+		cost += primes[pi].Literals() + 1
+	}
+	return cost
+}
+
+func greedyCover(primes []Cube, cands, residual []int, coverers [][]int) []int {
+	remaining := map[int]bool{}
+	for _, r := range residual {
+		remaining[r] = true
+	}
+	coversOf := map[int][]int{} // prime -> residual minterm list
+	for _, r := range residual {
+		for _, pi := range coverers[r] {
+			coversOf[pi] = append(coversOf[pi], r)
+		}
+	}
+	var pick []int
+	for len(remaining) > 0 {
+		bestPi, bestGain := -1, -1
+		for _, pi := range cands {
+			gain := 0
+			for _, r := range coversOf[pi] {
+				if remaining[r] {
+					gain++
+				}
+			}
+			if gain > bestGain || (gain == bestGain && bestPi >= 0 && pi < bestPi) {
+				bestPi, bestGain = pi, gain
+			}
+		}
+		if bestPi < 0 || bestGain == 0 {
+			break // unreachable if coverers complete
+		}
+		pick = append(pick, bestPi)
+		for _, r := range coversOf[bestPi] {
+			delete(remaining, r)
+		}
+	}
+	sort.Ints(pick)
+	return pick
+}
+
+// Complement computes a cover of the complement of the function given by
+// on-set/dc minterms (the dc minterms remain free): it simply minimizes the
+// off-set. Intended for deriving reset networks of latches.
+func Complement(on, dc []uint64, n int) Cover {
+	inOn := map[uint64]bool{}
+	for _, m := range on {
+		inOn[m&maskN(n)] = true
+	}
+	inDC := map[uint64]bool{}
+	for _, m := range dc {
+		inDC[m&maskN(n)] = true
+	}
+	var off []uint64
+	for m := uint64(0); m < uint64(1)<<uint(n); m++ {
+		if !inOn[m] && !inDC[m] {
+			off = append(off, m)
+		}
+	}
+	return Minimize(off, dc, n)
+}

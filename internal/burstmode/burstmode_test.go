@@ -1,0 +1,243 @@
+package burstmode
+
+import (
+	"testing"
+
+	"repro/internal/boolmin"
+)
+
+func cube(pat string) boolmin.Cube {
+	c := boolmin.FullCube()
+	for i, ch := range pat {
+		switch ch {
+		case '1':
+			c = c.WithLiteral(i, true)
+		case '0':
+			c = c.WithLiteral(i, false)
+		}
+	}
+	return c
+}
+
+func TestTransitionCube(t *testing.T) {
+	c := TransitionCube(0b0010, 0b0111, 4)
+	// Bits 0 and 2 change: free; bits 1 (=1) and 3 (=0) fixed.
+	if c.String(4) != "-1-0" {
+		t.Fatalf("transition cube = %s", c.String(4))
+	}
+	if !c.Contains(0b0010) || !c.Contains(0b0111) || c.Contains(0b1000) {
+		t.Fatal("containment broken")
+	}
+}
+
+// The textbook static-1 hazard: f = ab + a'c with transition b=c=1, a: 1->0.
+// A plain minimal cover glitches; the hazard-free cover must add the
+// consensus term bc.
+func TestStaticHazardConsensus(t *testing.T) {
+	// vars: a=0, b=1, c=2.
+	spec := HFSpec{
+		N: 3,
+		Static1: []boolmin.Cube{
+			TransitionCube(0b111, 0b110, 3), // a changes, b=c=1: f stays 1
+			cube("11-"),                     // ab region required
+			cube("0-1"),                     // a'c region required
+		},
+		Static0: []boolmin.Cube{
+			cube("10-"), // a b' -> 0
+			cube("0-0"), // a' c' -> 0
+		},
+	}
+	cv, err := MinimizeHF(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckHazardFree(cv, spec); err != nil {
+		t.Fatal(err)
+	}
+	// The cover must contain a product covering the whole transition cube
+	// -11 (the consensus bc).
+	hasConsensus := false
+	for _, p := range cv.Cubes {
+		if p.Covers(cube("-11")) {
+			hasConsensus = true
+		}
+	}
+	if !hasConsensus {
+		t.Fatalf("cover %s lacks the consensus term bc", cv.String())
+	}
+}
+
+func TestDynamicTransitionAnchoring(t *testing.T) {
+	// f falls during a two-input burst from 11 to 00 (vars a,b; f=ab'+ab=a).
+	// Dynamic cube [11,01] (a falls, b stays... build: start=11 f=1,
+	// end=01 f=0; cube over var a free, b=1.
+	spec := HFSpec{
+		N: 2,
+		Dynamic: []DynTrans{{
+			Cube:   TransitionCube(0b11, 0b10, 2), // a=1 fixed? bits: v0=a? use minterms
+			Anchor: 0b11,
+		}},
+	}
+	cv, err := MinimizeHF(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckHazardFree(cv, spec); err != nil {
+		t.Fatal(err)
+	}
+	// Every product intersecting the cube contains the anchor.
+	for _, p := range cv.Cubes {
+		if p.Intersects(spec.Dynamic[0].Cube) && !p.Contains(0b11) {
+			t.Fatal("anchor rule violated")
+		}
+	}
+}
+
+func TestMinimizeHFConflict(t *testing.T) {
+	spec := HFSpec{
+		N:       2,
+		Static1: []boolmin.Cube{cube("11")},
+		Static0: []boolmin.Cube{cube("11")},
+	}
+	if _, err := MinimizeHF(spec); err == nil {
+		t.Fatal("contradictory spec must fail")
+	}
+}
+
+// buildToggle is a minimal 2-state burst-mode machine: a request r toggles
+// an acknowledge a.
+//
+//	s0: r+ / a+ -> s1
+//	s1: r- / a- -> s0
+func buildToggle() *Machine {
+	m := NewMachine("toggle", []string{"r"}, []string{"a"})
+	s0 := m.AddState()
+	s1 := m.AddState()
+	m.AddArc(s0, []Edge{{Sig: 0, Rise: true}}, []Edge{{Sig: 0, Rise: true}}, s1)
+	m.AddArc(s1, []Edge{{Sig: 0, Rise: false}}, []Edge{{Sig: 0, Rise: false}}, s0)
+	return m
+}
+
+// buildSelect is a 3-input burst-mode fragment with multi-input bursts:
+//
+//	s0: a+ b+ / x+ -> s1
+//	s1: a- b- / x- -> s0
+//	s0: c+ / y+ -> s2 ... keep it two outputs for signature uniqueness.
+func buildSelect() *Machine {
+	m := NewMachine("select", []string{"a", "b", "c"}, []string{"x", "y"})
+	s0 := m.AddState()
+	s1 := m.AddState()
+	s2 := m.AddState()
+	m.AddArc(s0, []Edge{{Sig: 0, Rise: true}, {Sig: 1, Rise: true}},
+		[]Edge{{Sig: 0, Rise: true}}, s1)
+	m.AddArc(s1, []Edge{{Sig: 0, Rise: false}, {Sig: 1, Rise: false}},
+		[]Edge{{Sig: 0, Rise: false}}, s0)
+	m.AddArc(s0, []Edge{{Sig: 2, Rise: true}}, []Edge{{Sig: 1, Rise: true}}, s2)
+	m.AddArc(s2, []Edge{{Sig: 2, Rise: false}}, []Edge{{Sig: 1, Rise: false}}, s0)
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	if err := buildToggle().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildSelect().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Maximal set violation: burst {a+} is a subset of {a+, b+}.
+	bad := NewMachine("bad", []string{"a", "b"}, []string{"x"})
+	s0 := bad.AddState()
+	s1 := bad.AddState()
+	s2 := bad.AddState()
+	bad.AddArc(s0, []Edge{{Sig: 0, Rise: true}}, nil, s1)
+	bad.AddArc(s0, []Edge{{Sig: 0, Rise: true}, {Sig: 1, Rise: true}}, nil, s2)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("maximal set violation must be rejected")
+	}
+	// Empty input burst.
+	bad2 := NewMachine("bad2", []string{"a"}, []string{"x"})
+	b0 := bad2.AddState()
+	bad2.AddArc(b0, nil, nil, b0)
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("empty input burst must be rejected")
+	}
+	// Wrong polarity (a+ from a=1 state).
+	bad3 := NewMachine("bad3", []string{"a"}, []string{"x"})
+	c0 := bad3.AddState()
+	c1 := bad3.AddState()
+	bad3.AddArc(c0, []Edge{{Sig: 0, Rise: true}}, nil, c1)
+	bad3.AddArc(c1, []Edge{{Sig: 0, Rise: true}}, nil, c0)
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("polarity violation must be rejected")
+	}
+}
+
+// TestBurstModeSynthToggle: E-BM acceptance — synthesize and verify
+// fundamental-mode hazard-freedom by exhaustive burst simulation.
+func TestBurstModeSynthToggle(t *testing.T) {
+	m := buildToggle()
+	impl, err := Synthesize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range m.Arcs {
+		for ai := range m.Arcs[s] {
+			if err := impl.SimulateBurst(s, ai); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// a follows r.
+	if !impl.Eval(0, 0b01) { // r=1, a=0 -> a must rise
+		t.Fatal("a must rise after r+")
+	}
+	if impl.Eval(0, 0b00) {
+		t.Fatal("a must stay low at rest")
+	}
+}
+
+func TestBurstModeSynthSelect(t *testing.T) {
+	m := buildSelect()
+	impl, err := Synthesize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range m.Arcs {
+		for ai := range m.Arcs[s] {
+			if err := impl.SimulateBurst(s, ai); err != nil {
+				t.Fatalf("arc %d/%d: %v", s, ai, err)
+			}
+		}
+	}
+	for _, r := range impl.Covers {
+		if err := CheckHazardFree(r.Cover, r.Spec); err != nil {
+			t.Fatalf("output %d: %v", r.Output, err)
+		}
+	}
+}
+
+func TestSynthesizeRejectsSharedTotalState(t *testing.T) {
+	// Two states with identical (in,out) signatures: needs state variables.
+	m := NewMachine("dup", []string{"a"}, []string{"x"})
+	s0 := m.AddState()
+	s1 := m.AddState()
+	s2 := m.AddState()
+	s3 := m.AddState()
+	// s0 -a+/-> s1 -a-/-> s2 -a+/-> s3 -a-/-> s0 with no output changes:
+	// s0 and s2 share total state (a=0, x=0).
+	m.AddArc(s0, []Edge{{Sig: 0, Rise: true}}, nil, s1)
+	m.AddArc(s1, []Edge{{Sig: 0, Rise: false}}, nil, s2)
+	m.AddArc(s2, []Edge{{Sig: 0, Rise: true}}, nil, s3)
+	m.AddArc(s3, []Edge{{Sig: 0, Rise: false}}, nil, s0)
+	if _, err := Synthesize(m); err == nil {
+		t.Fatal("shared total state must be rejected")
+	}
+}
+
+func TestEdgesString(t *testing.T) {
+	m := buildSelect()
+	s := m.edgesString(true, []Edge{{Sig: 0, Rise: true}, {Sig: 1, Rise: false}})
+	if s != "a+ b-" {
+		t.Fatalf("edgesString = %q", s)
+	}
+}

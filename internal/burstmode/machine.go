@@ -1,0 +1,172 @@
+package burstmode
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a signal transition within a burst.
+type Edge struct {
+	Sig  int // index into Inputs or Outputs depending on burst kind
+	Rise bool
+}
+
+// Arc is one specified transition of the machine: when the input burst
+// completes (in any arrival order), the machine emits the output burst and
+// moves to the target state.
+type Arc struct {
+	InBurst  []Edge
+	OutBurst []Edge
+	To       int
+}
+
+// Machine is a burst-mode specification.
+type Machine struct {
+	Name    string
+	Inputs  []string
+	Outputs []string
+	// Arcs[s] lists the outgoing transitions of state s.
+	Arcs    [][]Arc
+	Initial int
+	// InitialIn/InitialOut are the signal values at the initial state.
+	InitialIn, InitialOut uint64
+}
+
+// NewMachine creates an empty machine.
+func NewMachine(name string, inputs, outputs []string) *Machine {
+	return &Machine{Name: name, Inputs: inputs, Outputs: outputs}
+}
+
+// AddState appends a state and returns its index.
+func (m *Machine) AddState() int {
+	m.Arcs = append(m.Arcs, nil)
+	return len(m.Arcs) - 1
+}
+
+// AddArc adds a transition from state s.
+func (m *Machine) AddArc(s int, in []Edge, out []Edge, to int) {
+	m.Arcs[s] = append(m.Arcs[s], Arc{InBurst: in, OutBurst: out, To: to})
+}
+
+// stateEntry is the (input,output) vector at which a state is entered.
+type stateEntry struct {
+	in, out uint64
+	known   bool
+}
+
+// entries computes the entry vectors of every state by traversal and checks
+// consistency (a state entered with two different vectors is rejected: burst
+// mode machines need unique entry points).
+func (m *Machine) entries() ([]stateEntry, error) {
+	ent := make([]stateEntry, len(m.Arcs))
+	ent[m.Initial] = stateEntry{in: m.InitialIn, out: m.InitialOut, known: true}
+	queue := []int{m.Initial}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, a := range m.Arcs[s] {
+			in := ent[s].in
+			for _, e := range a.InBurst {
+				bit := uint64(1) << uint(e.Sig)
+				if (in&bit != 0) == e.Rise {
+					return nil, fmt.Errorf("burstmode: state %d: input %s already at target value",
+						s, m.Inputs[e.Sig])
+				}
+				in ^= bit
+			}
+			out := ent[s].out
+			for _, e := range a.OutBurst {
+				bit := uint64(1) << uint(e.Sig)
+				if (out&bit != 0) == e.Rise {
+					return nil, fmt.Errorf("burstmode: state %d: output %s already at target value",
+						s, m.Outputs[e.Sig])
+				}
+				out ^= bit
+			}
+			if ent[a.To].known {
+				if ent[a.To].in != in || ent[a.To].out != out {
+					return nil, fmt.Errorf("burstmode: state %d entered with inconsistent vectors", a.To)
+				}
+				continue
+			}
+			ent[a.To] = stateEntry{in: in, out: out, known: true}
+			queue = append(queue, a.To)
+		}
+	}
+	return ent, nil
+}
+
+// Validate checks well-formedness: non-empty input bursts, the maximal set
+// property (no outgoing input burst is a subset of a sibling's), and unique
+// entry vectors.
+func (m *Machine) Validate() error {
+	if len(m.Arcs) == 0 {
+		return fmt.Errorf("burstmode: empty machine")
+	}
+	for s, arcs := range m.Arcs {
+		for i, a := range arcs {
+			if len(a.InBurst) == 0 {
+				return fmt.Errorf("burstmode: state %d arc %d has empty input burst", s, i)
+			}
+			if a.To < 0 || a.To >= len(m.Arcs) {
+				return fmt.Errorf("burstmode: state %d arc %d target out of range", s, i)
+			}
+		}
+		// Maximal set property.
+		for i := range arcs {
+			for j := range arcs {
+				if i == j {
+					continue
+				}
+				if burstSubset(arcs[i].InBurst, arcs[j].InBurst) {
+					return fmt.Errorf(
+						"burstmode: state %d violates the maximal set property (burst %d ⊆ burst %d)",
+						s, i, j)
+				}
+			}
+		}
+	}
+	_, err := m.entries()
+	return err
+}
+
+func burstSubset(a, b []Edge) bool {
+	for _, ea := range a {
+		found := false
+		for _, eb := range b {
+			if ea == eb {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// edgesString renders a burst for diagnostics.
+func (m *Machine) edgesString(in bool, burst []Edge) string {
+	names := m.Inputs
+	if !in {
+		names = m.Outputs
+	}
+	var parts []string
+	for _, e := range burst {
+		s := names[e.Sig] + "-"
+		if e.Rise {
+			s = names[e.Sig] + "+"
+		}
+		parts = append(parts, s)
+	}
+	sort.Strings(parts)
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " "
+		}
+		out += p
+	}
+	return out
+}

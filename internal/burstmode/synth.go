@@ -1,0 +1,220 @@
+package burstmode
+
+import (
+	"fmt"
+
+	"repro/internal/boolmin"
+)
+
+// Impl is a synthesized burst-mode implementation: one hazard-free
+// two-level cover per output, over the variable space inputs ++ outputs
+// (outputs feed back, Huffman style). It applies to machines whose total
+// state (input vector, output vector) uniquely identifies the specification
+// state; machines needing extra state variables are rejected with an error
+// (state-signal insertion is the Section 3.1 machinery, not duplicated
+// here).
+type Impl struct {
+	Machine *Machine
+	// Vars is inputs followed by outputs.
+	Vars   []string
+	Covers []HFResult
+}
+
+// HFResult couples an output with its cover.
+type HFResult struct {
+	Output int
+	Cover  boolmin.Cover
+	Spec   HFSpec
+}
+
+// Synthesize derives hazard-free output logic for the machine.
+func Synthesize(m *Machine) (*Impl, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	ent, err := m.entries()
+	if err != nil {
+		return nil, err
+	}
+	nIn, nOut := len(m.Inputs), len(m.Outputs)
+	n := nIn + nOut
+	if n > 20 {
+		return nil, fmt.Errorf("burstmode: too many signals for exact synthesis")
+	}
+	total := func(in, out uint64) uint64 { return in | out<<uint(nIn) }
+
+	impl := &Impl{Machine: m}
+	impl.Vars = append(append([]string(nil), m.Inputs...), m.Outputs...)
+
+	// Check the total-state uniqueness assumption: the (in,out) entry
+	// vectors must be distinct per state.
+	seen := map[uint64]int{}
+	for s, e := range ent {
+		if !e.known {
+			continue
+		}
+		key := total(e.in, e.out)
+		if prev, dup := seen[key]; dup {
+			return nil, fmt.Errorf(
+				"burstmode: states %d and %d share total state %b: state signals required", prev, s, key)
+		}
+		seen[key] = s
+	}
+
+	for z := 0; z < nOut; z++ {
+		spec := HFSpec{N: n}
+		zbit := uint64(1) << uint(z)
+		for s, arcs := range m.Arcs {
+			if !ent[s].known {
+				continue
+			}
+			for _, a := range arcs {
+				inEnd := ent[s].in
+				for _, e := range a.InBurst {
+					inEnd ^= 1 << uint(e.Sig)
+				}
+				outEnd := ent[s].out
+				zChanges := false
+				for _, e := range a.OutBurst {
+					outEnd ^= 1 << uint(e.Sig)
+					if e.Sig == z {
+						zChanges = true
+					}
+				}
+				start := total(ent[s].in, ent[s].out)
+				mid := total(inEnd, ent[s].out)
+				burstCube := TransitionCube(start, mid, n)
+				zVal := ent[s].out&zbit != 0
+				if !zChanges {
+					// z holds through the input burst.
+					if zVal {
+						spec.Static1 = append(spec.Static1, burstCube)
+					} else {
+						spec.Static0 = append(spec.Static0, burstCube)
+					}
+				} else {
+					// Dynamic transition over the input burst cube, anchored
+					// at the endpoint where z is 1.
+					anchor := start
+					if !zVal {
+						anchor = mid
+					}
+					spec.Dynamic = append(spec.Dynamic, DynTrans{Cube: burstCube, Anchor: anchor})
+				}
+				// During the output burst (other outputs settling one at a
+				// time), z must hold at its final value: static cube over
+				// the output-burst cube with z fixed.
+				zFinal := outEnd&zbit != 0
+				oStart := ent[s].out
+				if zChanges {
+					oStart ^= zbit // after z itself switched
+				}
+				settle := TransitionCube(total(inEnd, oStart), total(inEnd, outEnd), n)
+				if zFinal {
+					spec.Static1 = append(spec.Static1, settle)
+				} else {
+					spec.Static0 = append(spec.Static0, settle)
+				}
+			}
+		}
+		cv, err := MinimizeHF(spec)
+		if err != nil {
+			return nil, fmt.Errorf("output %s: %w", m.Outputs[z], err)
+		}
+		impl.Covers = append(impl.Covers, HFResult{Output: z, Cover: cv, Spec: spec})
+	}
+	return impl, nil
+}
+
+// Eval computes output z under total vector v.
+func (im *Impl) Eval(z int, v uint64) bool {
+	return im.Covers[z].Cover.Eval(v)
+}
+
+// SimulateBurst applies the input burst edges of arc (s, ai) in every
+// possible arrival order and checks fundamental-mode behaviour: each output
+// changes monotonically (at most one switch) and settles at the specified
+// value. It returns an error describing the first glitch found.
+func (im *Impl) SimulateBurst(s, ai int) error {
+	m := im.Machine
+	ent, err := m.entries()
+	if err != nil {
+		return err
+	}
+	a := m.Arcs[s][ai]
+	nIn := len(m.Inputs)
+	start := ent[s].in | ent[s].out<<uint(nIn)
+
+	var perm func(rest []Edge, v uint64, hist []uint64) error
+	evalOuts := func(v uint64) uint64 {
+		var o uint64
+		for z := range m.Outputs {
+			if im.Eval(z, v) {
+				o |= 1 << uint(z)
+			}
+		}
+		return o
+	}
+	settle := func(v uint64) uint64 {
+		// Feedback settling: outputs update until fixpoint (fundamental
+		// mode guarantees inputs hold still).
+		for i := 0; i < len(m.Outputs)+1; i++ {
+			o := evalOuts(v)
+			nv := (v & (uint64(1)<<uint(nIn) - 1)) | o<<uint(nIn)
+			if nv == v {
+				return v
+			}
+			v = nv
+		}
+		return v
+	}
+	perm = func(rest []Edge, v uint64, hist []uint64) error {
+		if len(rest) == 0 {
+			final := settle(v)
+			wantOut := ent[s].out
+			for _, e := range a.OutBurst {
+				wantOut ^= 1 << uint(e.Sig)
+			}
+			gotOut := final >> uint(nIn)
+			if gotOut != wantOut {
+				return fmt.Errorf("burstmode: arc %d/%d settles at outputs %b, want %b",
+					s, ai, gotOut, wantOut)
+			}
+			// Monotonicity along the history: each output switches at most
+			// once across the recorded evaluation points.
+			for z := range m.Outputs {
+				switches := 0
+				prev := hist[0]>>uint(nIn)&(1<<uint(z)) != 0
+				for _, h := range hist[1:] {
+					cur := h>>uint(nIn)&(1<<uint(z)) != 0
+					if cur != prev {
+						switches++
+						prev = cur
+					}
+				}
+				cur := gotOut&(1<<uint(z)) != 0
+				if cur != prev {
+					switches++
+				}
+				if switches > 1 {
+					return fmt.Errorf("burstmode: output %s glitches during arc %d/%d",
+						m.Outputs[z], s, ai)
+				}
+			}
+			return nil
+		}
+		inMask := uint64(1)<<uint(nIn) - 1
+		for i := range rest {
+			next := append(append([]Edge(nil), rest[:i]...), rest[i+1:]...)
+			nv := v ^ 1<<uint(rest[i].Sig)
+			// Record the combinational output view at this intermediate
+			// point for the monotonicity check.
+			point := (nv & inMask) | evalOuts(nv)<<uint(nIn)
+			if err := perm(next, nv, append(hist, point)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return perm(a.InBurst, start, []uint64{start})
+}

@@ -1,0 +1,153 @@
+// Package core is the flow façade: the paper's methodology end to end.
+// Specification (STG) → analysis (Section 2) → complete state coding
+// (Section 3.1) → next-state function derivation and gate synthesis
+// (Section 3.2) → optional decomposition/technology mapping (Section 3.4) →
+// implementation verification by composition with the specification mirror.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/encoding"
+	"repro/internal/logic"
+	"repro/internal/reach"
+	"repro/internal/sim"
+	"repro/internal/stg"
+	"repro/internal/techmap"
+	"repro/internal/ts"
+)
+
+// Options configure Synthesize.
+type Options struct {
+	// Style selects the gate architecture (default ComplexGate).
+	Style logic.Style
+	// MaxFanIn, when > 0, runs decomposition/technology mapping to the
+	// given gate input budget after synthesis.
+	MaxFanIn int
+	// MaxCSCSignals bounds state-signal insertion (default 3).
+	MaxCSCSignals int
+	// SkipVerify skips the final speed-independence verification.
+	SkipVerify bool
+	// Constraints are relative timing assumptions applied during
+	// verification (Section 5).
+	Constraints []sim.RelativeOrder
+	// Reach bounds state-graph construction.
+	Reach reach.Options
+}
+
+// Report is the result of a full synthesis run.
+type Report struct {
+	// Input is the original specification.
+	Input *stg.STG
+	// Spec is the final specification (after any state-signal insertion).
+	Spec *stg.STG
+	// SG is the state graph of Spec.
+	SG *ts.SG
+	// Properties is the Section 2.1 implementability suite on the input.
+	Properties ts.Implementability
+	// CSC describes the encoding solution ("" when none was needed).
+	CSC string
+	// Netlist is the synthesized implementation.
+	Netlist *logic.Netlist
+	// Verification is the composition check result (nil when skipped).
+	Verification *sim.Result
+}
+
+// Equations renders the implementation equations.
+func (r *Report) Equations() string { return r.Netlist.Equations() }
+
+// Summary renders a human-readable flow report.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "specification: %s (%d signals, %d transitions)\n",
+		r.Input.Name(), len(r.Input.Signals), len(r.Input.Net.Transitions))
+	fmt.Fprintf(&b, "state graph:   %d states, %d arcs\n", r.SG.NumStates(), r.SG.NumArcs())
+	fmt.Fprintf(&b, "properties:    %s\n", r.Properties)
+	if r.CSC != "" {
+		fmt.Fprintf(&b, "state coding:  %s\n", r.CSC)
+	}
+	fmt.Fprintf(&b, "implementation (%d gates, %d literals, max fan-in %d):\n",
+		len(r.Netlist.Gates), r.Netlist.LiteralCount(), r.Netlist.MaxFanIn())
+	for _, line := range strings.Split(r.Equations(), "\n") {
+		fmt.Fprintf(&b, "  %s\n", line)
+	}
+	if r.Verification != nil {
+		if r.Verification.OK() {
+			fmt.Fprintf(&b, "verification:  speed-independent and conformant (%d composed states)\n",
+				r.Verification.States)
+		} else {
+			fmt.Fprintf(&b, "verification:  FAILED: %v\n", r.Verification.Violations)
+		}
+	}
+	return b.String()
+}
+
+// Synthesize runs the complete flow on an STG specification.
+func Synthesize(g *stg.STG, opts Options) (*Report, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	baseSG, err := reach.BuildSG(g, opts.Reach)
+	if err != nil {
+		return nil, fmt.Errorf("core: state graph: %w", err)
+	}
+	// Dummy (λ) events are contracted for synthesis: regions are defined on
+	// signal-edge arcs; the verifier still handles the dummies in the spec.
+	baseSG, err = ts.ContractDummies(baseSG)
+	if err != nil {
+		return nil, fmt.Errorf("core: dummy contraction: %w", err)
+	}
+	rep := &Report{Input: g, Properties: baseSG.CheckImplementability()}
+	if !rep.Properties.Persistent {
+		return nil, fmt.Errorf("core: specification is not persistent (arbitration needed): %v",
+			baseSG.PersistencyViolations()[0])
+	}
+	if !rep.Properties.DeadlockFree {
+		return nil, fmt.Errorf("core: specification deadlocks")
+	}
+
+	if opts.MaxFanIn > 0 && opts.Style != logic.ComplexGate {
+		return nil, fmt.Errorf("core: technology mapping requires the complex-gate style")
+	}
+
+	// State encoding can be solved in several ways; technology mapping may
+	// fail on one encoding and succeed on another, so iterate over ranked
+	// solutions.
+	sols, err := encoding.Solutions(g, opts.MaxCSCSignals, 5)
+	if err != nil {
+		return nil, fmt.Errorf("core: state encoding: %w", err)
+	}
+	var lastErr error
+	for _, sol := range sols {
+		rep.Spec, rep.SG, rep.CSC = sol.STG, sol.SG, sol.Description
+		rep.Netlist, err = logic.Synthesize(rep.SG, opts.Style)
+		if err != nil {
+			lastErr = fmt.Errorf("core: logic synthesis: %w", err)
+			continue
+		}
+		if opts.MaxFanIn > 0 {
+			rep.Netlist, err = techmap.Map(rep.Netlist, rep.Spec, techmap.Options{MaxFanIn: opts.MaxFanIn})
+			if err != nil {
+				lastErr = fmt.Errorf("core: technology mapping: %w", err)
+				continue
+			}
+		}
+		lastErr = nil
+		break
+	}
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	if !opts.SkipVerify {
+		rep.Verification, err = sim.Verify(rep.Netlist, rep.Spec, sim.Options{Constraints: opts.Constraints})
+		if err != nil {
+			return nil, fmt.Errorf("core: verification: %w", err)
+		}
+		if !rep.Verification.OK() {
+			return rep, fmt.Errorf("core: implementation fails verification: %v",
+				rep.Verification.Violations)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,104 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/stg"
+	"repro/internal/vme"
+)
+
+func TestFlowReadCycle(t *testing.T) {
+	rep, err := core.Synthesize(vme.ReadSTG(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CSC == "" {
+		t.Fatal("read cycle needs a csc signal")
+	}
+	if rep.Properties.CSC {
+		t.Fatal("input properties must record the CSC conflict")
+	}
+	if !rep.Verification.OK() {
+		t.Fatal("flow output must verify")
+	}
+	sum := rep.Summary()
+	for _, want := range []string{"state graph", "csc0", "speed-independent", "DTACK = D"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestFlowAllStyles(t *testing.T) {
+	for _, style := range []logic.Style{logic.ComplexGate, logic.GeneralizedC, logic.StandardC} {
+		rep, err := core.Synthesize(vme.ReadSTG(), core.Options{Style: style})
+		if err != nil {
+			t.Fatalf("style %v: %v", style, err)
+		}
+		if !rep.Verification.OK() {
+			t.Fatalf("style %v fails verification", style)
+		}
+	}
+}
+
+func TestFlowWithMapping(t *testing.T) {
+	rep, err := core.Synthesize(vme.ReadSTG(), core.Options{MaxFanIn: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Netlist.MaxFanIn() > 2 {
+		t.Fatalf("mapped fan-in %d", rep.Netlist.MaxFanIn())
+	}
+	if _, err := core.Synthesize(vme.ReadSTG(), core.Options{
+		Style: logic.GeneralizedC, MaxFanIn: 2}); err == nil {
+		t.Fatal("mapping a gC netlist must be rejected")
+	}
+}
+
+func TestFlowReadWrite(t *testing.T) {
+	rep, err := core.Synthesize(vme.ReadWriteSTG(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verification.OK() {
+		t.Fatal("read/write flow must verify")
+	}
+}
+
+func TestFlowRejectsArbitration(t *testing.T) {
+	g := stg.New("arb")
+	g.AddSignal("x", stg.Output)
+	g.AddSignal("y", stg.Output)
+	xp := g.Rise("x")
+	yp := g.Rise("y")
+	xm := g.Fall("x")
+	ym := g.Fall("y")
+	n := g.Net
+	p0 := n.AddPlace("p0", 1)
+	n.ArcPT(p0, xp)
+	n.ArcPT(p0, yp)
+	n.Implicit(xp, xm, 0)
+	n.Implicit(yp, ym, 0)
+	n.ArcTP(xm, p0)
+	n.ArcTP(ym, p0)
+	if _, err := core.Synthesize(g, core.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "persistent") {
+		t.Fatalf("output choice must be rejected, got %v", err)
+	}
+}
+
+func TestFlowSkipVerify(t *testing.T) {
+	rep, err := core.Synthesize(vme.ReadSTG(), core.Options{SkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verification != nil {
+		t.Fatal("verification must be skipped")
+	}
+	if !strings.Contains(rep.Summary(), "implementation") {
+		t.Fatal("summary without verification must still render")
+	}
+}

@@ -1,0 +1,128 @@
+// Package gen generates scalable specification families: the workloads for
+// the Section 2.2 engine comparisons (explicit vs symbolic vs unfolding vs
+// partial-order reachability), where concurrency makes explicit state spaces
+// explode exponentially while the structure stays linear.
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/petri"
+	"repro/internal/stg"
+)
+
+// MullerPipeline builds an n-stage Muller pipeline control STG: request/
+// acknowledge handshakes r_i/a_i chained through C-element-like causality.
+// Stage i's acknowledge a_i rises after r_i rises and falls after r_i falls;
+// r_{i+1} follows a_i. The state space grows exponentially with n while the
+// net grows linearly.
+func MullerPipeline(n int) *stg.STG {
+	g := stg.New(fmt.Sprintf("muller-%d", n))
+	rp := make([]int, n)
+	rm := make([]int, n)
+	ap := make([]int, n)
+	am := make([]int, n)
+	for i := 0; i < n; i++ {
+		r := g.AddSignal(fmt.Sprintf("r%d", i), stg.Input)
+		a := g.AddSignal(fmt.Sprintf("a%d", i), stg.Output)
+		rp[i] = g.AddTransition(r, stg.Rise)
+		rm[i] = g.AddTransition(r, stg.Fall)
+		ap[i] = g.AddTransition(a, stg.Rise)
+		am[i] = g.AddTransition(a, stg.Fall)
+	}
+	net := g.Net
+	for i := 0; i < n; i++ {
+		// Local handshake: r+ -> a+ -> r- -> a- -> r+ (token closes loop).
+		net.Implicit(rp[i], ap[i], 0)
+		net.Implicit(ap[i], rm[i], 0)
+		net.Implicit(rm[i], am[i], 0)
+		net.Implicit(am[i], rp[i], 1)
+		if i+1 < n {
+			// Pipeline coupling: the next request follows this stage's ack,
+			// and this stage cannot re-request until the next acked.
+			net.Implicit(ap[i], rp[i+1], 0)
+			net.Implicit(am[i+1], rp[i], 1)
+		}
+	}
+	return g
+}
+
+// IndependentToggles builds n completely independent two-phase toggles:
+// 2^n reachable markings from 2n transitions — the worst case for explicit
+// enumeration and the best case for symbolic/unfolding methods.
+func IndependentToggles(n int) *petri.Net {
+	net := petri.New(fmt.Sprintf("toggles-%d", n))
+	for i := 0; i < n; i++ {
+		up := net.AddTransition(fmt.Sprintf("u%d", i))
+		dn := net.AddTransition(fmt.Sprintf("d%d", i))
+		p0 := net.AddPlace(fmt.Sprintf("lo%d", i), 1)
+		p1 := net.AddPlace(fmt.Sprintf("hi%d", i), 0)
+		net.ArcPT(p0, up)
+		net.ArcTP(up, p1)
+		net.ArcPT(p1, dn)
+		net.ArcTP(dn, p0)
+	}
+	return net
+}
+
+// MarkedGraphRing builds a k-stage ring with the given number of tokens —
+// a linear-size net with a polynomial state space, used for calibration.
+func MarkedGraphRing(k, tokens int) *petri.Net {
+	net := petri.New(fmt.Sprintf("ring-%d-%d", k, tokens))
+	ts := make([]int, k)
+	for i := range ts {
+		ts[i] = net.AddTransition(fmt.Sprintf("t%d", i))
+	}
+	for i := 0; i < k; i++ {
+		init := 0
+		if i < tokens {
+			init = 1
+		}
+		p := net.AddPlace(fmt.Sprintf("p%d", i), init)
+		net.ArcTP(ts[i], p)
+		net.ArcPT(p, ts[(i+1)%k])
+	}
+	return net
+}
+
+// Philosophers builds the n dining philosophers as a safe net (thinking /
+// has-left / eating cycle per philosopher, one fork place between
+// neighbours). Deadlockable when every philosopher holds the left fork —
+// the classic target for deadlock detection engines.
+func Philosophers(n int) *petri.Net {
+	net := petri.New(fmt.Sprintf("phil-%d", n))
+	fork := make([]int, n)
+	for i := 0; i < n; i++ {
+		fork[i] = net.AddPlace(fmt.Sprintf("fork%d", i), 1)
+	}
+	for i := 0; i < n; i++ {
+		think := net.AddPlace(fmt.Sprintf("think%d", i), 1)
+		hasL := net.AddPlace(fmt.Sprintf("hasL%d", i), 0)
+		eat := net.AddPlace(fmt.Sprintf("eat%d", i), 0)
+		takeL := net.AddTransition(fmt.Sprintf("takeL%d", i))
+		takeR := net.AddTransition(fmt.Sprintf("takeR%d", i))
+		release := net.AddTransition(fmt.Sprintf("rel%d", i))
+		left := fork[i]
+		right := fork[(i+1)%n]
+		net.ArcPT(think, takeL)
+		net.ArcPT(left, takeL)
+		net.ArcTP(takeL, hasL)
+		net.ArcPT(hasL, takeR)
+		net.ArcPT(right, takeR)
+		net.ArcTP(takeR, eat)
+		net.ArcPT(eat, release)
+		net.ArcTP(release, think)
+		net.ArcTP(release, left)
+		net.ArcTP(release, right)
+	}
+	return net
+}
+
+// PipelineSTGDepth reports the explicit state count expected for
+// MullerPipeline(n) — exponential in n — useful for sizing benchmarks.
+func PipelineSTGDepth(n int) int {
+	if n > 30 {
+		return 1 << 30
+	}
+	return 1 << uint(n)
+}

@@ -1,0 +1,127 @@
+package logic_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/stg"
+)
+
+func TestEquationsRoundTrip(t *testing.T) {
+	sg := cscSG(t)
+	for _, style := range []logic.Style{logic.ComplexGate, logic.GeneralizedC, logic.StandardC} {
+		nl, err := logic.Synthesize(sg, style)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		if err := nl.WriteEquations(&buf); err != nil {
+			t.Fatal(err)
+		}
+		nl2, err := logic.ParseEquations(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("style %v: parse back: %v\n%s", style, err, buf.String())
+		}
+		// Same behaviour on every vector.
+		if len(nl2.Signals) != len(nl.Signals) {
+			t.Fatal("signal count changed")
+		}
+		for v := uint64(0); v < 1<<uint(len(nl.Signals)); v++ {
+			for i := range nl.Signals {
+				idx2 := nl2.SignalIndex(nl.Signals[i])
+				if nl2.GateFor(idx2) == nil {
+					continue
+				}
+				if nl.Next(v, i) != nl2.Next(remap(v, nl, nl2), idx2) {
+					t.Fatalf("style %v: behaviour differs at %b for %s", style, v, nl.Signals[i])
+				}
+			}
+		}
+	}
+}
+
+// remap converts a vector from nl's signal order to nl2's.
+func remap(v uint64, nl, nl2 *logic.Netlist) uint64 {
+	var out uint64
+	for i, name := range nl.Signals {
+		if v&(1<<uint(i)) != 0 {
+			out |= 1 << uint(nl2.SignalIndex(name))
+		}
+	}
+	return out
+}
+
+func TestParseEquationsMutexAndConstants(t *testing.T) {
+	src := `
+# arbiter
+.inputs r1 r2
+.outputs g1 g2
+.internal aux
+g1 = MUTEX(r1 g2')
+g2 = MUTEX(r2 g1')
+aux = 0
+`
+	nl, err := logic.ParseEquations(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := nl.GateFor(nl.SignalIndex("g1"))
+	if g1 == nil || g1.Kind != logic.MutexHalf {
+		t.Fatal("mutex kind lost")
+	}
+	aux := nl.GateFor(nl.SignalIndex("aux"))
+	if aux == nil || len(aux.F.Cubes) != 0 {
+		t.Fatal("constant 0 must parse to empty cover")
+	}
+	one := `
+.outputs x
+x = 1
+`
+	nl2, err := logic.ParseEquations(strings.NewReader(one))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nl2.Next(0, 0) {
+		t.Fatal("constant 1 broken")
+	}
+}
+
+func TestParseEquationsErrors(t *testing.T) {
+	cases := []string{
+		".outputs x\nx = y\n",                     // undeclared literal
+		".outputs x\ny = x\n",                     // undeclared output
+		".outputs x\nx\n",                         // missing '='
+		".outputs x\nx = C(set: x)\n",             // latch missing reset
+		".outputs x\nx = C(bogus: x, reset: x)\n", // bad label
+		".outputs x\n",                            // undriven output
+		".outputs x\nx = + \n",                    // empty term
+	}
+	for i, src := range cases {
+		if _, err := logic.ParseEquations(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d must fail:\n%s", i, src)
+		}
+	}
+	// An inputs-only netlist is valid: no outputs means no gates needed.
+	if _, err := logic.ParseEquations(strings.NewReader(".inputs x\n")); err != nil {
+		t.Fatalf("inputs-only netlist must parse: %v", err)
+	}
+}
+
+func TestParseEquationsKinds(t *testing.T) {
+	src := `
+.inputs a
+.outputs q
+q = RS(set: a, reset: a')
+`
+	nl, err := logic.ParseEquations(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.GateFor(1).Kind != logic.RSLatch {
+		t.Fatal("RS kind lost")
+	}
+	if nl.Kinds[0] != stg.Input {
+		t.Fatal("input kind lost")
+	}
+}

@@ -1,0 +1,336 @@
+package logic_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/boolmin"
+	"repro/internal/encoding"
+	"repro/internal/logic"
+	"repro/internal/reach"
+	"repro/internal/stg"
+	"repro/internal/ts"
+	"repro/internal/vme"
+)
+
+// cscSG builds the Figure 7 state graph: READ cycle with csc0 inserted
+// (+ before LDS+, - before D-).
+func cscSG(t testing.TB) *ts.SG {
+	t.Helper()
+	g := vme.ReadSTG()
+	g2, err := encoding.InsertSignal(g, "csc0",
+		g.Net.TransitionIndex("LDS+"), g.Net.TransitionIndex("D-"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := reach.BuildSG(g2, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sg
+}
+
+func TestRegionsOfReadCycle(t *testing.T) {
+	sg, err := reach.BuildSG(vme.ReadSTG(), reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsr := sg.SignalIndex("DSr")
+	// Initial state: DSr is 0 and excited to rise.
+	if r := logic.RegionOf(sg, sg.Initial, dsr); r != logic.ERPlus {
+		t.Fatalf("initial region of DSr = %v, want ER+", r)
+	}
+	if !logic.NextValue(sg, sg.Initial, dsr) {
+		t.Fatal("f_DSr(initial) must be 1")
+	}
+	// Region strings.
+	for r, want := range map[logic.Region]string{
+		logic.ERPlus: "ER+", logic.QRPlus: "QR+", logic.ERMinus: "ER-", logic.QRMinus: "QR-",
+	} {
+		if r.String() != want {
+			t.Fatalf("region string %v", r)
+		}
+	}
+}
+
+func TestDeriveFailsWithoutCSC(t *testing.T) {
+	sg, err := reach.BuildSG(vme.ReadSTG(), reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = logic.DeriveAll(sg)
+	if err == nil {
+		t.Fatal("derivation must fail on the CSC-conflicting read cycle")
+	}
+	var cscErr *logic.CSCError
+	if !asCSC(err, &cscErr) {
+		t.Fatalf("want *CSCError, got %T: %v", err, err)
+	}
+	if cscErr.Signal != "LDS" && cscErr.Signal != "D" {
+		t.Fatalf("conflict signal = %s", cscErr.Signal)
+	}
+}
+
+func asCSC(err error, target **logic.CSCError) bool {
+	if e, ok := err.(*logic.CSCError); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+// TestNextStateTable reproduces the Section 3.2 table: sample values of
+// f_LDS on states of the Figure 7 SG.
+func TestNextStateTable(t *testing.T) {
+	sg := cscSG(t)
+	lds := sg.SignalIndex("LDS")
+	// Find states by code <DSr,DTACK,LDTACK,LDS,D,csc0> and check f_LDS.
+	codeOf := func(s string) ts.Code {
+		var c ts.Code
+		for i, ch := range s {
+			if ch == '1' {
+				c = c.Set(i, true)
+			}
+		}
+		return c
+	}
+	cases := []struct {
+		code string
+		want bool
+	}{
+		{"100001", true},  // ER(LDS+): csc0 up, LDS about to rise
+		{"101101", true},  // QR(LDS+): LDS high and stable (D rising region)
+		{"101100", false}, // ER(LDS-): the second 10110 state, csc0=0
+		{"000000", false}, // QR(LDS-): initial state
+	}
+	for _, tc := range cases {
+		found := false
+		for s := range sg.States {
+			if sg.States[s].Code == codeOf(tc.code) {
+				found = true
+				if got := logic.NextValue(sg, s, lds); got != tc.want {
+					t.Errorf("f_LDS(%s) = %v, want %v", tc.code, got, tc.want)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("state with code %s not found in Fig 7 SG:\n%s", tc.code, sg.Dump())
+		}
+	}
+}
+
+// TestFig8Equations is the E-EQ acceptance test: the synthesized complex-gate
+// functions equal the paper's equations on every reachable code.
+func TestFig8Equations(t *testing.T) {
+	sg := cscSG(t)
+	fs, err := logic.DeriveAll(sg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]logic.Function{}
+	for _, f := range fs {
+		byName[f.Name] = f
+	}
+	if len(byName) != 4 {
+		t.Fatalf("expected 4 non-input functions, got %d", len(byName))
+	}
+	names := make([]string, len(sg.Signals))
+	for i, s := range sg.Signals {
+		names[i] = s.Name
+	}
+	for _, eq := range vme.PaperReadEquations() {
+		f, ok := byName[eq.Signal]
+		if !ok {
+			t.Fatalf("no derived function for %s", eq.Signal)
+		}
+		for s := range sg.States {
+			code := uint64(sg.States[s].Code)
+			env := map[string]bool{}
+			for i, n := range names {
+				env[n] = code&(1<<uint(i)) != 0
+			}
+			want := eq.Eval(env)
+			if got := f.Cover.Eval(code); got != want {
+				t.Fatalf("signal %s differs from paper at code %s: got %v want %v (cover %s)",
+					eq.Signal, sg.States[s].Code.String(len(names)), got, want, f.Expr())
+			}
+		}
+	}
+	// The flagship equation shapes: DTACK is just D; D is a 2-literal AND.
+	if got := byName["DTACK"].Expr(); got != "D" {
+		t.Errorf("DTACK = %q, want \"D\"", got)
+	}
+	if got := byName["D"].Expr(); got != "LDTACK csc0" {
+		t.Errorf("D = %q, want \"LDTACK csc0\"", got)
+	}
+	if got := byName["LDS"].Expr(); got != "D + csc0" {
+		t.Errorf("LDS = %q, want \"D + csc0\"", got)
+	}
+}
+
+func TestSynthesizeComplexGate(t *testing.T) {
+	sg := cscSG(t)
+	nl, err := logic.Synthesize(sg, logic.ComplexGate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Gates) != 4 {
+		t.Fatalf("gates = %d, want 4", len(nl.Gates))
+	}
+	eqs := nl.Equations()
+	for _, want := range []string{"DTACK = D", "D = LDTACK csc0"} {
+		if !strings.Contains(eqs, want) {
+			t.Fatalf("equations missing %q:\n%s", want, eqs)
+		}
+	}
+	// The netlist must be stable in the SG's initial state.
+	v, err := nl.StableVector(uint64(sg.States[sg.Initial].Code), len(sg.Signals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != uint64(sg.States[sg.Initial].Code) {
+		t.Fatal("initial code itself must be stable")
+	}
+}
+
+func TestSynthesizeGC(t *testing.T) {
+	sg := cscSG(t)
+	nl, err := logic.Synthesize(sg, logic.GeneralizedC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The csc0 element must be a C-element with set DSr·LDTACK' and reset
+	// DSr'·LDTACK (Figure 8a), modulo don't-care choices: check behaviour on
+	// reachable codes against the complex-gate function.
+	cg, err := logic.Synthesize(sg, logic.ComplexGate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range sg.States {
+		v := uint64(sg.States[s].Code)
+		for i := range sg.Signals {
+			if sg.Signals[i].Kind == stg.Input {
+				continue
+			}
+			if nl.Next(v, i) != cg.Next(v, i) {
+				t.Fatalf("gC and complex gate disagree on %s at %s",
+					sg.Signals[i].Name, sg.States[s].Code.String(len(sg.Signals)))
+			}
+		}
+	}
+	eqs := nl.Equations()
+	if !strings.Contains(eqs, "C(set:") {
+		t.Fatalf("gC equations must use C-elements:\n%s", eqs)
+	}
+}
+
+func TestSynthesizeRSLatch(t *testing.T) {
+	sg := cscSG(t)
+	nl, err := logic.Synthesize(sg, logic.StandardC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(nl.Equations(), "RS(set:") {
+		t.Fatal("RS style must emit RS latches")
+	}
+	// Reset dominance: when both networks are active the output resets.
+	g := logic.Gate{
+		Kind:   logic.RSLatch,
+		Output: 0,
+		Set:    boolmin.Cover{N: 1, Cubes: []boolmin.Cube{boolmin.FullCube()}},
+		Reset:  boolmin.Cover{N: 1, Cubes: []boolmin.Cube{boolmin.FullCube()}},
+	}
+	nl2 := &logic.Netlist{Signals: []string{"q"}, Kinds: []stg.Kind{stg.Output}, Gates: []logic.Gate{g}}
+	if nl2.Next(1, 0) {
+		t.Fatal("reset-dominant latch must reset when both active")
+	}
+}
+
+func TestCElementSemantics(t *testing.T) {
+	// Classic 2-input C element: q follows when a==b.
+	set := boolmin.Cover{N: 3, Cubes: []boolmin.Cube{
+		boolmin.FullCube().WithLiteral(0, true).WithLiteral(1, true)}}
+	reset := boolmin.Cover{N: 3, Cubes: []boolmin.Cube{
+		boolmin.FullCube().WithLiteral(0, false).WithLiteral(1, false)}}
+	nl := &logic.Netlist{
+		Signals: []string{"a", "b", "q"},
+		Kinds:   []stg.Kind{stg.Input, stg.Input, stg.Output},
+		Gates:   []logic.Gate{{Kind: logic.CElem, Output: 2, Set: set, Reset: reset}},
+	}
+	cases := []struct {
+		v    uint64
+		next bool
+	}{
+		{0b000, false}, // a=b=0, q=0: hold 0
+		{0b011, true},  // a=b=1: rise
+		{0b001, false}, // a=1,b=0,q=0: hold
+		{0b101, true},  // a=1,b=0,q=1: hold 1
+		{0b100, false}, // a=b=0,q=1: fall
+		{0b111, true},  // all 1: hold 1
+	}
+	for _, tc := range cases {
+		if got := nl.Next(tc.v, 2); got != tc.next {
+			t.Fatalf("C-element at %03b: next=%v want %v", tc.v, got, tc.next)
+		}
+	}
+}
+
+func TestNetlistValidate(t *testing.T) {
+	nl := &logic.Netlist{
+		Signals: []string{"a", "q"},
+		Kinds:   []stg.Kind{stg.Input, stg.Output},
+	}
+	if err := nl.Validate(); err == nil {
+		t.Fatal("undriven output must fail validation")
+	}
+	nl.Gates = append(nl.Gates, logic.Gate{Kind: logic.Comb, Output: 1,
+		F: boolmin.Cover{N: 2, Cubes: []boolmin.Cube{boolmin.FullCube().WithLiteral(0, true)}}})
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	nl.Gates = append(nl.Gates, logic.Gate{Kind: logic.Comb, Output: 0})
+	if err := nl.Validate(); err == nil {
+		t.Fatal("driven input must fail validation")
+	}
+}
+
+func TestExcitationRegions(t *testing.T) {
+	sg := cscSG(t)
+	d := sg.SignalIndex("D")
+	plus := logic.ExcitationRegions(sg, d, stg.Rise)
+	minus := logic.ExcitationRegions(sg, d, stg.Fall)
+	if len(plus) != 1 || len(minus) != 1 {
+		t.Fatalf("D has one ER per direction, got +%d -%d", len(plus), len(minus))
+	}
+	if len(plus[0]) == 0 {
+		t.Fatal("empty ER")
+	}
+}
+
+func TestEquationsFor(t *testing.T) {
+	sg := cscSG(t)
+	eqs, err := logic.EquationsFor(sg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eqs, "csc0 = ") {
+		t.Fatalf("missing csc0 equation:\n%s", eqs)
+	}
+}
+
+func TestMaxFanInAndLiterals(t *testing.T) {
+	sg := cscSG(t)
+	nl, err := logic.Synthesize(sg, logic.ComplexGate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.MaxFanIn() < 2 || nl.MaxFanIn() > 4 {
+		t.Fatalf("read-cycle complex gates have small fan-in, got %d", nl.MaxFanIn())
+	}
+	if nl.LiteralCount() == 0 {
+		t.Fatal("literal count must be positive")
+	}
+}

@@ -1,0 +1,55 @@
+package petri
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the net in Graphviz DOT format: places as circles (filled
+// when initially marked), transitions as boxes. Implicit places (single input
+// and output, unnamed "<a,b>" convention) are drawn as plain edges, matching
+// the paper's figures.
+func (n *Net) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", n.Name)
+	implicit := make([]bool, len(n.Places))
+	for i, p := range n.Places {
+		if len(p.Pre) == 1 && len(p.Post) == 1 && strings.HasPrefix(p.Name, "<") {
+			implicit[i] = true
+			continue
+		}
+		shape := "circle"
+		label := p.Name
+		style := ""
+		if p.Initial > 0 {
+			style = ", style=filled, fillcolor=gray80"
+			if p.Initial > 1 {
+				label = fmt.Sprintf("%s (%d)", p.Name, p.Initial)
+			}
+		}
+		fmt.Fprintf(&b, "  p%d [shape=%s, label=%q%s];\n", i, shape, label, style)
+	}
+	for i, t := range n.Transitions {
+		fmt.Fprintf(&b, "  t%d [shape=box, label=%q];\n", i, t.Name)
+	}
+	for i, p := range n.Places {
+		if implicit[i] {
+			mark := ""
+			if p.Initial > 0 {
+				mark = " [label=\"●\"]"
+			}
+			fmt.Fprintf(&b, "  t%d -> t%d%s;\n", p.Pre[0], p.Post[0], mark)
+			continue
+		}
+		for _, t := range p.Post {
+			fmt.Fprintf(&b, "  p%d -> t%d;\n", i, t)
+		}
+		for _, t := range p.Pre {
+			fmt.Fprintf(&b, "  t%d -> p%d;\n", t, i)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,79 @@
+package petri
+
+import (
+	"sort"
+	"strings"
+)
+
+// Marking holds the token count of every place, indexed by place index.
+// For the safe nets this flow targets every entry is 0 or 1, but counts up to
+// 255 are representable so that safety violations can be detected rather than
+// silently wrapped.
+type Marking []byte
+
+// Key returns a map key uniquely identifying the marking.
+func (m Marking) Key() string { return string(m) }
+
+// Clone returns a copy of the marking.
+func (m Marking) Clone() Marking {
+	c := make(Marking, len(m))
+	copy(c, m)
+	return c
+}
+
+// Equal reports whether two markings are identical.
+func (m Marking) Equal(o Marking) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if m[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Safe reports whether no place holds more than one token.
+func (m Marking) Safe() bool {
+	for _, v := range m {
+		if v > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Tokens returns the total token count.
+func (m Marking) Tokens() int {
+	n := 0
+	for _, v := range m {
+		n += int(v)
+	}
+	return n
+}
+
+// MarkedPlaces returns the indexes of all marked places in ascending order.
+func (m Marking) MarkedPlaces() []int {
+	var out []int
+	for i, v := range m {
+		if v > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Format renders the marking as "{p1,p2}" using the net's place names.
+func (m Marking) Format(n *Net) string {
+	names := []string{}
+	for i, v := range m {
+		if v == 1 {
+			names = append(names, n.Places[i].Name)
+		} else if v > 1 {
+			names = append(names, n.Places[i].Name+"*"+string(rune('0'+v)))
+		}
+	}
+	sort.Strings(names)
+	return "{" + strings.Join(names, ",") + "}"
+}

@@ -1,0 +1,137 @@
+// Package reach implements explicit reachability analysis of Petri nets (the
+// "token game" of Section 1.2) and the construction of state graphs from
+// STGs, including the consistency check of Section 2.1 (rising and falling
+// transitions of each signal must alternate on every path).
+package reach
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/petri"
+)
+
+// Options bound an exploration.
+type Options struct {
+	// MaxStates aborts the exploration when exceeded (0 = 1<<22 default).
+	MaxStates int
+	// RequireSafe makes the exploration fail on the first marking with more
+	// than one token in a place. When false, markings up to 255 tokens per
+	// place are explored (boundedness violations beyond that still fail).
+	RequireSafe bool
+}
+
+func (o Options) maxStates() int {
+	if o.MaxStates > 0 {
+		return o.MaxStates
+	}
+	return 1 << 22
+}
+
+// ErrUnsafe is returned when RequireSafe is set and a 2-token place is found.
+var ErrUnsafe = errors.New("reach: net is not safe (1-bounded)")
+
+// ErrStateLimit is returned when the exploration exceeds Options.MaxStates.
+var ErrStateLimit = errors.New("reach: state limit exceeded")
+
+// Graph is the reachability graph of a net: states are markings.
+type Graph struct {
+	Net      *petri.Net
+	Markings []petri.Marking
+	// Out[i] lists (transition, successor-state) pairs.
+	Out [][]Step
+	// Index maps marking keys to state indexes.
+	Index map[string]int
+}
+
+// Step is one firing in the reachability graph.
+type Step struct {
+	Transition int
+	To         int
+}
+
+// Explore computes the reachability graph of the net under the options.
+func Explore(n *petri.Net, opts Options) (*Graph, error) {
+	g := &Graph{Net: n, Index: make(map[string]int)}
+	init := n.InitialMarking()
+	if opts.RequireSafe && !init.Safe() {
+		return nil, fmt.Errorf("%w: initial marking %s", ErrUnsafe, init.Format(n))
+	}
+	g.add(init)
+	for head := 0; head < len(g.Markings); head++ {
+		if len(g.Markings) > opts.maxStates() {
+			return nil, ErrStateLimit
+		}
+		m := g.Markings[head]
+		for t := range n.Transitions {
+			if !n.Enabled(m, t) {
+				continue
+			}
+			next := n.Fire(m, t)
+			if opts.RequireSafe && !next.Safe() {
+				return nil, fmt.Errorf("%w: firing %s from %s", ErrUnsafe,
+					n.Transitions[t].Name, m.Format(n))
+			}
+			idx, ok := g.Index[next.Key()]
+			if !ok {
+				idx = g.add(next)
+			}
+			g.Out[head] = append(g.Out[head], Step{Transition: t, To: idx})
+		}
+	}
+	return g, nil
+}
+
+func (g *Graph) add(m petri.Marking) int {
+	idx := len(g.Markings)
+	g.Markings = append(g.Markings, m)
+	g.Out = append(g.Out, nil)
+	g.Index[m.Key()] = idx
+	return idx
+}
+
+// NumStates returns the number of reachable markings.
+func (g *Graph) NumStates() int { return len(g.Markings) }
+
+// NumArcs returns the number of firings (arcs).
+func (g *Graph) NumArcs() int {
+	n := 0
+	for _, s := range g.Out {
+		n += len(s)
+	}
+	return n
+}
+
+// Deadlocks returns the states with no enabled transitions.
+func (g *Graph) Deadlocks() []int {
+	var out []int
+	for i, s := range g.Out {
+		if len(s) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IsSafe reports whether every reachable marking is 1-bounded. (Only
+// meaningful when Explore ran without RequireSafe.)
+func (g *Graph) IsSafe() bool {
+	for _, m := range g.Markings {
+		if !m.Safe() {
+			return false
+		}
+	}
+	return true
+}
+
+// LiveTransitions returns, for each transition, whether it fires on some arc
+// of the reachability graph (L1-liveness from the initial marking).
+func (g *Graph) LiveTransitions() []bool {
+	live := make([]bool, len(g.Net.Transitions))
+	for _, steps := range g.Out {
+		for _, s := range steps {
+			live[s.Transition] = true
+		}
+	}
+	return live
+}

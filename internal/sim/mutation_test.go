@@ -1,0 +1,113 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/boolmin"
+	"repro/internal/logic"
+	"repro/internal/reach"
+	"repro/internal/sim"
+)
+
+// Mutation robustness: random single-literal mutations of a verified circuit
+// must never crash the verifier, and flipping a literal's polarity must
+// always be detected (the mutated function differs on some reachable code,
+// so the circuit misbehaves).
+func TestMutationPolarityAlwaysCaught(t *testing.T) {
+	spec := timedSpec(t)
+	sg, err := reach.BuildSG(spec, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := logic.Synthesize(sg, logic.ComplexGate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	mutations := 0
+	for trial := 0; trial < 40; trial++ {
+		nl := cloneForMutation(golden)
+		gi := rng.Intn(len(nl.Gates))
+		g := &nl.Gates[gi]
+		if len(g.F.Cubes) == 0 {
+			continue
+		}
+		ci := rng.Intn(len(g.F.Cubes))
+		cube := g.F.Cubes[ci]
+		lits := supportOf(cube)
+		if len(lits) == 0 {
+			continue
+		}
+		v := lits[rng.Intn(len(lits))]
+		// Flip the polarity of literal v.
+		g.F.Cubes[ci] = boolmin.Cube{Val: cube.Val ^ (1 << uint(v)), Care: cube.Care}
+		mutations++
+
+		res, err := sim.Verify(nl, spec, sim.Options{MaxViolations: 3})
+		if err != nil {
+			// Structural rejection (e.g. no stable initial vector) is a
+			// legitimate detection too.
+			continue
+		}
+		if res.OK() {
+			// A mutation can only go unnoticed if the mutated cover equals
+			// the original on every reachable code — check that is the case.
+			for s := range sg.States {
+				code := uint64(sg.States[s].Code)
+				if nl.Next(code, nl.Gates[gi].Output) != golden.Next(code, golden.Gates[gi].Output) {
+					t.Fatalf("trial %d: functional mutation escaped verification", trial)
+				}
+			}
+		}
+	}
+	if mutations < 20 {
+		t.Fatalf("only %d mutations exercised", mutations)
+	}
+}
+
+func cloneForMutation(nl *logic.Netlist) *logic.Netlist {
+	c := &logic.Netlist{Name: nl.Name}
+	for i, s := range nl.Signals {
+		c.AddSignal(s, nl.Kinds[i])
+	}
+	for _, g := range nl.Gates {
+		c.Gates = append(c.Gates, logic.Gate{
+			Kind: g.Kind, Output: g.Output,
+			F: g.F.Clone(), Set: g.Set.Clone(), Reset: g.Reset.Clone(),
+		})
+	}
+	return c
+}
+
+func supportOf(c boolmin.Cube) []int {
+	var out []int
+	for v := 0; v < 64; v++ {
+		if c.Care&(1<<uint(v)) != 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Dropping a whole gate cube (stuck-at fault on part of the network) is
+// caught as deadlock or conformance failure.
+func TestMutationDroppedCube(t *testing.T) {
+	spec := timedSpec(t)
+	nl := timedNetlist(t, spec)
+	for gi := range nl.Gates {
+		if len(nl.Gates[gi].F.Cubes) < 2 {
+			continue
+		}
+		mut := cloneForMutation(nl)
+		mut.Gates[gi].F.Cubes = mut.Gates[gi].F.Cubes[1:]
+		res, err := sim.Verify(mut, spec, sim.Options{MaxViolations: 3})
+		if err != nil {
+			continue // structural detection
+		}
+		if res.OK() {
+			t.Fatalf("dropping a cube of %s escaped verification",
+				mut.Signals[mut.Gates[gi].Output])
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/reach"
+	"repro/internal/stg"
+)
+
+// Timed simulation: performance analysis of a closed circuit×environment
+// system (Section 2.1: "performance analysis and separation between events
+// is required for determining latency and throughput of the device").
+// Gates and environment transitions fire a sampled delay after they become
+// enabled; the trace records every firing with its timestamp.
+
+// DelayFn returns the [min,max] delay interval of a signal edge. Gate
+// outputs and environment inputs are both asked here; returning min==max
+// gives deterministic timing.
+type DelayFn func(signal string, rise bool) (min, max int64)
+
+// FixedDelays builds a DelayFn from a map with a default for absent signals.
+func FixedDelays(m map[string]int64, def int64) DelayFn {
+	return func(signal string, rise bool) (int64, int64) {
+		if d, ok := m[signal]; ok {
+			return d, d
+		}
+		return def, def
+	}
+}
+
+// TimedEvent is one firing in a timed trace.
+type TimedEvent struct {
+	Signal string
+	Rise   bool
+	At     int64
+}
+
+// TimedTrace is the result of a timed simulation.
+type TimedTrace struct {
+	Events []TimedEvent
+	// End is the time of the last firing.
+	End int64
+}
+
+// MeanPeriod estimates the steady-state period of the given edge: the mean
+// gap between consecutive occurrences, skipping the first warmup occurrences.
+func (tr *TimedTrace) MeanPeriod(signal string, rise bool, warmup int) (float64, error) {
+	var times []int64
+	for _, e := range tr.Events {
+		if e.Signal == signal && e.Rise == rise {
+			times = append(times, e.At)
+		}
+	}
+	if len(times) < warmup+2 {
+		return 0, fmt.Errorf("sim: only %d occurrences of %s (need > %d)", len(times), signal, warmup+1)
+	}
+	times = times[warmup:]
+	return float64(times[len(times)-1]-times[0]) / float64(len(times)-1), nil
+}
+
+// TimedSimulate runs the closed system for the given number of firings.
+// The circuit must be speed-independent w.r.t. the spec (verify first):
+// the simulator reports an error on conformance problems or deadlock.
+func TimedSimulate(nl *logic.Netlist, spec *stg.STG, delay DelayFn, rng *rand.Rand, maxEvents int) (*TimedTrace, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	specToNet := make([]int, len(spec.Signals))
+	netToSpec := make([]int, len(nl.Signals))
+	for i := range netToSpec {
+		netToSpec[i] = -1
+	}
+	for i, s := range spec.Signals {
+		idx := nl.SignalIndex(s.Name)
+		if idx < 0 {
+			return nil, fmt.Errorf("sim: spec signal %s missing from netlist", s.Name)
+		}
+		specToNet[i] = idx
+		netToSpec[idx] = i
+	}
+	specSG, err := reach.BuildSG(spec, reach.Options{})
+	if err != nil {
+		return nil, err
+	}
+	var v uint64
+	for i := range spec.Signals {
+		if specSG.States[specSG.Initial].Code.Bit(i) {
+			v |= 1 << uint(specToNet[i])
+		}
+	}
+	ver := &verifier{nl: nl, spec: spec, netToSpec: netToSpec, specToNet: specToNet, res: &Result{}}
+	v, err = ver.settleExtras(v)
+	if err != nil {
+		return nil, err
+	}
+	m := spec.Net.InitialMarking()
+
+	sample := func(signal string, rise bool, now int64) int64 {
+		lo, hi := delay(signal, rise)
+		if hi < lo {
+			hi = lo
+		}
+		d := lo
+		if hi > lo {
+			d += rng.Int63n(hi - lo + 1)
+		}
+		return now + d
+	}
+
+	// Pending moves: env transitions keyed "t<idx>", gates keyed "g<idx>".
+	type pending struct {
+		fireAt int64
+		// env transition index or -1.
+		trans int
+		// netlist signal index or -1 (pure dummy move).
+		sig int
+	}
+	pend := map[string]pending{}
+	now := int64(0)
+
+	refresh := func() {
+		// Environment inputs (and dummies).
+		alive := map[string]bool{}
+		for t := range spec.Net.Transitions {
+			if !spec.Net.Enabled(m, t) {
+				continue
+			}
+			l := spec.Labels[t]
+			if l.Sig >= 0 && spec.Signals[l.Sig].Kind != stg.Input {
+				continue
+			}
+			key := fmt.Sprintf("t%d", t)
+			alive[key] = true
+			if _, ok := pend[key]; !ok {
+				sig := -1
+				name := spec.Net.Transitions[t].Name
+				rise := false
+				if l.Sig >= 0 {
+					sig = specToNet[l.Sig]
+					cur := v&(1<<uint(sig)) != 0
+					if (l.Dir == stg.Rise) == cur {
+						continue // value mismatch; input not ready
+					}
+					name = spec.Signals[l.Sig].Name
+					rise = l.Dir == stg.Rise
+				}
+				pend[key] = pending{fireAt: sample(name, rise, now), trans: t, sig: sig}
+			}
+		}
+		for idx := range nl.Signals {
+			if nl.GateFor(idx) == nil || !nl.Excited(v, idx) {
+				continue
+			}
+			key := fmt.Sprintf("g%d", idx)
+			alive[key] = true
+			if _, ok := pend[key]; !ok {
+				rise := v&(1<<uint(idx)) == 0
+				pend[key] = pending{fireAt: sample(nl.Signals[idx], rise, now), trans: -1, sig: idx}
+			}
+		}
+		for key := range pend {
+			if !alive[key] {
+				delete(pend, key) // disabled before firing
+			}
+		}
+	}
+
+	trace := &TimedTrace{}
+	refresh()
+	for len(trace.Events) < maxEvents {
+		if len(pend) == 0 {
+			return nil, fmt.Errorf("sim: timed deadlock at t=%d", now)
+		}
+		// Earliest pending move.
+		bestKey := ""
+		for key, p := range pend {
+			if bestKey == "" || p.fireAt < pend[bestKey].fireAt ||
+				(p.fireAt == pend[bestKey].fireAt && key < bestKey) {
+				bestKey = key
+			}
+		}
+		p := pend[bestKey]
+		delete(pend, bestKey)
+		now = p.fireAt
+
+		if p.trans >= 0 {
+			// Environment move.
+			m = spec.Net.Fire(m, p.trans)
+			if p.sig >= 0 {
+				v ^= 1 << uint(p.sig)
+				l := spec.Labels[p.trans]
+				trace.Events = append(trace.Events, TimedEvent{
+					Signal: spec.Signals[l.Sig].Name, Rise: l.Dir == stg.Rise, At: now})
+			}
+		} else {
+			// Gate move.
+			idx := p.sig
+			rise := v&(1<<uint(idx)) == 0
+			v ^= 1 << uint(idx)
+			trace.Events = append(trace.Events, TimedEvent{Signal: nl.Signals[idx], Rise: rise, At: now})
+			if specSig := netToSpec[idx]; specSig >= 0 {
+				fired := false
+				dir := stg.Fall
+				if rise {
+					dir = stg.Rise
+				}
+				for t := range spec.Net.Transitions {
+					l := spec.Labels[t]
+					if l.Sig == specSig && l.Dir == dir && spec.Net.Enabled(m, t) {
+						m = spec.Net.Fire(m, t)
+						fired = true
+						break
+					}
+				}
+				if !fired {
+					return nil, fmt.Errorf("sim: timed conformance failure: %s%s at t=%d",
+						nl.Signals[idx], dir, now)
+				}
+			}
+		}
+		trace.End = now
+		refresh()
+	}
+	return trace, nil
+}

@@ -1,0 +1,139 @@
+package sim_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/encoding"
+	"repro/internal/logic"
+	"repro/internal/reach"
+	"repro/internal/sim"
+	"repro/internal/stg"
+	"repro/internal/timing"
+	"repro/internal/vme"
+)
+
+func timedSpec(t testing.TB) *stg.STG {
+	t.Helper()
+	g := vme.ReadSTG()
+	spec, err := encoding.InsertSignal(g, "csc0",
+		g.Net.TransitionIndex("LDS+"), g.Net.TransitionIndex("D-"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func timedNetlist(t testing.TB, spec *stg.STG) *logic.Netlist {
+	t.Helper()
+	sg, err := reach.BuildSG(spec, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := logic.Synthesize(sg, logic.ComplexGate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// TestTimedSimulateDeterministic cross-validates the event-driven timed
+// simulator against the analytic marked-graph cycle time: with fixed delays
+// the measured steady-state period must equal timing.CycleTime exactly.
+func TestTimedSimulateDeterministic(t *testing.T) {
+	spec := timedSpec(t)
+	nl := timedNetlist(t, spec)
+	delays := map[string]int64{"DSr": 10, "LDTACK": 3}
+	delay := func(signal string, rise bool) (int64, int64) {
+		if d, ok := delays[signal]; ok {
+			return d, d
+		}
+		return 1, 1 // gate delay
+	}
+	rng := rand.New(rand.NewSource(1))
+	tr, err := sim.TimedSimulate(nl, spec, delay, rng, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period, err := tr.MeanPeriod("DSr", true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tspec := timing.Spec{G: spec, Delays: make([]timing.Delay, len(spec.Net.Transitions))}
+	for i := range tspec.Delays {
+		l := spec.Labels[i]
+		name := spec.Signals[l.Sig].Name
+		if d, ok := delays[name]; ok {
+			tspec.Delays[i] = timing.Fixed(d)
+		} else {
+			tspec.Delays[i] = timing.Fixed(1)
+		}
+	}
+	ct, err := timing.CycleTime(tspec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(period-ct) > 1e-6 {
+		t.Fatalf("measured period %v differs from analytic cycle time %v", period, ct)
+	}
+}
+
+// With interval delays the measured mean period stays within the analytic
+// [min,max] cycle-time bounds for every seed.
+func TestTimedSimulateIntervalWithinBounds(t *testing.T) {
+	spec := timedSpec(t)
+	nl := timedNetlist(t, spec)
+	delay := func(signal string, rise bool) (int64, int64) {
+		if signal == "DSr" {
+			return 5, 15
+		}
+		return 1, 2
+	}
+	tspec := timing.Spec{G: spec, Delays: make([]timing.Delay, len(spec.Net.Transitions))}
+	for i := range tspec.Delays {
+		l := spec.Labels[i]
+		if spec.Signals[l.Sig].Name == "DSr" {
+			tspec.Delays[i] = timing.Delay{Min: 5, Max: 15}
+		} else {
+			tspec.Delays[i] = timing.Delay{Min: 1, Max: 2}
+		}
+	}
+	ctMin, err := timing.CycleTime(tspec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctMax, err := timing.CycleTime(tspec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := sim.TimedSimulate(nl, spec, delay, rng, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		period, err := tr.MeanPeriod("DSr", true, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if period < ctMin-1e-6 || period > ctMax+1e-6 {
+			t.Fatalf("seed %d: period %v outside [%v, %v]", seed, period, ctMin, ctMax)
+		}
+	}
+}
+
+func TestTimedSimulateErrors(t *testing.T) {
+	spec := timedSpec(t)
+	nl := timedNetlist(t, spec)
+	tr, err := sim.TimedSimulate(nl, spec, sim.FixedDelays(nil, 1), rand.New(rand.NewSource(1)), 10)
+	if err != nil {
+		t.Fatalf("fixed delays must simulate: %v", err)
+	}
+	if _, err := tr.MeanPeriod("DSr", true, 50); err == nil {
+		t.Fatal("too few occurrences must error")
+	}
+	if _, err := tr.MeanPeriod("nope", true, 0); err == nil {
+		t.Fatal("unknown signal must error")
+	}
+}

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/boolmin"
+	"repro/internal/encoding"
+	"repro/internal/logic"
+	"repro/internal/reach"
+	"repro/internal/stg"
+	"repro/internal/vme"
+)
+
+// cscSTG returns the READ-cycle STG with csc0 inserted (the Figure 7 spec).
+func cscSTG(t testing.TB) *stg.STG {
+	t.Helper()
+	g := vme.ReadSTG()
+	g2, err := encoding.InsertSignal(g, "csc0",
+		g.Net.TransitionIndex("LDS+"), g.Net.TransitionIndex("D-"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g2
+}
+
+func synth(t testing.TB, spec *stg.STG, style logic.Style) *logic.Netlist {
+	t.Helper()
+	sg, err := reach.BuildSG(spec, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := logic.Synthesize(sg, style)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// TestFig8Implementations: all three synthesis styles of the csc0 spec must
+// verify speed-independent and conformant.
+func TestFig8Implementations(t *testing.T) {
+	spec := cscSTG(t)
+	for _, style := range []logic.Style{logic.ComplexGate, logic.GeneralizedC, logic.StandardC} {
+		nl := synth(t, spec, style)
+		res, err := Verify(nl, spec, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", style, err)
+		}
+		if !res.OK() {
+			t.Fatalf("%v implementation must be SI; violations: %v", style, res.Violations)
+		}
+		if res.States == 0 {
+			t.Fatalf("%v: empty exploration", style)
+		}
+	}
+}
+
+// cube builds a single-cube cover over n variables from literal assignments.
+func cube(n int, lits map[int]bool) boolmin.Cover {
+	c := boolmin.FullCube()
+	for v, pos := range lits {
+		c = c.WithLiteral(v, pos)
+	}
+	return boolmin.Cover{N: n, Cubes: []boolmin.Cube{c}}
+}
+
+func orCovers(a, b boolmin.Cover) boolmin.Cover {
+	return boolmin.Cover{N: a.N, Cubes: append(append([]boolmin.Cube(nil), a.Cubes...), b.Cubes...)}
+}
+
+// fig9Netlist builds the two-input-gate decompositions of Figure 9.
+// Signals 0..5 = DSr,DTACK,LDTACK,LDS,D,csc0 (spec order), 6 = map0.
+//
+//	map0  = csc0 + LDTACK'
+//	csc0  = DSr · map0
+//	LDS   = D + csc0
+//	DTACK = D
+//	D     = LDTACK · map0   (variant a: multiple acknowledgment, hazard-free)
+//	D     = LDTACK · csc0   (variant b: single acknowledgment, hazardous)
+func fig9Netlist(t testing.TB, variantA bool) *logic.Netlist {
+	t.Helper()
+	nl := &logic.Netlist{Name: "fig9"}
+	for _, s := range []struct {
+		name string
+		kind stg.Kind
+	}{
+		{"DSr", stg.Input}, {"DTACK", stg.Output}, {"LDTACK", stg.Input},
+		{"LDS", stg.Output}, {"D", stg.Output}, {"csc0", stg.Internal},
+		{"map0", stg.Internal},
+	} {
+		nl.AddSignal(s.name, s.kind)
+	}
+	const (
+		dsr, dtack, ldtack, lds, d, csc0, map0 = 0, 1, 2, 3, 4, 5, 6
+	)
+	n := 7
+	nl.Gates = []logic.Gate{
+		{Kind: logic.Comb, Output: map0,
+			F: orCovers(cube(n, map[int]bool{csc0: true}), cube(n, map[int]bool{ldtack: false}))},
+		{Kind: logic.Comb, Output: csc0,
+			F: cube(n, map[int]bool{dsr: true, map0: true})},
+		{Kind: logic.Comb, Output: lds,
+			F: orCovers(cube(n, map[int]bool{d: true}), cube(n, map[int]bool{csc0: true}))},
+		{Kind: logic.Comb, Output: dtack,
+			F: cube(n, map[int]bool{d: true})},
+	}
+	if variantA {
+		nl.Gates = append(nl.Gates, logic.Gate{Kind: logic.Comb, Output: d,
+			F: cube(n, map[int]bool{ldtack: true, map0: true})})
+	} else {
+		nl.Gates = append(nl.Gates, logic.Gate{Kind: logic.Comb, Output: d,
+			F: cube(n, map[int]bool{ldtack: true, csc0: true})})
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// TestFig9Decomposition is the E-F9 acceptance test: variant (a) is
+// speed-independent thanks to the multiple acknowledgment of map0, while
+// variant (b) — the "standard synchronous decomposition" — is hazardous.
+func TestFig9Decomposition(t *testing.T) {
+	spec := cscSTG(t)
+
+	resA, err := Verify(fig9Netlist(t, true), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resA.OK() {
+		t.Fatalf("Figure 9a must be hazard-free; got %v", resA.Violations)
+	}
+	if got := fig9Netlist(t, true).MaxFanIn(); got > 2 {
+		t.Fatalf("Figure 9a must use two-input gates, max fan-in %d", got)
+	}
+
+	resB, err := Verify(fig9Netlist(t, false), spec, Options{MaxViolations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.OK() {
+		t.Fatal("Figure 9b must be detected as hazardous")
+	}
+	foundMap0Hazard := false
+	for _, v := range resB.Violations {
+		if v.Kind == Hazard && v.Signal == "map0" {
+			foundMap0Hazard = true
+		}
+	}
+	if !foundMap0Hazard {
+		t.Fatalf("the hazard must be on map0; got %v", resB.Violations)
+	}
+}
+
+// A wrong circuit (inverted acknowledge) must fail conformance.
+func TestConformanceViolation(t *testing.T) {
+	spec := cscSTG(t)
+	nl := synth(t, spec, logic.ComplexGate)
+	// Sabotage DTACK: drive it from LDS instead of D. DTACK+ will fire too
+	// early (after LDS+ instead of after D+).
+	for i := range nl.Gates {
+		if nl.Signals[nl.Gates[i].Output] == "DTACK" {
+			nl.Gates[i].F = cube(len(nl.Signals), map[int]bool{nl.SignalIndex("LDS"): true})
+		}
+	}
+	res, err := Verify(nl, spec, Options{MaxViolations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("sabotaged circuit must fail verification")
+	}
+	hasConf := false
+	for _, v := range res.Violations {
+		if v.Kind == Conformance && v.Signal == "DTACK" {
+			hasConf = true
+		}
+	}
+	if !hasConf {
+		t.Fatalf("want DTACK conformance violation, got %v", res.Violations)
+	}
+}
+
+// A dead circuit (output never fires) must be reported as deadlock.
+func TestDeadlockDetection(t *testing.T) {
+	g := stg.New("hs")
+	g.AddSignal("r", stg.Input)
+	g.AddSignal("a", stg.Output)
+	rp := g.Rise("r")
+	ap := g.Rise("a")
+	rm := g.Fall("r")
+	am := g.Fall("a")
+	g.Net.Chain(rp, ap, rm, am)
+	g.Net.Implicit(am, rp, 1)
+	// a is stuck at 0: never rises.
+	nl := &logic.Netlist{Name: "dead"}
+	nl.AddSignal("r", stg.Input)
+	nl.AddSignal("a", stg.Output)
+	nl.Gates = []logic.Gate{{Kind: logic.Comb, Output: 1, F: boolmin.Cover{N: 2}}}
+	res, err := Verify(nl, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("stuck circuit must deadlock")
+	}
+	if res.Violations[0].Kind != Deadlock {
+		t.Fatalf("want deadlock, got %v", res.Violations)
+	}
+}
+
+// C-element drive fight detection.
+func TestDriveFight(t *testing.T) {
+	g := stg.New("hs2")
+	g.AddSignal("r", stg.Input)
+	g.AddSignal("a", stg.Output)
+	rp := g.Rise("r")
+	ap := g.Rise("a")
+	rm := g.Fall("r")
+	am := g.Fall("a")
+	g.Net.Chain(rp, ap, rm, am)
+	g.Net.Implicit(am, rp, 1)
+	nl := &logic.Netlist{Name: "fight"}
+	nl.AddSignal("r", stg.Input)
+	nl.AddSignal("a", stg.Output)
+	full := boolmin.Cover{N: 2, Cubes: []boolmin.Cube{boolmin.FullCube()}}
+	set := cube(2, map[int]bool{0: true})
+	nl.Gates = []logic.Gate{{Kind: logic.CElem, Output: 1, Set: set, Reset: full}}
+	res, err := Verify(nl, g, Options{MaxViolations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Kind == DriveFight {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want drive fight, got %v", res.Violations)
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	spec := cscSTG(t)
+	nl := &logic.Netlist{Name: "partial"}
+	nl.AddSignal("DSr", stg.Input)
+	if _, err := Verify(nl, spec, Options{}); err == nil {
+		t.Fatal("missing spec signals must be an error")
+	}
+}
+
+func TestViolationStrings(t *testing.T) {
+	v := Violation{Kind: Hazard, Signal: "x", Msg: "m"}
+	if !strings.Contains(v.String(), "hazard(x)") {
+		t.Fatalf("violation rendering: %s", v)
+	}
+	for k, want := range map[ViolationKind]string{
+		Hazard: "hazard", Conformance: "conformance", DriveFight: "drive-fight", Deadlock: "deadlock",
+	} {
+		if k.String() != want {
+			t.Fatal("kind strings")
+		}
+	}
+	r := RelativeOrder{Earlier: EventRef{"a", stg.Fall}, Later: EventRef{"b", stg.Rise}}
+	if r.String() != "sep(a-,b+)<0" {
+		t.Fatalf("constraint rendering: %s", r)
+	}
+}
+
+// Read/write spec: complex-gate synthesis of the solved STG must verify.
+func TestReadWriteEndToEnd(t *testing.T) {
+	sol, err := encoding.SolveCSC(vme.ReadWriteSTG(), 0)
+	if err != nil {
+		t.Skipf("read/write CSC not solvable by single insertions: %v", err)
+	}
+	nl, err := logic.Synthesize(sol.SG, logic.ComplexGate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Verify(nl, sol.STG, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("read/write implementation must be SI: %v", res.Violations)
+	}
+}

@@ -1,0 +1,350 @@
+package stg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the astg ".g" interchange format used by petrify and
+// SIS, so that specs can be exchanged with the historical toolchain:
+//
+//	.model vme-read
+//	.inputs DSr LDTACK
+//	.outputs LDS DTACK D
+//	.graph
+//	DSr+ LDS+
+//	p0 DSr+
+//	...
+//	.marking { p0 <LDS+,LDTACK+> }
+//	.end
+//
+// Tokens in the .graph section are transition labels (sig+, sig-, sig~,
+// optionally /k-suffixed) for declared signals, dummy-event names declared
+// with .dummy, or explicit place names. An arc between two transitions
+// creates an implicit place named "<src,dst>".
+
+// ParseG parses an STG in .g format.
+func ParseG(r io.Reader) (*STG, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var g *STG
+	model := "stg"
+	type decl struct {
+		names []string
+		kind  Kind
+	}
+	var decls []decl
+	dummies := map[string]bool{}
+	var graphLines [][]string
+	var markingLine string
+	inGraph := false
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == ".model" || fields[0] == ".name":
+			if len(fields) > 1 {
+				model = fields[1]
+			}
+		case fields[0] == ".inputs":
+			decls = append(decls, decl{fields[1:], Input})
+		case fields[0] == ".outputs":
+			decls = append(decls, decl{fields[1:], Output})
+		case fields[0] == ".internal":
+			decls = append(decls, decl{fields[1:], Internal})
+		case fields[0] == ".dummy":
+			for _, d := range fields[1:] {
+				dummies[d] = true
+			}
+		case fields[0] == ".graph":
+			inGraph = true
+		case fields[0] == ".marking":
+			markingLine = line
+			inGraph = false
+		case fields[0] == ".end":
+			inGraph = false
+		case strings.HasPrefix(fields[0], "."):
+			// Ignore unknown dot-directives (.capacity, .slowenv, ...).
+		case inGraph:
+			graphLines = append(graphLines, fields)
+		default:
+			return nil, fmt.Errorf("stg: line %d: unexpected %q outside .graph", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	g = New(model)
+	for _, d := range decls {
+		for _, name := range d.names {
+			if g.SignalIndex(name) >= 0 {
+				return nil, fmt.Errorf("stg: signal %q declared twice", name)
+			}
+			g.AddSignal(name, d.kind)
+		}
+	}
+
+	// First pass: create every transition node mentioned anywhere, so that
+	// arcs can refer to them regardless of declaration order.
+	transIdx := map[string]int{}
+	ensureNode := func(tok string) (isTrans bool, idx int, err error) {
+		if i, ok := transIdx[tok]; ok {
+			return true, i, nil
+		}
+		if sig, dir, ok := g.parseLabel(tok); ok {
+			t := g.Net.AddTransition(tok)
+			g.Labels = append(g.Labels, Label{Sig: sig, Dir: dir})
+			transIdx[tok] = t
+			return true, t, nil
+		}
+		if dummies[tok] || dummies[strings.SplitN(tok, "/", 2)[0]] {
+			t := g.AddDummy(tok)
+			transIdx[tok] = t
+			return true, t, nil
+		}
+		return false, 0, nil
+	}
+	for _, fields := range graphLines {
+		for _, tok := range fields {
+			if _, _, err := ensureNode(tok); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Second pass: places and arcs.
+	placeIdx := map[string]int{}
+	ensurePlace := func(name string) int {
+		if i, ok := placeIdx[name]; ok {
+			return i
+		}
+		i := g.Net.AddPlace(name, 0)
+		placeIdx[name] = i
+		return i
+	}
+	for _, fields := range graphLines {
+		src := fields[0]
+		srcIsT, srcT, _ := ensureNode(src)
+		var srcP int
+		if !srcIsT {
+			srcP = ensurePlace(src)
+		}
+		for _, dst := range fields[1:] {
+			dstIsT, dstT, _ := ensureNode(dst)
+			switch {
+			case srcIsT && dstIsT:
+				name := "<" + src + "," + dst + ">"
+				p := ensurePlace(name)
+				g.Net.ArcTP(srcT, p)
+				g.Net.ArcPT(p, dstT)
+			case srcIsT && !dstIsT:
+				g.Net.ArcTP(srcT, ensurePlace(dst))
+			case !srcIsT && dstIsT:
+				g.Net.ArcPT(srcP, dstT)
+			default:
+				return nil, fmt.Errorf("stg: arc between two places %q -> %q", src, dst)
+			}
+		}
+	}
+
+	if markingLine != "" {
+		if err := parseMarking(g, placeIdx, markingLine); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// parseLabel decodes "SIG+", "SIG-", "SIG~" with optional "/k" suffix for a
+// declared signal.
+func (g *STG) parseLabel(tok string) (sig int, dir Dir, ok bool) {
+	body := tok
+	if i := strings.IndexByte(body, '/'); i >= 0 {
+		if _, err := strconv.Atoi(body[i+1:]); err != nil {
+			return 0, 0, false
+		}
+		body = body[:i]
+	}
+	if len(body) < 2 {
+		return 0, 0, false
+	}
+	var d Dir
+	switch body[len(body)-1] {
+	case '+':
+		d = Rise
+	case '-':
+		d = Fall
+	case '~':
+		d = Toggle
+	default:
+		return 0, 0, false
+	}
+	s := g.SignalIndex(body[:len(body)-1])
+	if s < 0 {
+		return 0, 0, false
+	}
+	return s, d, true
+}
+
+func parseMarking(g *STG, placeIdx map[string]int, line string) error {
+	open := strings.IndexByte(line, '{')
+	close := strings.LastIndexByte(line, '}')
+	if open < 0 || close < open {
+		return fmt.Errorf("stg: malformed .marking line %q", line)
+	}
+	body := line[open+1 : close]
+	// Tokens are either plain names or "<a,b>" (no spaces inside petrify
+	// output); allow both "<a,b>" and "name=k".
+	var toks []string
+	for _, f := range strings.Fields(body) {
+		toks = append(toks, f)
+	}
+	for _, tok := range toks {
+		count := 1
+		if i := strings.IndexByte(tok, '='); i >= 0 && !strings.HasPrefix(tok, "<") {
+			n, err := strconv.Atoi(tok[i+1:])
+			if err != nil {
+				return fmt.Errorf("stg: bad marking count in %q", tok)
+			}
+			count = n
+			tok = tok[:i]
+		}
+		p, ok := placeIdx[tok]
+		if !ok {
+			return fmt.Errorf("stg: marking references unknown place %q", tok)
+		}
+		g.Net.Places[p].Initial = count
+	}
+	return nil
+}
+
+// WriteG renders the STG in .g format. Implicit places (single-arc, named
+// "<a,b>") are emitted as direct transition→transition arcs.
+func (g *STG) WriteG(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".model %s\n", g.Name())
+	writeSigLine := func(kw string, kind Kind) {
+		var names []string
+		for _, s := range g.Signals {
+			if s.Kind == kind {
+				names = append(names, s.Name)
+			}
+		}
+		if len(names) > 0 {
+			fmt.Fprintf(&b, "%s %s\n", kw, strings.Join(names, " "))
+		}
+	}
+	writeSigLine(".inputs", Input)
+	writeSigLine(".outputs", Output)
+	writeSigLine(".internal", Internal)
+	var dummies []string
+	for t, l := range g.Labels {
+		if l.Sig < 0 {
+			dummies = append(dummies, g.Net.Transitions[t].Name)
+		}
+	}
+	if len(dummies) > 0 {
+		fmt.Fprintf(&b, ".dummy %s\n", strings.Join(dummies, " "))
+	}
+	b.WriteString(".graph\n")
+
+	// A place prints as a bare transition→transition arc only when it is
+	// the unique implicit place between that pair: parallel implicit places
+	// would collapse into one on reparse, so duplicates are demoted to
+	// explicit named places.
+	firstOfPair := map[[2]int]int{}
+	for p := range g.Net.Places {
+		pl := g.Net.Places[p]
+		if len(pl.Pre) != 1 || len(pl.Post) != 1 {
+			continue
+		}
+		key := [2]int{pl.Pre[0], pl.Post[0]}
+		prev, ok := firstOfPair[key]
+		// Prefer the canonical "<pre,post>" name, then the lexicographically
+		// smallest, so the choice is stable across parse/write cycles.
+		canon := "<" + g.Net.Transitions[pl.Pre[0]].Name + "," + g.Net.Transitions[pl.Post[0]].Name + ">"
+		switch {
+		case !ok:
+			firstOfPair[key] = p
+		case g.Net.Places[prev].Name == canon:
+			// keep prev
+		case pl.Name == canon || pl.Name < g.Net.Places[prev].Name:
+			firstOfPair[key] = p
+		}
+	}
+	implicit := func(p int) bool {
+		pl := g.Net.Places[p]
+		if len(pl.Pre) != 1 || len(pl.Post) != 1 || !strings.HasPrefix(pl.Name, "<") {
+			return false
+		}
+		return firstOfPair[[2]int{pl.Pre[0], pl.Post[0]}] == p
+	}
+	var lines []string
+	for t := range g.Net.Transitions {
+		var dsts []string
+		for _, p := range g.Net.Transitions[t].Post {
+			if implicit(p) {
+				dsts = append(dsts, g.Net.Transitions[g.Net.Places[p].Post[0]].Name)
+			} else {
+				dsts = append(dsts, g.Net.Places[p].Name)
+			}
+		}
+		if len(dsts) > 0 {
+			sort.Strings(dsts)
+			lines = append(lines, g.Net.Transitions[t].Name+" "+strings.Join(dsts, " "))
+		}
+	}
+	for p := range g.Net.Places {
+		if implicit(p) {
+			continue
+		}
+		var dsts []string
+		for _, t := range g.Net.Places[p].Post {
+			dsts = append(dsts, g.Net.Transitions[t].Name)
+		}
+		if len(dsts) > 0 {
+			sort.Strings(dsts)
+			lines = append(lines, g.Net.Places[p].Name+" "+strings.Join(dsts, " "))
+		}
+	}
+	// Canonical form: sorted adjacency lines, so that write∘parse is stable
+	// regardless of declaration order.
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+
+	var marks []string
+	for p, pl := range g.Net.Places {
+		if pl.Initial == 0 {
+			continue
+		}
+		name := pl.Name
+		if implicit(p) {
+			name = "<" + g.Net.Transitions[pl.Pre[0]].Name + "," + g.Net.Transitions[pl.Post[0]].Name + ">"
+		}
+		if pl.Initial > 1 {
+			name = fmt.Sprintf("%s=%d", name, pl.Initial)
+		}
+		marks = append(marks, name)
+	}
+	sort.Strings(marks)
+	fmt.Fprintf(&b, ".marking { %s }\n.end\n", strings.Join(marks, " "))
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,238 @@
+// Package stg implements Signal Transition Graphs: Petri nets whose
+// transitions are interpreted as rising ("+") and falling ("-") edges of
+// interface signals. STGs are the paper's central specification model —
+// "a formalization of timing diagrams".
+package stg
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/petri"
+)
+
+// Kind classifies a signal by who drives it.
+type Kind int
+
+const (
+	// Input signals are driven by the environment.
+	Input Kind = iota
+	// Output signals are driven by the circuit and observed by the
+	// environment.
+	Output
+	// Internal signals are driven and observed only by the circuit
+	// (e.g. inserted state signals such as csc0).
+	Internal
+	// Dummy marks a signal-less synchronization event (λ-transition).
+	Dummy
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	case Internal:
+		return "internal"
+	case Dummy:
+		return "dummy"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Dir is the direction of a signal transition.
+type Dir int
+
+const (
+	// Rise is a 0->1 edge, written "+".
+	Rise Dir = iota
+	// Fall is a 1->0 edge, written "-".
+	Fall
+	// Toggle flips the signal, written "~". Used by some specs where the
+	// phase is irrelevant.
+	Toggle
+)
+
+func (d Dir) String() string {
+	switch d {
+	case Rise:
+		return "+"
+	case Fall:
+		return "-"
+	case Toggle:
+		return "~"
+	}
+	return "?"
+}
+
+// Signal is an interface signal of the specification.
+type Signal struct {
+	Name string
+	Kind Kind
+}
+
+// Label interprets one Petri-net transition as a signal edge. Sig is an index
+// into STG.Signals, or -1 for a dummy transition.
+type Label struct {
+	Sig int
+	Dir Dir
+}
+
+// STG couples a Petri net with a signal interpretation. Labels is parallel to
+// Net.Transitions.
+type STG struct {
+	Net     *petri.Net
+	Signals []Signal
+	Labels  []Label
+
+	sigByName map[string]int
+}
+
+// New returns an empty STG with the given name.
+func New(name string) *STG {
+	return &STG{
+		Net:       petri.New(name),
+		sigByName: make(map[string]int),
+	}
+}
+
+// Name returns the underlying net's name.
+func (g *STG) Name() string { return g.Net.Name }
+
+// AddSignal declares a signal and returns its index. Duplicate names panic.
+func (g *STG) AddSignal(name string, kind Kind) int {
+	if _, dup := g.sigByName[name]; dup {
+		panic(fmt.Sprintf("stg: duplicate signal %q", name))
+	}
+	idx := len(g.Signals)
+	g.Signals = append(g.Signals, Signal{Name: name, Kind: kind})
+	g.sigByName[name] = idx
+	return idx
+}
+
+// SignalIndex returns the index of the named signal, or -1.
+func (g *STG) SignalIndex(name string) int {
+	if i, ok := g.sigByName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// AddTransition adds a transition labeled sig/dir. Multiple transitions of
+// the same label get instance suffixes "/1", "/2", ... in their net names.
+func (g *STG) AddTransition(sig int, dir Dir) int {
+	if sig < 0 || sig >= len(g.Signals) {
+		panic(fmt.Sprintf("stg: signal index %d out of range", sig))
+	}
+	base := g.Signals[sig].Name + dir.String()
+	name := base
+	for k := 1; g.Net.TransitionIndex(name) >= 0; k++ {
+		name = fmt.Sprintf("%s/%d", base, k)
+	}
+	t := g.Net.AddTransition(name)
+	g.Labels = append(g.Labels, Label{Sig: sig, Dir: dir})
+	return t
+}
+
+// AddDummy adds a λ-transition with the given name.
+func (g *STG) AddDummy(name string) int {
+	t := g.Net.AddTransition(name)
+	g.Labels = append(g.Labels, Label{Sig: -1})
+	return t
+}
+
+// Rise is shorthand for AddTransition(SignalIndex(name), Rise), declaring
+// nothing: the signal must exist.
+func (g *STG) Rise(name string) int { return g.byName(name, Rise) }
+
+// Fall is shorthand for AddTransition(SignalIndex(name), Fall).
+func (g *STG) Fall(name string) int { return g.byName(name, Fall) }
+
+func (g *STG) byName(name string, d Dir) int {
+	s := g.SignalIndex(name)
+	if s < 0 {
+		panic(fmt.Sprintf("stg: unknown signal %q", name))
+	}
+	return g.AddTransition(s, d)
+}
+
+// LabelString renders transition t's label, e.g. "LDS+" or "LDS+/1".
+func (g *STG) LabelString(t int) string {
+	l := g.Labels[t]
+	if l.Sig < 0 {
+		return g.Net.Transitions[t].Name
+	}
+	return g.Net.Transitions[t].Name
+}
+
+// TransitionsOf returns all transitions labeled with the given signal.
+func (g *STG) TransitionsOf(sig int) []int {
+	var out []int
+	for t, l := range g.Labels {
+		if l.Sig == sig {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// IsInput reports whether transition t is an input-signal transition.
+func (g *STG) IsInput(t int) bool {
+	l := g.Labels[t]
+	return l.Sig >= 0 && g.Signals[l.Sig].Kind == Input
+}
+
+// NonInputSignals returns the indexes of all output and internal signals —
+// the ones logic synthesis must implement.
+func (g *STG) NonInputSignals() []int {
+	var out []int
+	for i, s := range g.Signals {
+		if s.Kind == Output || s.Kind == Internal {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (g *STG) Clone() *STG {
+	c := &STG{
+		Net:       g.Net.Clone(),
+		Signals:   append([]Signal(nil), g.Signals...),
+		Labels:    append([]Label(nil), g.Labels...),
+		sigByName: make(map[string]int, len(g.sigByName)),
+	}
+	for k, v := range g.sigByName {
+		c.sigByName[k] = v
+	}
+	return c
+}
+
+// Validate checks the STG is well formed: labels parallel to transitions,
+// every non-dummy label referencing a declared signal, and the net valid.
+func (g *STG) Validate() error {
+	if len(g.Labels) != len(g.Net.Transitions) {
+		return fmt.Errorf("stg: %d labels for %d transitions", len(g.Labels), len(g.Net.Transitions))
+	}
+	for t, l := range g.Labels {
+		if l.Sig >= len(g.Signals) {
+			return fmt.Errorf("stg: transition %d references undeclared signal %d", t, l.Sig)
+		}
+		if l.Sig >= 0 && g.Signals[l.Sig].Kind == Dummy {
+			return fmt.Errorf("stg: transition %d labeled with dummy-kind signal", t)
+		}
+	}
+	return g.Net.Validate()
+}
+
+// String returns a readable summary.
+func (g *STG) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stg %s: %d signals\n", g.Name(), len(g.Signals))
+	for _, s := range g.Signals {
+		fmt.Fprintf(&b, "  %s %s\n", s.Kind, s.Name)
+	}
+	b.WriteString(g.Net.String())
+	return b.String()
+}

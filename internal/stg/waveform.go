@@ -1,0 +1,66 @@
+package stg
+
+import "fmt"
+
+// Waveform is the engineering-level input of the flow: a timing diagram
+// (Figure 2 of the paper). It lists signal edges in the order they appear in
+// one cycle of the diagram, plus the causality arrows the designer draws
+// between edges. FromWaveform turns it into the cyclic marked-graph STG of
+// Figure 3: each causality arrow becomes an implicit place, and arrows that
+// point "backwards" in the event list (closing the cycle) carry the initial
+// tokens.
+type Waveform struct {
+	Name string
+
+	// Signals declares each signal once, in display order.
+	Signals []Signal
+
+	// Events are the edges of one cycle, in diagram order.
+	Events []WaveEvent
+
+	// Causality lists arrows between event indexes: Causality[k] = [i, j]
+	// means event i causes (must precede) event j.
+	Causality [][2]int
+}
+
+// WaveEvent is one edge in a timing diagram.
+type WaveEvent struct {
+	Signal string
+	Dir    Dir
+}
+
+// FromWaveform compiles a timing diagram into a marked-graph STG. Arrows
+// i->j with i < j become unmarked places; arrows with i >= j (pointing to an
+// earlier edge, i.e. into the next cycle) become places holding one token.
+func FromWaveform(w Waveform) (*STG, error) {
+	g := New(w.Name)
+	for _, s := range w.Signals {
+		g.AddSignal(s.Name, s.Kind)
+	}
+	trans := make([]int, len(w.Events))
+	for i, ev := range w.Events {
+		sig := g.SignalIndex(ev.Signal)
+		if sig < 0 {
+			return nil, fmt.Errorf("stg: waveform event %d references undeclared signal %q", i, ev.Signal)
+		}
+		trans[i] = g.AddTransition(sig, ev.Dir)
+	}
+	for _, arc := range w.Causality {
+		i, j := arc[0], arc[1]
+		if i < 0 || i >= len(trans) || j < 0 || j >= len(trans) {
+			return nil, fmt.Errorf("stg: causality arc %v out of range", arc)
+		}
+		tokens := 0
+		if i >= j {
+			tokens = 1
+		}
+		g.Net.Implicit(trans[i], trans[j], tokens)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.Net.IsMarkedGraph() {
+		return nil, fmt.Errorf("stg: waveform compilation must yield a marked graph")
+	}
+	return g, nil
+}

@@ -1,0 +1,397 @@
+// Package structural implements structural analysis of Petri nets (Section
+// 2.2): the incidence matrix, place invariants (P-semiflows) via the Farkas
+// algorithm, state-machine components and covers (Figure 6), linear
+// reductions, and the dense state encoding derived from an SM cover.
+package structural
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/petri"
+)
+
+// Incidence returns the P×T incidence matrix: C[p][t] = tokens produced into
+// p by t minus tokens consumed.
+func Incidence(n *petri.Net) [][]int {
+	c := make([][]int, len(n.Places))
+	for p := range c {
+		c[p] = make([]int, len(n.Transitions))
+	}
+	for t, tr := range n.Transitions {
+		for _, p := range tr.Pre {
+			c[p][t]--
+		}
+		for _, p := range tr.Post {
+			c[p][t]++
+		}
+	}
+	return c
+}
+
+// PSemiflows computes a generating set of minimal-support non-negative
+// integer place invariants y (y·C = 0, y ≥ 0, y ≠ 0) using the Farkas
+// algorithm. For every invariant, the weighted token count Σ y[p]·M(p) is
+// constant over all reachable markings.
+func PSemiflows(n *petri.Net) [][]int {
+	nP, nT := len(n.Places), len(n.Transitions)
+	c := Incidence(n)
+	// Rows: [C-part | identity-part].
+	type row struct {
+		c []int
+		y []int
+	}
+	rows := make([]row, 0, nP)
+	for p := 0; p < nP; p++ {
+		y := make([]int, nP)
+		y[p] = 1
+		rows = append(rows, row{c: append([]int(nil), c[p]...), y: y})
+	}
+	for t := 0; t < nT; t++ {
+		var zero, pos, neg []row
+		for _, r := range rows {
+			switch {
+			case r.c[t] == 0:
+				zero = append(zero, r)
+			case r.c[t] > 0:
+				pos = append(pos, r)
+			default:
+				neg = append(neg, r)
+			}
+		}
+		for _, rp := range pos {
+			for _, rn := range neg {
+				a, b := -rn.c[t], rp.c[t] // rp*a + rn*b cancels column t
+				nc := make([]int, nT)
+				ny := make([]int, nP)
+				g := 0
+				for i := 0; i < nT; i++ {
+					nc[i] = a*rp.c[i] + b*rn.c[i]
+					g = gcd(g, abs(nc[i]))
+				}
+				for i := 0; i < nP; i++ {
+					ny[i] = a*rp.y[i] + b*rn.y[i]
+					g = gcd(g, abs(ny[i]))
+				}
+				if g > 1 {
+					for i := range nc {
+						nc[i] /= g
+					}
+					for i := range ny {
+						ny[i] /= g
+					}
+				}
+				zero = append(zero, row{c: nc, y: ny})
+			}
+		}
+		rows = zero
+	}
+	// Collect supports, keep minimal, dedup.
+	var out [][]int
+	for _, r := range rows {
+		if isZero(r.y) {
+			continue
+		}
+		out = append(out, r.y)
+	}
+	out = minimalSupport(out)
+	sort.Slice(out, func(i, j int) bool { return lexLess(out[i], out[j]) })
+	return out
+}
+
+// TSemiflows computes a generating set of minimal-support non-negative
+// transition invariants x (C·x = 0, x ≥ 0, x ≠ 0): firing every transition
+// t exactly x[t] times reproduces the starting marking. For a live cyclic
+// controller the all-cycle semiflow describes one complete operation cycle
+// (e.g. one READ transaction).
+func TSemiflows(n *petri.Net) [][]int {
+	// Farkas on the transpose: swap roles of places and transitions.
+	transposed := petri.New(n.Name + "-T")
+	for _, t := range n.Transitions {
+		transposed.AddPlace(t.Name, 0)
+	}
+	for _, p := range n.Places {
+		transposed.AddTransition(p.Name)
+	}
+	for ti, t := range n.Transitions {
+		for _, p := range t.Pre {
+			// C[p][t] -= 1 corresponds to C^T[t][p] -= 1: transition p
+			// consumes from place t.
+			transposed.ArcPT(ti, p)
+		}
+		for _, p := range t.Post {
+			transposed.ArcTP(p, ti)
+		}
+	}
+	return PSemiflows(transposed)
+}
+
+// CheckTInvariant verifies C·x = 0.
+func CheckTInvariant(n *petri.Net, x []int) bool {
+	c := Incidence(n)
+	for p := range n.Places {
+		s := 0
+		for t := range n.Transitions {
+			s += c[p][t] * x[t]
+		}
+		if s != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckInvariant verifies y·C = 0.
+func CheckInvariant(n *petri.Net, y []int) bool {
+	c := Incidence(n)
+	for t := range n.Transitions {
+		s := 0
+		for p := range n.Places {
+			s += y[p] * c[p][t]
+		}
+		if s != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// InvariantValue returns Σ y[p]·M(p).
+func InvariantValue(y []int, m petri.Marking) int {
+	s := 0
+	for p, w := range y {
+		s += w * int(m[p])
+	}
+	return s
+}
+
+// SM is a state-machine component: a place-set/transition-set pair such that
+// within the component every transition has exactly one input and one output
+// place (Figure 6 shows two of them for the reduced read/write net).
+type SM struct {
+	Places      []int
+	Transitions []int
+}
+
+// SMComponents derives state-machine components from the 0/1-weighted
+// P-semiflows: a semiflow with unit weights whose places see every connected
+// transition with exactly one input and one output inside the set.
+func SMComponents(n *petri.Net) []SM {
+	var out []SM
+	for _, y := range PSemiflows(n) {
+		ok := true
+		inSet := make([]bool, len(n.Places))
+		var places []int
+		for p, w := range y {
+			if w == 0 {
+				continue
+			}
+			if w != 1 {
+				ok = false
+				break
+			}
+			inSet[p] = true
+			places = append(places, p)
+		}
+		if !ok {
+			continue
+		}
+		// Transitions touching the set must have exactly one input and one
+		// output place inside it.
+		transSet := map[int]bool{}
+		for _, p := range places {
+			for _, t := range n.Places[p].Pre {
+				transSet[t] = true
+			}
+			for _, t := range n.Places[p].Post {
+				transSet[t] = true
+			}
+		}
+		valid := true
+		var trans []int
+		for t := range transSet {
+			in, outCnt := 0, 0
+			for _, p := range n.Transitions[t].Pre {
+				if inSet[p] {
+					in++
+				}
+			}
+			for _, p := range n.Transitions[t].Post {
+				if inSet[p] {
+					outCnt++
+				}
+			}
+			if in != 1 || outCnt != 1 {
+				valid = false
+				break
+			}
+			trans = append(trans, t)
+		}
+		if !valid {
+			continue
+		}
+		sort.Ints(trans)
+		out = append(out, SM{Places: places, Transitions: trans})
+	}
+	return out
+}
+
+// SMCover greedily selects SM components covering every place; ok reports
+// whether a full cover exists among the discovered components.
+func SMCover(n *petri.Net) ([]SM, bool) {
+	comps := SMComponents(n)
+	covered := make([]bool, len(n.Places))
+	var cover []SM
+	for {
+		remaining := 0
+		for _, c := range covered {
+			if !c {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			return cover, true
+		}
+		best, bestGain := -1, 0
+		for i, sm := range comps {
+			gain := 0
+			for _, p := range sm.Places {
+				if !covered[p] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			return cover, false
+		}
+		cover = append(cover, comps[best])
+		for _, p := range comps[best].Places {
+			covered[p] = true
+		}
+	}
+}
+
+// TokenCount returns the initial token count of the component — 1 for the
+// safe live case, making the component a one-hot state machine.
+func (sm SM) TokenCount(n *petri.Net) int {
+	s := 0
+	for _, p := range sm.Places {
+		s += n.Places[p].Initial
+	}
+	return s
+}
+
+// FormatInvariant renders a semiflow as "p0 + p1 + 2·p2 = k".
+func FormatInvariant(n *petri.Net, y []int, m0 petri.Marking) string {
+	var terms []string
+	for p, w := range y {
+		switch {
+		case w == 1:
+			terms = append(terms, n.Places[p].Name)
+		case w > 1:
+			terms = append(terms, fmt.Sprintf("%d·%s", w, n.Places[p].Name))
+		}
+	}
+	return fmt.Sprintf("%s = %d", join(terms, " + "), InvariantValue(y, m0))
+}
+
+func join(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}
+
+func minimalSupport(rows [][]int) [][]int {
+	// Deduplicate by support, keep rows whose support is not a strict
+	// superset of another's.
+	type entry struct {
+		y       []int
+		support map[int]bool
+	}
+	var entries []entry
+	seen := map[string]bool{}
+	for _, y := range rows {
+		sup := map[int]bool{}
+		key := ""
+		for p, w := range y {
+			if w != 0 {
+				sup[p] = true
+				key += fmt.Sprintf("%d:%d;", p, w)
+			}
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		entries = append(entries, entry{y: y, support: sup})
+	}
+	var out [][]int
+	for i, e := range entries {
+		minimal := true
+		for j, f := range entries {
+			if i == j {
+				continue
+			}
+			if strictSubset(f.support, e.support) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, e.y)
+		}
+	}
+	return out
+}
+
+func strictSubset(a, b map[int]bool) bool {
+	if len(a) >= len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func isZero(y []int) bool {
+	for _, v := range y {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

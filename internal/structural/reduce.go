@@ -1,0 +1,305 @@
+package structural
+
+import (
+	"fmt"
+
+	"repro/internal/petri"
+)
+
+// Linear reductions (Section 2.2, Figure 6): transformations that shrink the
+// net while preserving liveness, safeness and boundedness, used as a
+// preprocessing step before traversal. Using them "it is possible to reduce
+// the whole PN from Figure 3 to a single self-loop transition".
+//
+// The implemented rule set is Murata's classic collection:
+//
+//	FSP — fusion of series places (drop a 1-in/1-out transition)
+//	FST — fusion of series transitions (drop an unmarked 1-in/1-out place)
+//	FPP — fusion of parallel places
+//	FPT — fusion of parallel transitions
+//	ESP — elimination of marked self-loop places
+//	EST — elimination of self-loop transitions
+
+// Reduce applies the rules to a fixpoint on a copy of the net, returning the
+// reduced net and a human-readable trace of rule applications.
+func Reduce(n *petri.Net) (*petri.Net, []string) {
+	w := newWork(n)
+	var trace []string
+	for {
+		applied := false
+		for _, rule := range []func(*work) (string, bool){fsp, fst, fpp, fpt, esp, est} {
+			if msg, ok := rule(w); ok {
+				trace = append(trace, msg)
+				applied = true
+				break
+			}
+		}
+		if !applied {
+			break
+		}
+	}
+	return w.build(n.Name + "-reduced"), trace
+}
+
+// work is a mutable multiset-free view of the net with deletion flags.
+type work struct {
+	pName []string
+	pInit []int
+	pPre  [][]int // transitions producing into place
+	pPost [][]int
+	pDead []bool
+	tName []string
+	tPre  [][]int // places consumed
+	tPost [][]int
+	tDead []bool
+}
+
+func newWork(n *petri.Net) *work {
+	w := &work{}
+	for _, p := range n.Places {
+		w.pName = append(w.pName, p.Name)
+		w.pInit = append(w.pInit, p.Initial)
+		w.pPre = append(w.pPre, append([]int(nil), p.Pre...))
+		w.pPost = append(w.pPost, append([]int(nil), p.Post...))
+		w.pDead = append(w.pDead, false)
+	}
+	for _, t := range n.Transitions {
+		w.tName = append(w.tName, t.Name)
+		w.tPre = append(w.tPre, append([]int(nil), t.Pre...))
+		w.tPost = append(w.tPost, append([]int(nil), t.Post...))
+		w.tDead = append(w.tDead, false)
+	}
+	return w
+}
+
+func (w *work) build(name string) *petri.Net {
+	n := petri.New(name)
+	pMap := map[int]int{}
+	for p := range w.pName {
+		if w.pDead[p] {
+			continue
+		}
+		pMap[p] = n.AddPlace(w.pName[p], w.pInit[p])
+	}
+	tMap := map[int]int{}
+	for t := range w.tName {
+		if w.tDead[t] {
+			continue
+		}
+		tMap[t] = n.AddTransition(w.tName[t])
+	}
+	for t := range w.tName {
+		if w.tDead[t] {
+			continue
+		}
+		for _, p := range w.tPre[t] {
+			n.ArcPT(pMap[p], tMap[t])
+		}
+		for _, p := range w.tPost[t] {
+			n.ArcTP(tMap[t], pMap[p])
+		}
+	}
+	return n
+}
+
+// fsp: transition t with single input p1 and single output p2 (p1≠p2),
+// where p1 feeds only t and p2 is fed only by t: drop t, merge p2 into p1.
+func fsp(w *work) (string, bool) {
+	for t := range w.tName {
+		if w.tDead[t] || len(w.tPre[t]) != 1 || len(w.tPost[t]) != 1 {
+			continue
+		}
+		p1, p2 := w.tPre[t][0], w.tPost[t][0]
+		if p1 == p2 || len(w.pPost[p1]) != 1 || len(w.pPre[p2]) != 1 {
+			continue
+		}
+		if countIf(w.pPost[p2], func(x int) bool { return x == t }) > 0 {
+			continue // p2 feeds t back: not a series chain
+		}
+		// Merge: p1 absorbs p2's marking and successors.
+		w.tDead[t] = true
+		w.pDead[p2] = true
+		w.pInit[p1] += w.pInit[p2]
+		w.pPost[p1] = nil
+		for _, t2 := range w.pPost[p2] {
+			w.pPost[p1] = append(w.pPost[p1], t2)
+			replaceAll(w.tPre[t2], p2, p1)
+		}
+		return fmt.Sprintf("FSP: fused %s into %s, dropped %s", w.pName[p2], w.pName[p1], w.tName[t]), true
+	}
+	return "", false
+}
+
+// fst: unmarked place p with single producer t1 and single consumer t2,
+// where p is t2's only input: drop p and t2, t1 absorbs t2's outputs.
+func fst(w *work) (string, bool) {
+	for p := range w.pName {
+		if w.pDead[p] || w.pInit[p] != 0 || len(w.pPre[p]) != 1 || len(w.pPost[p]) != 1 {
+			continue
+		}
+		t1, t2 := w.pPre[p][0], w.pPost[p][0]
+		if t1 == t2 || len(w.tPre[t2]) != 1 {
+			continue
+		}
+		w.pDead[p] = true
+		w.tDead[t2] = true
+		removeFrom(&w.tPost[t1], func(x int) bool { return x == p })
+		for _, p2 := range w.tPost[t2] {
+			w.tPost[t1] = append(w.tPost[t1], p2)
+			replaceAll(w.pPre[p2], t2, t1)
+		}
+		return fmt.Sprintf("FST: fused %s into %s, dropped %s", w.tName[t2], w.tName[t1], w.pName[p]), true
+	}
+	return "", false
+}
+
+// fpp: two places with identical pre/post sets and equal marking.
+func fpp(w *work) (string, bool) {
+	for p := range w.pName {
+		if w.pDead[p] {
+			continue
+		}
+		for q := p + 1; q < len(w.pName); q++ {
+			if w.pDead[q] || w.pInit[p] != w.pInit[q] {
+				continue
+			}
+			if !sameSet(w.pPre[p], w.pPre[q]) || !sameSet(w.pPost[p], w.pPost[q]) {
+				continue
+			}
+			w.pDead[q] = true
+			for _, t := range w.pPre[q] {
+				removeFrom(&w.tPost[t], func(x int) bool { return x == q })
+			}
+			for _, t := range w.pPost[q] {
+				removeFrom(&w.tPre[t], func(x int) bool { return x == q })
+			}
+			return fmt.Sprintf("FPP: removed parallel place %s (dup of %s)", w.pName[q], w.pName[p]), true
+		}
+	}
+	return "", false
+}
+
+// fpt: two transitions with identical pre/post sets.
+func fpt(w *work) (string, bool) {
+	for t := range w.tName {
+		if w.tDead[t] {
+			continue
+		}
+		for u := t + 1; u < len(w.tName); u++ {
+			if w.tDead[u] {
+				continue
+			}
+			if !sameSet(w.tPre[t], w.tPre[u]) || !sameSet(w.tPost[t], w.tPost[u]) {
+				continue
+			}
+			w.tDead[u] = true
+			for _, p := range w.tPre[u] {
+				removeFrom(&w.pPost[p], func(x int) bool { return x == u })
+			}
+			for _, p := range w.tPost[u] {
+				removeFrom(&w.pPre[p], func(x int) bool { return x == u })
+			}
+			return fmt.Sprintf("FPT: removed parallel transition %s (dup of %s)", w.tName[u], w.tName[t]), true
+		}
+	}
+	return "", false
+}
+
+// esp: marked place whose only arcs are a self-loop on one transition, and
+// the transition has other inputs (so it does not become source-free).
+func esp(w *work) (string, bool) {
+	for p := range w.pName {
+		if w.pDead[p] || w.pInit[p] < 1 {
+			continue
+		}
+		if len(w.pPre[p]) != 1 || len(w.pPost[p]) != 1 || w.pPre[p][0] != w.pPost[p][0] {
+			continue
+		}
+		t := w.pPre[p][0]
+		if countIf(w.tPre[t], func(x int) bool { return x != p }) == 0 {
+			continue // keep the last pre-place: the net stays well-formed
+		}
+		w.pDead[p] = true
+		removeFrom(&w.tPre[t], func(x int) bool { return x == p })
+		removeFrom(&w.tPost[t], func(x int) bool { return x == p })
+		return fmt.Sprintf("ESP: removed self-loop place %s on %s", w.pName[p], w.tName[t]), true
+	}
+	return "", false
+}
+
+// est: transition whose pre-set equals its post-set (pure self-loop) and
+// which is not the only producer/consumer of those places... conservative:
+// only removed when every place involved has other producers and consumers.
+func est(w *work) (string, bool) {
+	for t := range w.tName {
+		if w.tDead[t] || len(w.tPre[t]) == 0 {
+			continue
+		}
+		if !sameSet(w.tPre[t], w.tPost[t]) {
+			continue
+		}
+		ok := true
+		for _, p := range w.tPre[t] {
+			if countIf(w.pPost[p], func(x int) bool { return x != t }) == 0 ||
+				countIf(w.pPre[p], func(x int) bool { return x != t }) == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		w.tDead[t] = true
+		for _, p := range w.tPre[t] {
+			removeFrom(&w.pPost[p], func(x int) bool { return x == t })
+			removeFrom(&w.pPre[p], func(x int) bool { return x == t })
+		}
+		return fmt.Sprintf("EST: removed self-loop transition %s", w.tName[t]), true
+	}
+	return "", false
+}
+
+func replaceAll(s []int, old, new int) {
+	for i, v := range s {
+		if v == old {
+			s[i] = new
+		}
+	}
+}
+
+func removeFrom(s *[]int, pred func(int) bool) {
+	out := (*s)[:0]
+	for _, v := range *s {
+		if !pred(v) {
+			out = append(out, v)
+		}
+	}
+	*s = out
+}
+
+func countIf(s []int, pred func(int) bool) int {
+	n := 0
+	for _, v := range s {
+		if pred(v) {
+			n++
+		}
+	}
+	return n
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	in := map[int]int{}
+	for _, v := range a {
+		in[v]++
+	}
+	for _, v := range b {
+		in[v]--
+		if in[v] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,293 @@
+package structural
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/petri"
+	"repro/internal/reach"
+	"repro/internal/vme"
+)
+
+func ring(k, tokens int) *petri.Net {
+	n := petri.New("ring")
+	ts := make([]int, k)
+	for i := range ts {
+		ts[i] = n.AddTransition("t" + string(rune('0'+i)))
+	}
+	for i := 0; i < k; i++ {
+		init := 0
+		if i < tokens {
+			init = 1
+		}
+		p := n.AddPlace("p"+string(rune('0'+i)), init)
+		n.ArcTP(ts[i], p)
+		n.ArcPT(p, ts[(i+1)%k])
+	}
+	return n
+}
+
+func TestIncidence(t *testing.T) {
+	n := ring(2, 1)
+	c := Incidence(n)
+	// t0 produces p0, consumes p1.
+	if c[0][0] != 1 || c[1][0] != -1 || c[0][1] != -1 || c[1][1] != 1 {
+		t.Fatalf("incidence = %v", c)
+	}
+}
+
+func TestPSemiflowsRing(t *testing.T) {
+	n := ring(3, 1)
+	flows := PSemiflows(n)
+	if len(flows) != 1 {
+		t.Fatalf("ring has one minimal semiflow, got %d: %v", len(flows), flows)
+	}
+	y := flows[0]
+	for p := range n.Places {
+		if y[p] != 1 {
+			t.Fatalf("ring semiflow must be all ones, got %v", y)
+		}
+	}
+	if !CheckInvariant(n, y) {
+		t.Fatal("semiflow must satisfy y·C = 0")
+	}
+	if InvariantValue(y, n.InitialMarking()) != 1 {
+		t.Fatal("ring conserves one token")
+	}
+	if !strings.Contains(FormatInvariant(n, y, n.InitialMarking()), "= 1") {
+		t.Fatal("invariant rendering")
+	}
+}
+
+func TestTSemiflowsRing(t *testing.T) {
+	n := ring(3, 1)
+	flows := TSemiflows(n)
+	if len(flows) != 1 {
+		t.Fatalf("ring has one minimal T-semiflow, got %v", flows)
+	}
+	for _, v := range flows[0] {
+		if v != 1 {
+			t.Fatalf("ring cycle fires every transition once: %v", flows[0])
+		}
+	}
+	if !CheckTInvariant(n, flows[0]) {
+		t.Fatal("T-semiflow must satisfy C·x = 0")
+	}
+}
+
+// The READ cycle's T-semiflow is one full transaction: every transition
+// fires once; the read/write net has two (one per cycle type).
+func TestTSemiflowsVME(t *testing.T) {
+	read := vme.ReadSTG().Net
+	flows := TSemiflows(read)
+	if len(flows) != 1 {
+		t.Fatalf("read cycle: %d T-semiflows, want 1", len(flows))
+	}
+	for _, v := range flows[0] {
+		if v != 1 {
+			t.Fatalf("one transaction fires each transition once: %v", flows[0])
+		}
+	}
+	rw := vme.ReadWriteSTG().Net
+	flowsRW := TSemiflows(rw)
+	if len(flowsRW) != 2 {
+		t.Fatalf("read/write: %d T-semiflows, want 2 (read cycle and write cycle)", len(flowsRW))
+	}
+	for _, x := range flowsRW {
+		if !CheckTInvariant(rw, x) {
+			t.Fatal("invalid T-semiflow")
+		}
+		// Each cycle uses exactly one of the two request transitions.
+		reqs := x[rw.TransitionIndex("DSr+")] + x[rw.TransitionIndex("DSw+")]
+		if reqs != 1 {
+			t.Fatalf("each cycle serves one request, got %d", reqs)
+		}
+	}
+}
+
+// Invariants hold dynamically: along any firing sequence the weighted token
+// count is constant.
+func TestInvariantsDynamic(t *testing.T) {
+	g := vme.ReadWriteSTG()
+	n := g.Net
+	flows := PSemiflows(n)
+	if len(flows) == 0 {
+		t.Fatal("read/write net must have semiflows")
+	}
+	rg, err := reach.Explore(n, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := n.InitialMarking()
+	for _, y := range flows {
+		if !CheckInvariant(n, y) {
+			t.Fatalf("bogus semiflow %v", y)
+		}
+		want := InvariantValue(y, m0)
+		for _, m := range rg.Markings {
+			if InvariantValue(y, m) != want {
+				t.Fatalf("invariant %v violated at %s", y, m.Format(n))
+			}
+		}
+	}
+}
+
+// TestFig6SMCover: the reduced read/write net is covered by two state
+// machine components, each carrying exactly one token.
+func TestFig6SMCover(t *testing.T) {
+	g := vme.ReadWriteSTG()
+	reduced, trace := Reduce(g.Net)
+	if len(trace) == 0 {
+		t.Fatal("reduction must fire at least one rule")
+	}
+	if len(reduced.Transitions) >= len(g.Net.Transitions) {
+		t.Fatalf("reduction must shrink: %d -> %d transitions",
+			len(g.Net.Transitions), len(reduced.Transitions))
+	}
+	cover, ok := SMCover(reduced)
+	if !ok {
+		t.Fatalf("reduced net must be covered by SM components; components: %v",
+			SMComponents(reduced))
+	}
+	if len(cover) != 2 {
+		t.Fatalf("Fig 6: expected a 2-component SM cover, got %d", len(cover))
+	}
+	for _, sm := range cover {
+		if sm.TokenCount(reduced) != 1 {
+			t.Fatalf("each SM component carries one token, got %d", sm.TokenCount(reduced))
+		}
+	}
+}
+
+// TestFig3ReducesToSelfLoop: the READ-cycle marked graph collapses to a
+// single transition with a self-loop place.
+func TestFig3ReducesToSelfLoop(t *testing.T) {
+	g := vme.ReadSTG()
+	reduced, trace := Reduce(g.Net)
+	if len(reduced.Transitions) != 1 {
+		t.Fatalf("Fig 3 must reduce to a single transition, got %d (trace: %v)\n%s",
+			len(reduced.Transitions), trace, reduced)
+	}
+	if len(reduced.Places) != 1 {
+		t.Fatalf("expected one self-loop place, got %d", len(reduced.Places))
+	}
+	p := reduced.Places[0]
+	if p.Initial < 1 {
+		t.Fatal("the self-loop place must be marked (liveness preserved)")
+	}
+	// The reduced net is live: its single transition can fire forever.
+	m := reduced.InitialMarking()
+	if !reduced.Enabled(m, 0) {
+		t.Fatal("self-loop transition must be enabled")
+	}
+	if !reduced.Fire(m, 0).Equal(m) {
+		t.Fatal("self-loop firing must preserve the marking")
+	}
+}
+
+// Reduction preserves liveness, boundedness and the total token count on
+// rings (safeness may be traded for compactness when marked places fuse,
+// which is how Fig 3 collapses to one self-loop).
+func TestReducePreservesRingBehaviour(t *testing.T) {
+	n := ring(5, 2)
+	reduced, _ := Reduce(n)
+	rg, err := reach.Explore(reduced, reach.Options{})
+	if err != nil {
+		t.Fatalf("reduced ring must stay bounded: %v", err)
+	}
+	if len(rg.Deadlocks()) != 0 {
+		t.Fatal("reduced ring must stay live")
+	}
+	for _, m := range rg.Markings {
+		if m.Tokens() != 2 {
+			t.Fatalf("token count must be conserved, got %d in %v", m.Tokens(), m)
+		}
+	}
+}
+
+func TestParallelRules(t *testing.T) {
+	// Two parallel places between a and b, and two parallel transitions
+	// between p and q.
+	n := petri.New("par")
+	a := n.AddTransition("a")
+	b := n.AddTransition("b")
+	p1 := n.AddPlace("p1", 0)
+	p2 := n.AddPlace("p2", 0)
+	n.ArcTP(a, p1)
+	n.ArcTP(a, p2)
+	n.ArcPT(p1, b)
+	n.ArcPT(p2, b)
+	q := n.AddPlace("q", 1)
+	n.ArcTP(b, q)
+	n.ArcPT(q, a)
+	reduced, trace := Reduce(n)
+	joined := strings.Join(trace, "\n")
+	if !strings.Contains(joined, "FPP") {
+		t.Fatalf("expected a parallel-place fusion in trace:\n%s", joined)
+	}
+	if len(reduced.Places) >= len(n.Places) {
+		t.Fatal("parallel place must be removed")
+	}
+}
+
+func TestSelfLoopRules(t *testing.T) {
+	n := petri.New("self")
+	a := n.AddTransition("a")
+	b := n.AddTransition("b")
+	p := n.AddPlace("p", 1)
+	n.ArcTP(a, p)
+	n.ArcPT(p, b)
+	q := n.AddPlace("q", 1)
+	n.ArcTP(b, q)
+	n.ArcPT(q, a)
+	// Self-loop place on a.
+	s := n.AddPlace("s", 1)
+	n.ArcPT(s, a)
+	n.ArcTP(a, s)
+	reduced, trace := Reduce(n)
+	joined := strings.Join(trace, "\n")
+	if !strings.Contains(joined, "ESP") {
+		t.Fatalf("expected self-loop place elimination:\n%s", joined)
+	}
+	// Redundant self-loop places collapse; exactly one marked place must
+	// survive so the net stays live and well-formed.
+	if len(reduced.Places) != 1 || reduced.Places[0].Initial < 1 {
+		t.Fatalf("expected a single marked place, got:\n%s", reduced)
+	}
+}
+
+func TestSMComponentsDiamond(t *testing.T) {
+	// Fork/join: t1 splits p into q1 and q2; t2 rejoins. The minimal unit
+	// semiflows are p+q1 and p+q2, each inducing a valid SM component, and
+	// together they cover the net.
+	n := petri.New("w")
+	t1 := n.AddTransition("t1")
+	t2 := n.AddTransition("t2")
+	p := n.AddPlace("p", 1)
+	q1 := n.AddPlace("q1", 0)
+	q2 := n.AddPlace("q2", 0)
+	n.ArcPT(p, t1)
+	n.ArcTP(t1, q1)
+	n.ArcTP(t1, q2)
+	n.ArcPT(q1, t2)
+	n.ArcPT(q2, t2)
+	n.ArcTP(t2, p)
+	comps := SMComponents(n)
+	if len(comps) != 2 {
+		t.Fatalf("expected 2 SM components, got %v", comps)
+	}
+	cover, ok := SMCover(n)
+	if !ok || len(cover) != 2 {
+		t.Fatalf("diamond needs both components to cover: %v ok=%v", cover, ok)
+	}
+	for _, sm := range comps {
+		if len(sm.Places) != 2 || len(sm.Transitions) != 2 {
+			t.Fatalf("component shape: %v", sm)
+		}
+		if sm.Places[0] != p && sm.Places[1] != p {
+			t.Fatalf("every component passes through p: %v", sm)
+		}
+	}
+	_ = q1
+	_ = q2
+}

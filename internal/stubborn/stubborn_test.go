@@ -1,0 +1,118 @@
+package stubborn
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/petri"
+	"repro/internal/reach"
+)
+
+func TestTogglesMassiveReduction(t *testing.T) {
+	net := gen.IndependentToggles(10)
+	full, err := reach.Explore(net, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := Explore(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red.Deadlocks) != 0 || len(full.Deadlocks()) != 0 {
+		t.Fatal("toggles never deadlock")
+	}
+	if full.NumStates() != 1024 {
+		t.Fatalf("full = %d", full.NumStates())
+	}
+	if red.States >= full.NumStates()/10 {
+		t.Fatalf("stubborn must reduce drastically: %d vs %d", red.States, full.NumStates())
+	}
+}
+
+func TestDeadlockPreservedPhilosophers(t *testing.T) {
+	for _, n := range []int{3, 4} {
+		net := gen.Philosophers(n)
+		full, err := reach.Explore(net, reach.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := Explore(net, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullDead := len(full.Deadlocks()) > 0
+		redDead := len(red.Deadlocks) > 0
+		if fullDead != redDead {
+			t.Fatalf("phil-%d: deadlock presence differs (full %v, reduced %v)", n, fullDead, redDead)
+		}
+		if !redDead {
+			t.Fatalf("phil-%d must deadlock (all left forks taken)", n)
+		}
+		if red.States > full.NumStates() {
+			t.Fatalf("phil-%d: reduction explored more states than full?!", n)
+		}
+		// Every deadlock marking found by the reduction is a true deadlock.
+		for _, m := range red.Deadlocks {
+			if len(net.EnabledList(m)) != 0 {
+				t.Fatalf("phil-%d: false deadlock %s", n, m.Format(net))
+			}
+		}
+	}
+}
+
+func TestDeadlockFoundInChain(t *testing.T) {
+	// a -> p -> b, no cycle: deadlocks after b fires.
+	net := petri.New("chain")
+	a := net.AddTransition("a")
+	b := net.AddTransition("b")
+	p0 := net.AddPlace("p0", 1)
+	p1 := net.AddPlace("p1", 0)
+	p2 := net.AddPlace("p2", 0)
+	net.ArcPT(p0, a)
+	net.ArcTP(a, p1)
+	net.ArcPT(p1, b)
+	net.ArcTP(b, p2)
+	red, err := Explore(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red.Deadlocks) != 1 {
+		t.Fatalf("chain must deadlock exactly once, got %v", red.Deadlocks)
+	}
+	if red.Deadlocks[0][p2] != 1 {
+		t.Fatal("deadlock must be the final marking")
+	}
+}
+
+func TestStateLimit(t *testing.T) {
+	net := gen.Philosophers(5)
+	if _, err := Explore(net, Options{MaxStates: 3}); err != ErrStateLimit {
+		t.Fatalf("want ErrStateLimit, got %v", err)
+	}
+}
+
+// No false deadlocks on live nets with choice.
+func TestLiveChoiceNet(t *testing.T) {
+	net := petri.New("choice")
+	p0 := net.AddPlace("p0", 1)
+	a := net.AddTransition("a")
+	b := net.AddTransition("b")
+	c := net.AddTransition("c")
+	p1 := net.AddPlace("p1", 0)
+	net.ArcPT(p0, a)
+	net.ArcPT(p0, b)
+	net.ArcTP(a, p1)
+	net.ArcTP(b, p1)
+	net.ArcPT(p1, c)
+	net.ArcTP(c, p0)
+	red, err := Explore(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red.Deadlocks) != 0 {
+		t.Fatal("live net reported deadlocked")
+	}
+	if red.Arcs == 0 {
+		t.Fatal("no exploration happened")
+	}
+}

@@ -1,0 +1,361 @@
+// Package symbolic implements BDD-based analysis of safe Petri nets
+// (Section 2.2): implicit reachability-set computation with one variable per
+// place, the invariant-based upper approximation of the reachability space,
+// and the dense state encoding derived from a state-machine cover (the
+// paper's v1..v4 table).
+package symbolic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bdd"
+	"repro/internal/petri"
+	"repro/internal/structural"
+)
+
+// Result is the outcome of a symbolic traversal.
+type Result struct {
+	M *bdd.Manager
+	// States is the characteristic function of the reachability set.
+	States bdd.Ref
+	// Count is the number of reachable markings.
+	Count float64
+	// Iterations is the number of image steps until the fixed point.
+	Iterations int
+	// PeakNodes is the manager size after traversal (arena nodes).
+	PeakNodes int
+}
+
+// Reach computes the reachable markings of a safe net with the naive
+// one-variable-per-place encoding: starting from the initial marking, the
+// image of the transition function is applied iteratively until the
+// characteristic function reaches a fixed point. Enabledness uses 1-safe
+// semantics: input places marked and fresh output places empty.
+func Reach(n *petri.Net) (*Result, error) {
+	if len(n.Places) > 4096 {
+		return nil, fmt.Errorf("symbolic: %d places is unreasonable", len(n.Places))
+	}
+	m := bdd.New(len(n.Places))
+
+	// Initial marking cube.
+	init := bdd.True
+	for p, pl := range n.Places {
+		if pl.Initial > 1 {
+			return nil, fmt.Errorf("symbolic: place %s initially unsafe", pl.Name)
+		}
+		if pl.Initial == 1 {
+			init = m.And(init, m.Var(p))
+		} else {
+			init = m.And(init, m.NVar(p))
+		}
+	}
+
+	// Per-transition precomputed pieces.
+	type trans struct {
+		enable  bdd.Ref
+		result  bdd.Ref
+		touched []int
+	}
+	ts := make([]trans, len(n.Transitions))
+	for t, tr := range n.Transitions {
+		pre := map[int]bool{}
+		post := map[int]bool{}
+		for _, p := range tr.Pre {
+			pre[p] = true
+		}
+		for _, p := range tr.Post {
+			post[p] = true
+		}
+		enable := bdd.True
+		result := bdd.True
+		var touched []int
+		for p := range pre {
+			enable = m.And(enable, m.Var(p))
+			touched = append(touched, p)
+			if !post[p] {
+				result = m.And(result, m.NVar(p))
+			} else {
+				result = m.And(result, m.Var(p))
+			}
+		}
+		for p := range post {
+			if !pre[p] {
+				enable = m.And(enable, m.NVar(p)) // 1-safe: no contact
+				touched = append(touched, p)
+				result = m.And(result, m.Var(p))
+			}
+		}
+		ts[t] = trans{enable: enable, result: result, touched: touched}
+	}
+
+	reached := init
+	frontier := init
+	iters := 0
+	for frontier != bdd.False {
+		iters++
+		next := bdd.False
+		for _, tr := range ts {
+			// states of the frontier where tr is enabled, with the touched
+			// places quantified away and re-imposed per the firing rule.
+			img := m.AndExists(frontier, tr.enable, tr.touched)
+			if img == bdd.False {
+				continue
+			}
+			img = m.And(img, tr.result)
+			next = m.Or(next, img)
+		}
+		frontier = m.Diff(next, reached)
+		reached = m.Or(reached, next)
+	}
+	return &Result{
+		M: m, States: reached,
+		Count:      m.SatCount(reached),
+		Iterations: iters,
+		PeakNodes:  m.Size(),
+	}, nil
+}
+
+// DeadStates computes the characteristic function of reachable deadlocked
+// markings fully symbolically: Reach ∧ ¬(∨_t enabled_t). This is the
+// BDD-based property verification of Section 2.2 ("absence of deadlocks")
+// — no marking is ever enumerated.
+func DeadStates(n *petri.Net, res *Result) (bdd.Ref, float64) {
+	m := res.M
+	someEnabled := bdd.False
+	for _, tr := range n.Transitions {
+		enable := bdd.True
+		pre := map[int]bool{}
+		for _, p := range tr.Pre {
+			pre[p] = true
+			enable = m.And(enable, m.Var(p))
+		}
+		for _, p := range tr.Post {
+			if !pre[p] {
+				enable = m.And(enable, m.NVar(p)) // 1-safe no-contact semantics
+			}
+		}
+		someEnabled = m.Or(someEnabled, enable)
+	}
+	dead := m.Diff(res.States, someEnabled)
+	return dead, m.SatCount(dead)
+}
+
+// InvariantApprox builds the conjunction of the characteristic functions of
+// the SM-cover invariants ("exactly one place of each component is marked")
+// in the same manager/encoding as a Reach result. It is an upper
+// approximation of the reachability set — exact for some nets, including the
+// paper's reduced read/write example.
+func InvariantApprox(n *petri.Net, m *bdd.Manager) (bdd.Ref, []structural.SM, error) {
+	cover, ok := structural.SMCover(n)
+	if !ok {
+		return bdd.False, nil, fmt.Errorf("symbolic: net has no SM cover")
+	}
+	chi := bdd.True
+	for _, sm := range cover {
+		if sm.TokenCount(n) != 1 {
+			return bdd.False, nil, fmt.Errorf("symbolic: SM component carries %d tokens, want 1",
+				sm.TokenCount(n))
+		}
+		one := bdd.False
+		for _, p := range sm.Places {
+			cube := m.Var(p)
+			for _, q := range sm.Places {
+				if q != p {
+					cube = m.And(cube, m.NVar(q))
+				}
+			}
+			one = m.Or(one, cube)
+		}
+		chi = m.And(chi, one)
+	}
+	return chi, cover, nil
+}
+
+// Dense is the dense state encoding of Section 2.2: each state-machine
+// component of a cover contributes ceil(log2 |places|) variables holding the
+// index of its marked place.
+type Dense struct {
+	Net   *petri.Net
+	Cover []structural.SM
+	M     *bdd.Manager
+	// BitsOf[i] lists the variable indexes of component i.
+	BitsOf [][]int
+	// posIn[i][place] = index of place within component i, or -1.
+	posIn [][]int
+}
+
+// NewDense derives the dense encoding from the net's SM cover.
+func NewDense(n *petri.Net) (*Dense, error) {
+	cover, ok := structural.SMCover(n)
+	if !ok {
+		return nil, fmt.Errorf("symbolic: net has no SM cover")
+	}
+	d := &Dense{Net: n, Cover: cover}
+	total := 0
+	for _, sm := range cover {
+		if sm.TokenCount(n) != 1 {
+			return nil, fmt.Errorf("symbolic: dense encoding needs 1 token per component")
+		}
+		total += bitsFor(len(sm.Places))
+	}
+	d.M = bdd.New(total)
+	next := 0
+	for i, sm := range cover {
+		k := bitsFor(len(sm.Places))
+		var bits []int
+		for b := 0; b < k; b++ {
+			bits = append(bits, next)
+			next++
+		}
+		d.BitsOf = append(d.BitsOf, bits)
+		pos := make([]int, len(n.Places))
+		for p := range pos {
+			pos[p] = -1
+		}
+		for j, p := range sm.Places {
+			pos[p] = j
+		}
+		d.posIn = append(d.posIn, pos)
+		_ = i
+	}
+	return d, nil
+}
+
+// Bits returns the total number of encoding variables — the paper's point:
+// typically far fewer than one per place.
+func (d *Dense) Bits() int { return d.M.NumVars() }
+
+// EncodeMarking maps a marking to its dense code; it fails when the marking
+// does not mark exactly one place per component.
+func (d *Dense) EncodeMarking(m petri.Marking) (uint64, error) {
+	var code uint64
+	for i, sm := range d.Cover {
+		marked := -1
+		for _, p := range sm.Places {
+			if m[p] > 0 {
+				if marked >= 0 {
+					return 0, fmt.Errorf("symbolic: two marked places in component %d", i)
+				}
+				marked = d.posIn[i][p]
+			}
+		}
+		if marked < 0 {
+			return 0, fmt.Errorf("symbolic: no marked place in component %d", i)
+		}
+		for b, v := range d.BitsOf[i] {
+			if marked&(1<<uint(b)) != 0 {
+				code |= 1 << uint(v)
+			}
+		}
+	}
+	return code, nil
+}
+
+// stateCube returns the cube fixing component i to place-position pos.
+func (d *Dense) stateCube(i, pos int) bdd.Ref {
+	cube := bdd.True
+	for b, v := range d.BitsOf[i] {
+		if pos&(1<<uint(b)) != 0 {
+			cube = d.M.And(cube, d.M.Var(v))
+		} else {
+			cube = d.M.And(cube, d.M.NVar(v))
+		}
+	}
+	return cube
+}
+
+// Reach computes the reachability set in the dense encoding and returns its
+// characteristic function and the state count.
+func (d *Dense) Reach() (bdd.Ref, float64, error) {
+	m := d.M
+	initCode, err := d.EncodeMarking(d.Net.InitialMarking())
+	if err != nil {
+		return bdd.False, 0, err
+	}
+	init := bdd.True
+	for v := 0; v < m.NumVars(); v++ {
+		if initCode&(1<<uint(v)) != 0 {
+			init = m.And(init, m.Var(v))
+		} else {
+			init = m.And(init, m.NVar(v))
+		}
+	}
+
+	// Per transition: the components it touches, its pre-cube and
+	// post-cube in dense variables. A transition outside every component
+	// cannot exist for a covered net (its places are covered), but a
+	// transition whose places span a component exactly once each is the
+	// normal case.
+	type trans struct {
+		enable  bdd.Ref
+		result  bdd.Ref
+		touched []int
+	}
+	var ts []trans
+	for t, tr := range d.Net.Transitions {
+		enable := bdd.True
+		result := bdd.True
+		var touched []int
+		involved := false
+		for i := range d.Cover {
+			preP, postP := -1, -1
+			for _, p := range tr.Pre {
+				if d.posIn[i][p] >= 0 {
+					preP = d.posIn[i][p]
+				}
+			}
+			for _, p := range tr.Post {
+				if d.posIn[i][p] >= 0 {
+					postP = d.posIn[i][p]
+				}
+			}
+			if preP < 0 && postP < 0 {
+				continue
+			}
+			if preP < 0 || postP < 0 {
+				return bdd.False, 0, fmt.Errorf(
+					"symbolic: transition %s enters/leaves component %d asymmetrically",
+					d.Net.Transitions[t].Name, i)
+			}
+			involved = true
+			enable = d.M.And(enable, d.stateCube(i, preP))
+			result = d.M.And(result, d.stateCube(i, postP))
+			touched = append(touched, d.BitsOf[i]...)
+		}
+		if involved {
+			ts = append(ts, trans{enable: enable, result: result, touched: touched})
+		}
+	}
+
+	reached := init
+	frontier := init
+	for frontier != bdd.False {
+		next := bdd.False
+		for _, tr := range ts {
+			img := m.AndExists(frontier, tr.enable, tr.touched)
+			if img == bdd.False {
+				continue
+			}
+			img = m.And(img, tr.result)
+			next = m.Or(next, img)
+		}
+		frontier = m.Diff(next, reached)
+		reached = m.Or(reached, next)
+	}
+	return reached, m.SatCount(reached), nil
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for (1 << uint(b)) < n {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// ExactCount is a helper for tests: 2^bits.
+func ExactCount(bits int) float64 { return math.Exp2(float64(bits)) }

@@ -1,0 +1,113 @@
+package techmap_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/encoding"
+	"repro/internal/logic"
+	"repro/internal/reach"
+	"repro/internal/sim"
+	"repro/internal/stg"
+	"repro/internal/techmap"
+	"repro/internal/vme"
+)
+
+// join3 is a three-way synchronizer: z rises after all of a,b,c rose and
+// falls after all fell — a C-element with three inputs. Its gC implementation
+// has 3-literal set/reset networks, and the extracted decomposition wires
+// are acknowledged by z itself, so two-input mapping must succeed.
+func join3(t testing.TB) *stg.STG {
+	t.Helper()
+	g := stg.New("join3")
+	for _, in := range []string{"a", "b", "c"} {
+		g.AddSignal(in, stg.Input)
+	}
+	g.AddSignal("z", stg.Output)
+	n := g.Net
+	zp := g.Rise("z")
+	zm := g.Fall("z")
+	for _, in := range []string{"a", "b", "c"} {
+		ip := g.Rise(in)
+		im := g.Fall(in)
+		n.Implicit(ip, zp, 0)
+		n.Implicit(zp, im, 0)
+		n.Implicit(im, zm, 0)
+		n.Implicit(zm, ip, 1)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestMapGCJoin3: positive latch decomposition — the 3-input set/reset
+// networks break into two-input gates and stay speed independent.
+func TestMapGCJoin3(t *testing.T) {
+	spec := join3(t)
+	sg, err := reach.BuildSG(spec, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := logic.Synthesize(sg, logic.GeneralizedC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.MaxFanIn() < 3 {
+		t.Fatalf("join3 gC must have a 3-input network, got %d:\n%s", nl.MaxFanIn(), nl.Equations())
+	}
+	mapped, err := techmap.Map(nl, spec, techmap.Options{MaxFanIn: 2})
+	if err != nil {
+		t.Fatalf("join3 gC mapping must succeed: %v\n%s", err, nl.Equations())
+	}
+	if mapped.MaxFanIn() > 2 {
+		t.Fatalf("fan-in %d:\n%s", mapped.MaxFanIn(), mapped.Equations())
+	}
+	res, err := sim.Verify(mapped, spec, sim.Options{})
+	if err != nil || !res.OK() {
+		t.Fatalf("mapped join3 must be SI: %v %v", err, res)
+	}
+	hasLatch := false
+	for _, g := range mapped.Gates {
+		if g.Kind == logic.CElem {
+			hasLatch = true
+		}
+	}
+	if !hasLatch {
+		t.Fatal("the C-element must survive decomposition")
+	}
+}
+
+// TestMapLatchLimitation documents the known hard case: the read/write
+// controller's LDS latch networks cannot be decomposed by resubstitution
+// alone — the extracted wire would need speed-independent acknowledgment
+// (the problem of references [4]/[5]). The mapper must fail with a clean
+// diagnostic, never return a hazardous netlist.
+func TestMapLatchLimitation(t *testing.T) {
+	sol, err := encoding.SolveCSC(vme.ReadWriteSTG(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := reach.BuildSG(sol.STG, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, style := range []logic.Style{logic.GeneralizedC, logic.StandardC} {
+		nl, err := logic.Synthesize(sg, style)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := techmap.Map(nl, sol.STG, techmap.Options{MaxFanIn: 2})
+		if err != nil {
+			if !strings.Contains(err.Error(), "techmap:") {
+				t.Fatalf("%v: unhelpful diagnostic: %v", style, err)
+			}
+			continue // documented limitation
+		}
+		// If it does succeed, the result must verify.
+		res, err := sim.Verify(mapped, sol.STG, sim.Options{})
+		if err != nil || !res.OK() {
+			t.Fatalf("%v: mapper returned a non-SI netlist: %v %v", style, err, res)
+		}
+	}
+}

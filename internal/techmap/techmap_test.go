@@ -1,0 +1,117 @@
+package techmap_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/boolmin"
+	"repro/internal/encoding"
+	"repro/internal/logic"
+	"repro/internal/reach"
+	"repro/internal/sim"
+	"repro/internal/stg"
+	"repro/internal/techmap"
+	"repro/internal/vme"
+)
+
+func cscSpec(t testing.TB) *stg.STG {
+	t.Helper()
+	g := vme.ReadSTG()
+	spec, err := encoding.InsertSignal(g, "csc0",
+		g.Net.TransitionIndex("LDS+"), g.Net.TransitionIndex("D-"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func complexNetlist(t testing.TB, spec *stg.STG) *logic.Netlist {
+	t.Helper()
+	sg, err := reach.BuildSG(spec, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := logic.Synthesize(sg, logic.ComplexGate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// TestFig9Map is the algorithmic side of E-F9: mapping the READ-cycle
+// complex-gate circuit into a two-input library must find a hazard-free
+// decomposition (the Figure 9a shape: a new wire acknowledged by multiple
+// gates), verified speed-independent.
+func TestFig9Map(t *testing.T) {
+	spec := cscSpec(t)
+	nl := complexNetlist(t, spec)
+	if nl.MaxFanIn() <= 2 {
+		t.Fatalf("csc0 gate must exceed 2 inputs before mapping, got %d", nl.MaxFanIn())
+	}
+	mapped, err := techmap.Map(nl, spec, techmap.Options{MaxFanIn: 2})
+	if err != nil {
+		t.Fatalf("mapping failed: %v", err)
+	}
+	if mapped.MaxFanIn() > 2 {
+		t.Fatalf("mapped netlist fan-in %d > 2:\n%s", mapped.MaxFanIn(), mapped.Equations())
+	}
+	// A decomposition wire was added.
+	if mapped.SignalIndex("map0") < 0 {
+		t.Fatalf("expected a map0 wire:\n%s", mapped.Equations())
+	}
+	// The result is speed independent.
+	res, err := sim.Verify(mapped, spec, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("mapped circuit must be SI: %v", res.Violations)
+	}
+	// Multiple acknowledgment: map0 feeds at least two gates.
+	w := mapped.SignalIndex("map0")
+	users := 0
+	for _, g := range mapped.Gates {
+		for _, v := range g.F.Support() {
+			if v == w {
+				users++
+				break
+			}
+		}
+	}
+	if users < 2 {
+		t.Fatalf("map0 must be acknowledged by multiple gates, used by %d:\n%s",
+			users, mapped.Equations())
+	}
+}
+
+func TestMapNoopWhenWithinBudget(t *testing.T) {
+	spec := cscSpec(t)
+	nl := complexNetlist(t, spec)
+	mapped, err := techmap.Map(nl, spec, techmap.Options{MaxFanIn: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mapped.Gates) != len(nl.Gates) {
+		t.Fatal("within-budget netlist must be unchanged")
+	}
+}
+
+func TestMapRejectsBadInput(t *testing.T) {
+	spec := cscSpec(t)
+	nl := complexNetlist(t, spec)
+	if _, err := techmap.Map(nl, spec, techmap.Options{MaxFanIn: 1}); err == nil {
+		t.Fatal("fan-in 1 must be rejected")
+	}
+	// A netlist that is not SI must be rejected.
+	bad := complexNetlist(t, spec)
+	for i := range bad.Gates {
+		if bad.Signals[bad.Gates[i].Output] == "DTACK" {
+			bad.Gates[i].F = boolmin.Cover{N: len(bad.Signals), Cubes: []boolmin.Cube{
+				boolmin.FullCube().WithLiteral(bad.SignalIndex("LDS"), true)}}
+		}
+	}
+	if _, err := techmap.Map(bad, spec, techmap.Options{MaxFanIn: 2}); err == nil ||
+		!strings.Contains(err.Error(), "not SI") {
+		t.Fatalf("non-SI input must be rejected, got %v", err)
+	}
+}

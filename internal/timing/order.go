@@ -1,0 +1,45 @@
+package timing
+
+import (
+	"fmt"
+
+	"repro/internal/reach"
+	"repro/internal/sim"
+	"repro/internal/stg"
+)
+
+// AddTimingOrder encodes a separation assumption sep(earlier, later) < 0 into
+// the specification as a causal place earlier→later. Unlike logical
+// concurrency reduction (encoding.DelayTransition) this expresses a *timing
+// assumption* — it may be applied to input transitions, because it does not
+// ask the circuit to delay anything; it informs synthesis that the
+// environment/physical design guarantees the ordering, shrinking the
+// reachable state space (Section 5, first bullet).
+//
+// The initial token count of the new place (0 or 1) is inferred: the variant
+// whose state graph is consistent, live and safe is chosen.
+func AddTimingOrder(g *stg.STG, earlier, later string) (*stg.STG, sim.RelativeOrder, error) {
+	var zero sim.RelativeOrder
+	et := g.Net.TransitionIndex(earlier)
+	lt := g.Net.TransitionIndex(later)
+	if et < 0 || lt < 0 {
+		return nil, zero, fmt.Errorf("timing: unknown transition %q or %q", earlier, later)
+	}
+	var lastErr error
+	for _, tokens := range []int{0, 1} {
+		c := g.Clone()
+		c.Net.Implicit(c.Net.TransitionIndex(earlier), c.Net.TransitionIndex(later), tokens)
+		sg, err := reach.BuildSG(c, reach.Options{})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if len(sg.Deadlocks()) > 0 {
+			lastErr = fmt.Errorf("timing: ordering with %d tokens deadlocks", tokens)
+			continue
+		}
+		cons := sim.RelativeOrder{Earlier: eventRefOf(g, et), Later: eventRefOf(g, lt)}
+		return c, cons, nil
+	}
+	return nil, zero, fmt.Errorf("timing: cannot add order %s -> %s: %v", earlier, later, lastErr)
+}

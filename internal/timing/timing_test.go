@@ -1,0 +1,444 @@
+package timing_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/encoding"
+	"repro/internal/logic"
+	"repro/internal/reach"
+	"repro/internal/sim"
+	"repro/internal/stg"
+	"repro/internal/timing"
+	"repro/internal/vme"
+)
+
+// mgRing builds the 3-stage marked-graph ring a -> b -> c -> a (token on
+// c -> a).
+func mgRing(t *testing.T) *stg.STG {
+	t.Helper()
+	g := stg.New("ring")
+	g.AddSignal("a", stg.Output)
+	g.AddSignal("b", stg.Output)
+	g.AddSignal("c", stg.Output)
+	at := g.AddTransition(0, stg.Toggle)
+	bt := g.AddTransition(1, stg.Toggle)
+	ct := g.AddTransition(2, stg.Toggle)
+	g.Net.Chain(at, bt, ct)
+	g.Net.Implicit(ct, at, 1)
+	return g
+}
+
+func TestMaxSeparationSharedPrefixCancels(t *testing.T) {
+	g := mgRing(t)
+	s := timing.Spec{G: g, Delays: []timing.Delay{
+		{Min: 1, Max: 2}, timing.Fixed(3), timing.Fixed(5),
+	}}
+	// x(b,0) - x(a,0) = 3 exactly: the shared δa cancels. A naive interval
+	// bound would report 4.
+	sep, err := timing.MaxSeparation(s,
+		timing.Occurrence{Transition: 1, Cycle: 0},
+		timing.Occurrence{Transition: 0, Cycle: 0}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep != 3 {
+		t.Fatalf("sep(b0,a0) = %d, want exactly 3", sep)
+	}
+	// And the reverse is -3.
+	sep2, err := timing.MinSeparation(s,
+		timing.Occurrence{Transition: 0, Cycle: 0},
+		timing.Occurrence{Transition: 1, Cycle: 0}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep2 != -3 {
+		t.Fatalf("minsep(a0,b0) = %d, want -3", sep2)
+	}
+}
+
+// diamond: a forks to b and c, which join at d; d closes the cycle to a.
+func diamond(t *testing.T) *stg.STG {
+	t.Helper()
+	g := stg.New("diamond")
+	for _, n := range []string{"a", "b", "c", "d"} {
+		g.AddSignal(n, stg.Output)
+	}
+	at := g.AddTransition(0, stg.Toggle)
+	bt := g.AddTransition(1, stg.Toggle)
+	ct := g.AddTransition(2, stg.Toggle)
+	dt := g.AddTransition(3, stg.Toggle)
+	n := g.Net
+	n.Implicit(at, bt, 0)
+	n.Implicit(at, ct, 0)
+	n.Implicit(bt, dt, 0)
+	n.Implicit(ct, dt, 0)
+	n.Implicit(dt, at, 1)
+	return g
+}
+
+func TestMaxSeparationDiamond(t *testing.T) {
+	g := diamond(t)
+	s := timing.Spec{G: g, Delays: []timing.Delay{
+		timing.Fixed(0), {Min: 1, Max: 4}, {Min: 2, Max: 3}, timing.Fixed(0),
+	}}
+	occ := func(tr, k int) timing.Occurrence { return timing.Occurrence{Transition: tr, Cycle: k} }
+	// Independent branches: sep(b,c) = 4-2 = 2.
+	sep, err := timing.MaxSeparation(s, occ(1, 0), occ(2, 0), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep != 2 {
+		t.Fatalf("sep(b,c) = %d, want 2", sep)
+	}
+	// Correlated: sep(d,b) = max over δb of (max(δb,δc) - δb) = 2 at δb=1,δc=3.
+	sep, err = timing.MaxSeparation(s, occ(3, 0), occ(1, 0), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep != 2 {
+		t.Fatalf("sep(d,b) = %d, want 2", sep)
+	}
+	// sep(b,d): b fires before d always: max(x_b - x_d) = -min(δc ... )
+	// x_d - x_b = max(δb,δc)-δb >= 0, so sep(b,d) = -0? At δb=4, δc=2:
+	// x_d = 4, x_b = 4 -> 0.
+	sep, err = timing.MaxSeparation(s, occ(1, 0), occ(3, 0), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep != 0 {
+		t.Fatalf("sep(b,d) = %d, want 0", sep)
+	}
+}
+
+func TestMaxSeparationLimits(t *testing.T) {
+	g := mgRing(t)
+	s := timing.Spec{G: g, Delays: []timing.Delay{
+		{Min: 1, Max: 2}, {Min: 1, Max: 2}, {Min: 1, Max: 2},
+	}}
+	// Out-of-window occurrence.
+	if _, err := timing.MaxSeparation(s,
+		timing.Occurrence{Transition: 0, Cycle: 9},
+		timing.Occurrence{Transition: 1, Cycle: 0}, 2, 0); err == nil {
+		t.Fatal("occurrence outside unrolling must error")
+	}
+	// Shared-variable limit.
+	if _, err := timing.MaxSeparation(s,
+		timing.Occurrence{Transition: 2, Cycle: 3},
+		timing.Occurrence{Transition: 1, Cycle: 3}, 4, 1); err == nil {
+		t.Fatal("exceeding maxShared must error")
+	}
+	// Non-marked-graph rejection.
+	rw := vme.ReadWriteSTG()
+	bad := timing.Spec{G: rw, Delays: make([]timing.Delay, len(rw.Net.Transitions))}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("choice net must be rejected for TSE")
+	}
+}
+
+// The upper bound always dominates the exact separation, and scales past the
+// shared-variable limit.
+func TestSeparationUpperBound(t *testing.T) {
+	g := mgRing(t)
+	s := timing.Spec{G: g, Delays: []timing.Delay{
+		{Min: 1, Max: 2}, timing.Fixed(3), timing.Fixed(5),
+	}}
+	occ := func(tr, k int) timing.Occurrence { return timing.Occurrence{Transition: tr, Cycle: k} }
+	exact, err := timing.MaxSeparation(s, occ(1, 1), occ(0, 1), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := timing.SeparationUpperBound(s, occ(1, 1), occ(0, 1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound < exact {
+		t.Fatalf("bound %d below exact %d", bound, exact)
+	}
+	// A case the exact engine refuses (all delays ranged, deep unroll):
+	wide := timing.Spec{G: vme.ReadSTG(), Delays: make([]timing.Delay, len(vme.ReadSTG().Net.Transitions))}
+	for i := range wide.Delays {
+		wide.Delays[i] = timing.Delay{Min: 1, Max: 3}
+	}
+	gg := wide.G
+	from := timing.Occurrence{Transition: gg.Net.TransitionIndex("LDTACK-"), Cycle: 3}
+	to := timing.Occurrence{Transition: gg.Net.TransitionIndex("DSr+"), Cycle: 4}
+	if _, err := timing.MaxSeparation(wide, from, to, 5, 5); err == nil {
+		t.Fatal("exact engine should refuse this instance at maxShared=5")
+	}
+	if _, err := timing.SeparationUpperBound(wide, from, to, 5); err != nil {
+		t.Fatalf("bound must always be computable: %v", err)
+	}
+	if _, err := timing.SeparationUpperBound(wide, timing.Occurrence{Transition: 0, Cycle: 99}, to, 5); err == nil {
+		t.Fatal("out-of-window occurrence must error")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	g := mgRing(t)
+	s := timing.Spec{G: g, Delays: []timing.Delay{
+		{Min: 1, Max: 2}, timing.Fixed(3), timing.Fixed(5),
+	}}
+	// b fires δb after a: latency(a→b) = 3 exactly.
+	lat, err := timing.Latency(s, "a~", "b~", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 3 {
+		t.Fatalf("latency(a,b) = %d, want 3", lat)
+	}
+	// c after a: 3 + 5.
+	lat, err = timing.Latency(s, "a~", "c~", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 8 {
+		t.Fatalf("latency(a,c) = %d, want 8", lat)
+	}
+	if _, err := timing.Latency(s, "zz", "b~", 4); err == nil {
+		t.Fatal("unknown transition must error")
+	}
+}
+
+func TestCycleTime(t *testing.T) {
+	g := mgRing(t)
+	s := timing.Spec{G: g, Delays: []timing.Delay{
+		{Min: 1, Max: 2}, timing.Fixed(3), timing.Fixed(5),
+	}}
+	ct, err := timing.CycleTime(s, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ct-10) > 1e-6 {
+		t.Fatalf("max cycle time = %v, want 10", ct)
+	}
+	ct, err = timing.CycleTime(s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ct-9) > 1e-6 {
+		t.Fatalf("min cycle time = %v, want 9", ct)
+	}
+}
+
+// TestVMESeparationVerified checks the paper's Fig 11a assumption
+// numerically: with a slow bus (DSr+ re-request) and a fast local handshake,
+// sep(LDTACK-, DSr+next) < 0.
+func TestVMESeparationVerified(t *testing.T) {
+	g := vme.ReadSTG()
+	delays := make([]timing.Delay, len(g.Net.Transitions))
+	for i := range delays {
+		delays[i] = timing.Fixed(1)
+	}
+	delays[g.Net.TransitionIndex("DSr+")] = timing.Delay{Min: 50, Max: 60}
+	delays[g.Net.TransitionIndex("LDS-")] = timing.Delay{Min: 1, Max: 3}
+	s := timing.Spec{G: g, Delays: delays}
+	sep, err := timing.MaxSeparation(s,
+		timing.Occurrence{Transition: g.Net.TransitionIndex("LDTACK-"), Cycle: 2},
+		timing.Occurrence{Transition: g.Net.TransitionIndex("DSr+"), Cycle: 3}, 4, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep >= 0 {
+		t.Fatalf("sep(LDTACK-, DSr+) = %d, want < 0", sep)
+	}
+}
+
+// TestFig11aTimedSynthesis: with sep(LDTACK-,DSr+)<0 the CSC conflict
+// disappears and the circuit simplifies — no state signal needed.
+func TestFig11aTimedSynthesis(t *testing.T) {
+	g := vme.ReadSTG()
+	timed, cons, err := timing.AddTimingOrder(g, "LDTACK-", "DSr+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := reach.BuildSG(timed, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sg.HasCSC() {
+		t.Fatal("Fig 11a: timing assumption must remove the CSC conflict")
+	}
+	if sg.NumStates() >= 14 {
+		t.Fatalf("timed SG must be smaller than 14 states, got %d", sg.NumStates())
+	}
+	nl, err := logic.Synthesize(sg, logic.ComplexGate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The timed circuit verifies against the timed spec.
+	res, err := sim.Verify(nl, timed, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("timed circuit must be SI under the assumption: %v", res.Violations)
+	}
+	// ... and fails against the untimed environment (the assumption is load
+	// bearing).
+	res2, err := sim.Verify(nl, g, sim.Options{MaxViolations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.OK() {
+		t.Fatal("untimed environment must break the timed circuit")
+	}
+	// Cheaper than the csc0 solution.
+	sol, err := encoding.SolveCSC(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.LiteralCount() >= sol.Literals {
+		t.Fatalf("timed circuit (%d literals) must beat csc0 circuit (%d)",
+			nl.LiteralCount(), sol.Literals)
+	}
+	_ = cons
+}
+
+// TestFig11bRetrigger: early enabling of LDS- from DSr- under
+// sep(D-,LDS-)<0.
+func TestFig11bRetrigger(t *testing.T) {
+	g := vme.ReadSTG()
+	early, cons, err := timing.Retrigger(g, "LDS-", "D-", "DSr-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.Earlier.Signal != "D" || cons.Later.Signal != "LDS" {
+		t.Fatalf("constraint = %v", cons)
+	}
+	// The transformed spec still needs CSC resolution; solve and synthesize.
+	sol, err := encoding.SolveCSC(early, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := logic.Synthesize(sol.SG, logic.ComplexGate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Against the ORIGINAL spec (csc0 is an implementation-only wire) with
+	// the separation enforced, the circuit is SI and conformant: the early
+	// enabling is invisible because D- always wins the race.
+	res, err := sim.Verify(nl, g, sim.Options{Constraints: []sim.RelativeOrder{cons}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("Fig 11b circuit must be SI under sep(D-,LDS-)<0: %v", res.Violations)
+	}
+	// Without the constraint the race is real: LDS- may beat D-, which the
+	// original specification forbids.
+	res2, err := sim.Verify(nl, g, sim.Options{MaxViolations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.OK() {
+		t.Fatal("dropping the separation must expose the race")
+	}
+}
+
+// TestFig11cCombined: both assumptions together give the simplest circuit.
+func TestFig11cCombined(t *testing.T) {
+	g := vme.ReadSTG()
+	timed, _, err := timing.AddTimingOrder(g, "LDTACK-", "DSr+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, cons2, err := timing.Retrigger(timed, "LDS-", "D-", "DSr-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := reach.BuildSG(early, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sg.HasCSC() {
+		t.Fatal("Fig 11c spec must have CSC without insertion")
+	}
+	nl, err := logic.Synthesize(sg, logic.ComplexGate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Verify(nl, early, sim.Options{Constraints: []sim.RelativeOrder{cons2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("Fig 11c circuit must verify: %v", res.Violations)
+	}
+	// Simplest of all variants.
+	solUntimed, err := encoding.SolveCSC(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.LiteralCount() >= solUntimed.Literals {
+		t.Fatalf("Fig 11c (%d literals) must beat the untimed csc0 circuit (%d)",
+			nl.LiteralCount(), solUntimed.Literals)
+	}
+}
+
+func TestPruneSGCoEnabled(t *testing.T) {
+	// Two concurrent outputs x,y after input r; constraint x+ before y+
+	// halves the diamond.
+	g := stg.New("conc")
+	g.AddSignal("r", stg.Input)
+	g.AddSignal("x", stg.Output)
+	g.AddSignal("y", stg.Output)
+	rp := g.Rise("r")
+	xp := g.Rise("x")
+	yp := g.Rise("y")
+	rm := g.Fall("r")
+	xm := g.Fall("x")
+	ym := g.Fall("y")
+	n := g.Net
+	n.Implicit(rp, xp, 0)
+	n.Implicit(rp, yp, 0)
+	n.Implicit(xp, rm, 0)
+	n.Implicit(yp, rm, 0)
+	n.Implicit(rm, xm, 0)
+	n.Implicit(rm, ym, 0)
+	n.Implicit(xm, rp, 1)
+	n.Implicit(ym, rp, 1)
+	sg, err := reach.BuildSG(g, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := timing.PruneSG(sg, []sim.RelativeOrder{{
+		Earlier: sim.EventRef{Signal: "x", Dir: stg.Rise},
+		Later:   sim.EventRef{Signal: "y", Dir: stg.Rise},
+	}})
+	if pruned.NumStates() >= sg.NumStates() {
+		t.Fatalf("pruning must shrink: %d -> %d", sg.NumStates(), pruned.NumStates())
+	}
+	// In the pruned graph no state offers y+ while x+ is also enabled.
+	for s := range pruned.States {
+		hasX, hasY := false, false
+		for _, a := range pruned.Out[s] {
+			if a.Event.Name == "x+" {
+				hasX = true
+			}
+			if a.Event.Name == "y+" {
+				hasY = true
+			}
+		}
+		if hasX && hasY {
+			t.Fatal("constraint violated in pruned SG")
+		}
+	}
+}
+
+func TestRetriggerErrors(t *testing.T) {
+	g := vme.ReadSTG()
+	if _, _, err := timing.Retrigger(g, "nope", "D-", "DSr-"); err == nil {
+		t.Fatal("unknown transition must error")
+	}
+	if _, _, err := timing.Retrigger(g, "LDS-", "DSr+", "DSr-"); err == nil {
+		t.Fatal("non-existent trigger arc must error")
+	}
+}
+
+func TestAddTimingOrderErrors(t *testing.T) {
+	g := vme.ReadSTG()
+	if _, _, err := timing.AddTimingOrder(g, "zzz", "DSr+"); err == nil {
+		t.Fatal("unknown transition must error")
+	}
+}

@@ -1,0 +1,218 @@
+package ts
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stg"
+)
+
+// This file implements the implementability checks of Section 2.1:
+// consistency is established during SG construction (package reach);
+// here live complete state coding (USC/CSC) and persistency.
+
+// CodeConflict is a pair of distinct states sharing a binary code.
+type CodeConflict struct {
+	Code   Code
+	A, B   int
+	Signal int // for CSC conflicts: a non-input signal with differing excitation; -1 for pure USC
+}
+
+func (c CodeConflict) String() string {
+	return fmt.Sprintf("states %d/%d share code %b (signal %d)", c.A, c.B, uint64(c.Code), c.Signal)
+}
+
+// USCConflicts returns all pairs of distinct states with equal binary codes:
+// violations of the Unique State Coding property.
+func (g *SG) USCConflicts() []CodeConflict {
+	var out []CodeConflict
+	for _, group := range g.groupsSorted() {
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				out = append(out, CodeConflict{
+					Code: g.States[group[i]].Code, A: group[i], B: group[j], Signal: -1,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CSCConflicts returns the USC conflict pairs in which some non-input signal
+// has different excitation in the two states — the conflicts that make the
+// next-state functions ill-defined ("completeness of state encoding",
+// Section 2.1). Each conflict records one witnessing signal.
+func (g *SG) CSCConflicts() []CodeConflict {
+	var out []CodeConflict
+	for _, group := range g.groupsSorted() {
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				a, b := group[i], group[j]
+				if sig, ok := g.cscWitness(a, b); ok {
+					out = append(out, CodeConflict{
+						Code: g.States[a].Code, A: a, B: b, Signal: sig,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// HasCSC reports whether the Complete State Coding property holds.
+func (g *SG) HasCSC() bool { return len(g.CSCConflicts()) == 0 }
+
+// HasUSC reports whether the Unique State Coding property holds.
+func (g *SG) HasUSC() bool { return len(g.USCConflicts()) == 0 }
+
+// cscWitness returns a non-input signal whose excitation differs between
+// states a and b.
+func (g *SG) cscWitness(a, b int) (int, bool) {
+	for sig, s := range g.Signals {
+		if s.Kind != stg.Output && s.Kind != stg.Internal {
+			continue
+		}
+		_, exA := g.Excited(a, sig)
+		_, exB := g.Excited(b, sig)
+		if exA != exB {
+			return sig, true
+		}
+	}
+	return -1, false
+}
+
+// groupsSorted returns code-sharing groups of size >= 2 in deterministic
+// order (by smallest member).
+func (g *SG) groupsSorted() [][]int {
+	byCode := g.StatesByCode()
+	var groups [][]int
+	for _, grp := range byCode {
+		if len(grp) >= 2 {
+			groups = append(groups, grp)
+		}
+	}
+	// Each group is already ascending (states appended in index order);
+	// order groups by first member for determinism.
+	for i := 1; i < len(groups); i++ {
+		for j := i; j > 0 && groups[j][0] < groups[j-1][0]; j-- {
+			groups[j], groups[j-1] = groups[j-1], groups[j]
+		}
+	}
+	return groups
+}
+
+// PersistencyViolation records event e being disabled by event u firing in
+// state S: after u, no arc labeled like e leaves the successor.
+type PersistencyViolation struct {
+	State     int
+	Disabled  Event // the event that was enabled and got disabled
+	Disabler  Event // the event whose firing disabled it
+	Successor int
+}
+
+func (v PersistencyViolation) String() string {
+	return fmt.Sprintf("state %d: %s disables %s", v.State, v.Disabler, v.Disabled)
+}
+
+// PersistencyViolations checks the two persistency conditions of Section 2.1:
+// (a) no non-input signal transition may be disabled by any other signal
+// transition (would cause hazards at gate outputs), and (b) no input signal
+// transition may be disabled by a non-input transition (would cause hazards
+// at the device inputs). Input-input conflicts are allowed: they model
+// choices made by the environment.
+func (g *SG) PersistencyViolations() []PersistencyViolation {
+	var out []PersistencyViolation
+	for s, arcs := range g.Out {
+		for _, e := range arcs {
+			for _, u := range arcs {
+				if sameEvent(e.Event, u.Event) {
+					continue
+				}
+				eInput := g.isInputEvent(e.Event)
+				uInput := g.isInputEvent(u.Event)
+				if eInput && uInput {
+					continue // environment's own choice
+				}
+				if eInput && !uInput {
+					// Condition (b): u (non-input) must not disable input e.
+					if !g.stillEnabled(u.To, e.Event) {
+						out = append(out, PersistencyViolation{
+							State: s, Disabled: e.Event, Disabler: u.Event, Successor: u.To,
+						})
+					}
+					continue
+				}
+				// e is non-input: condition (a), nothing may disable it.
+				if !g.stillEnabled(u.To, e.Event) {
+					out = append(out, PersistencyViolation{
+						State: s, Disabled: e.Event, Disabler: u.Event, Successor: u.To,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IsPersistent reports whether the SG satisfies both persistency conditions.
+func (g *SG) IsPersistent() bool { return len(g.PersistencyViolations()) == 0 }
+
+func (g *SG) isInputEvent(e Event) bool {
+	return e.Sig >= 0 && g.Signals[e.Sig].Kind == stg.Input
+}
+
+func (g *SG) stillEnabled(state int, e Event) bool {
+	for _, a := range g.Out[state] {
+		if sameEvent(a.Event, e) {
+			return true
+		}
+	}
+	return false
+}
+
+func sameEvent(a, b Event) bool {
+	if a.Sig < 0 || b.Sig < 0 {
+		return a.Name == b.Name
+	}
+	return a.Sig == b.Sig && a.Dir == b.Dir
+}
+
+// Implementability aggregates the Section 2.1 property suite.
+type Implementability struct {
+	Consistent   bool // established by construction (reach.BuildSG)
+	USC          bool
+	CSC          bool
+	Persistent   bool
+	DeadlockFree bool
+}
+
+// OK reports whether the SG can be implemented as a speed-independent
+// circuit (with USC relaxed: only CSC is required for well-defined logic).
+func (r Implementability) OK() bool {
+	return r.Consistent && r.CSC && r.Persistent && r.DeadlockFree
+}
+
+func (r Implementability) String() string {
+	flag := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "NO"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "consistent=%s usc=%s csc=%s persistent=%s deadlock-free=%s",
+		flag(r.Consistent), flag(r.USC), flag(r.CSC), flag(r.Persistent), flag(r.DeadlockFree))
+	return b.String()
+}
+
+// CheckImplementability runs the full Section 2.1 property suite on a
+// consistently-built SG.
+func (g *SG) CheckImplementability() Implementability {
+	return Implementability{
+		Consistent:   true, // reach.BuildSG fails otherwise
+		USC:          g.HasUSC(),
+		CSC:          g.HasCSC(),
+		Persistent:   g.IsPersistent(),
+		DeadlockFree: len(g.Deadlocks()) == 0,
+	}
+}

@@ -1,0 +1,123 @@
+package ts
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Isomorphic checks whether two deterministic state graphs are isomorphic as
+// rooted edge-labeled graphs with matching codes: a bijection between states
+// that maps initial to initial, preserves binary codes, and preserves every
+// labeled arc. Labels compare as (signal name, direction) so the graphs may
+// order their signal tables differently. An error explains the first
+// mismatch; nil means isomorphic.
+//
+// Determinism (at most one successor per label per state) is required and
+// checked — it makes the canonical BFS pairing sound and linear.
+func Isomorphic(a, b *SG) error {
+	if a.NumStates() != b.NumStates() {
+		return fmt.Errorf("state counts differ: %d vs %d", a.NumStates(), b.NumStates())
+	}
+	if a.NumArcs() != b.NumArcs() {
+		return fmt.Errorf("arc counts differ: %d vs %d", a.NumArcs(), b.NumArcs())
+	}
+	sigName := func(g *SG, e Event) string {
+		if e.Sig < 0 {
+			return "λ:" + e.Name
+		}
+		return g.Signals[e.Sig].Name + e.Dir.String()
+	}
+	codeStr := func(g *SG, s int) string {
+		// Codes compared by signal NAME, not index.
+		names := make([]string, len(g.Signals))
+		for i, sg := range g.Signals {
+			names[i] = sg.Name
+		}
+		idx := make([]int, len(names))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(x, y int) bool { return names[idx[x]] < names[idx[y]] })
+		out := make([]byte, len(idx))
+		for k, i := range idx {
+			if g.States[s].Code.Bit(i) {
+				out[k] = '1'
+			} else {
+				out[k] = '0'
+			}
+		}
+		return string(out)
+	}
+	type edgeMap map[string]int
+	succs := func(g *SG, s int) (edgeMap, error) {
+		m := edgeMap{}
+		for _, arc := range g.Out[s] {
+			l := sigName(g, arc.Event)
+			if prev, dup := m[l]; dup && prev != arc.To {
+				return nil, fmt.Errorf("graph is nondeterministic at state %d label %s", s, l)
+			}
+			m[l] = arc.To
+		}
+		return m, nil
+	}
+
+	pair := make([]int, a.NumStates()) // a-state -> b-state
+	for i := range pair {
+		pair[i] = -1
+	}
+	back := make([]int, b.NumStates())
+	for i := range back {
+		back[i] = -1
+	}
+	match := func(x, y int) error {
+		if pair[x] == -1 && back[y] == -1 {
+			pair[x], back[y] = y, x
+			return nil
+		}
+		if pair[x] != y || back[y] != x {
+			return fmt.Errorf("pairing conflict at states %d/%d", x, y)
+		}
+		return nil
+	}
+	if err := match(a.Initial, b.Initial); err != nil {
+		return err
+	}
+	queue := []int{a.Initial}
+	visited := map[int]bool{a.Initial: true}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		y := pair[x]
+		if ca, cb := codeStr(a, x), codeStr(b, y); ca != cb {
+			return fmt.Errorf("codes differ at paired states %d/%d: %s vs %s", x, y, ca, cb)
+		}
+		sa, err := succs(a, x)
+		if err != nil {
+			return err
+		}
+		sb, err := succs(b, y)
+		if err != nil {
+			return err
+		}
+		if len(sa) != len(sb) {
+			return fmt.Errorf("out-degrees differ at paired states %d/%d", x, y)
+		}
+		for l, xt := range sa {
+			yt, ok := sb[l]
+			if !ok {
+				return fmt.Errorf("label %s missing from state %d", l, y)
+			}
+			if err := match(xt, yt); err != nil {
+				return err
+			}
+			if !visited[xt] {
+				visited[xt] = true
+				queue = append(queue, xt)
+			}
+		}
+	}
+	if len(visited) != a.NumStates() {
+		return fmt.Errorf("graph A has %d unreachable states", a.NumStates()-len(visited))
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package ts_test
+
+import (
+	"testing"
+
+	"repro/internal/reach"
+	"repro/internal/regions"
+	"repro/internal/ts"
+	"repro/internal/vme"
+)
+
+func TestIsomorphicReflexive(t *testing.T) {
+	sg := readSG(t)
+	if err := ts.Isomorphic(sg, sg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The strongest round-trip statement: the back-annotated PN's state graph is
+// isomorphic to the original — not merely equal in counts.
+func TestIsomorphicRoundTrip(t *testing.T) {
+	sg := readSG(t)
+	back, err := regions.Synthesize(sg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg2, err := reach.BuildSG(back, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Isomorphic(sg, sg2); err != nil {
+		t.Fatalf("round trip not isomorphic: %v", err)
+	}
+	rw, err := reach.BuildSG(vme.ReadWriteSTG(), reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backRW, err := regions.Synthesize(rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw2, err := reach.BuildSG(backRW, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Isomorphic(rw, rw2); err != nil {
+		t.Fatalf("read/write round trip not isomorphic: %v", err)
+	}
+}
+
+func TestIsomorphicDetectsDifferences(t *testing.T) {
+	sg := readSG(t)
+	rw, err := reach.BuildSG(vme.ReadWriteSTG(), reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Isomorphic(sg, rw); err == nil {
+		t.Fatal("different graphs must not be isomorphic")
+	}
+	// Same counts, different code: flip a bit.
+	clone := *sg
+	clone.States = append([]ts.State(nil), sg.States...)
+	clone.States[3].Code = clone.States[3].Code.Flip(0)
+	if err := ts.Isomorphic(sg, &clone); err == nil {
+		t.Fatal("code mutation must be detected")
+	}
+}

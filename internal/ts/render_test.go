@@ -1,0 +1,82 @@
+package ts_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/reach"
+	"repro/internal/vme"
+)
+
+func TestCycleAndWaveform(t *testing.T) {
+	sg := readSG(t)
+	path := sg.Cycle()
+	if len(path) < 2 {
+		t.Fatalf("cycle too short: %v", path)
+	}
+	last := path[len(path)-1]
+	looped := false
+	for _, s := range path[:len(path)-1] {
+		if s == last {
+			looped = true
+		}
+	}
+	if !looped {
+		t.Fatalf("cycle must close on a repeated state, got %v", path)
+	}
+	wf := sg.ASCIIWaveform(path)
+	lines := strings.Split(strings.TrimRight(wf, "\n"), "\n")
+	if len(lines) != len(sg.Signals) {
+		t.Fatalf("one waveform row per signal, got %d", len(lines))
+	}
+	// Every signal of the read cycle switches: each row has a rise and a
+	// fall.
+	for _, l := range lines {
+		if !strings.Contains(l, "/") || !strings.Contains(l, "\\") {
+			t.Fatalf("row without both edges: %q", l)
+		}
+	}
+	// DSr starts low and rises first: the DSr row's first edge is '/'.
+	dsrRow := lines[0]
+	if strings.IndexByte(dsrRow, '/') > strings.IndexByte(dsrRow, '\\') {
+		t.Fatalf("DSr must rise before it falls: %q", dsrRow)
+	}
+	if sg.ASCIIWaveform(nil) != "" {
+		t.Fatal("empty path renders empty")
+	}
+}
+
+func TestSGWriteDOT(t *testing.T) {
+	sg := readSG(t)
+	var buf bytes.Buffer
+	if err := sg.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "10110", "lightcoral", "peripheries=2", "DSr+"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestWaveformMatchesFig2Order(t *testing.T) {
+	sg, err := reach.BuildSG(vme.ReadSTG(), reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Following first arcs from the initial state walks one full READ
+	// cycle; the event order must be the Figure 2 order.
+	want := []string{"DSr+", "LDS+", "LDTACK+", "D+", "DTACK+", "DSr-", "D-"}
+	s := sg.Initial
+	for i, ev := range want {
+		if len(sg.Out[s]) == 0 {
+			t.Fatalf("path ends early at step %d", i)
+		}
+		if got := sg.Out[s][0].Event.Name; got != ev {
+			t.Fatalf("step %d: %s, want %s", i, got, ev)
+		}
+		s = sg.Out[s][0].To
+	}
+}

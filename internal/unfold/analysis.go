@@ -1,0 +1,150 @@
+package unfold
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/petri"
+)
+
+// Relation classifies an ordered event pair of the prefix (the ordering
+// relations of reference [15], extracted from the acyclic structure).
+type Relation int
+
+const (
+	// Precedes: e1 < e2 causally.
+	Precedes Relation = iota
+	// Follows: e2 < e1.
+	Follows
+	// InConflict: the events exclude each other (choice).
+	InConflict
+	// Concurrent: the events can fire independently.
+	Concurrent
+)
+
+func (r Relation) String() string {
+	switch r {
+	case Precedes:
+		return "<"
+	case Follows:
+		return ">"
+	case InConflict:
+		return "#"
+	case Concurrent:
+		return "co"
+	}
+	return "?"
+}
+
+// RelationOf classifies the pair (e1, e2); e1 == e2 is reported as
+// Concurrent by convention of callers that skip the diagonal.
+func (u *Prefix) RelationOf(e1, e2 int) Relation {
+	switch {
+	case u.Causal(e1, e2):
+		return Precedes
+	case u.Causal(e2, e1):
+		return Follows
+	case u.Conflict(e1, e2):
+		return InConflict
+	default:
+		return Concurrent
+	}
+}
+
+// Relations computes the full pairwise relation matrix of the prefix's
+// events. For transitions of the original net this exposes the
+// concurrency/conflict structure without ever building the state graph.
+func (u *Prefix) Relations() [][]Relation {
+	n := len(u.Events)
+	out := make([][]Relation, n)
+	for i := range out {
+		out[i] = make([]Relation, n)
+		for j := range out[i] {
+			if i != j {
+				out[i][j] = u.RelationOf(i, j)
+			} else {
+				out[i][j] = Concurrent
+			}
+		}
+	}
+	return out
+}
+
+// TransitionRelation lifts the event relation to original transitions: two
+// transitions are reported concurrent if ANY pair of their occurrences is
+// concurrent (potential to fire at the same time, Section 1.3).
+func (u *Prefix) TransitionRelation(t1, t2 int) (concurrent, conflict bool) {
+	for e1 := range u.Events {
+		if u.Events[e1].Trans != t1 {
+			continue
+		}
+		for e2 := range u.Events {
+			if u.Events[e2].Trans != t2 || e1 == e2 {
+				continue
+			}
+			switch u.RelationOf(e1, e2) {
+			case Concurrent:
+				concurrent = true
+			case InConflict:
+				conflict = true
+			}
+		}
+	}
+	return concurrent, conflict
+}
+
+// DeadlockCheck searches the prefix's cuts for markings that enable no
+// transition of the original net. It returns one witness marking per
+// deadlock class, using the complete prefix as the search space (sound and
+// complete for safe nets because the prefix represents every reachable
+// marking).
+func (u *Prefix) DeadlockCheck() []petri.Marking {
+	seen := map[string]bool{}
+	var out []petri.Marking
+	for key := range u.ReachableMarkings() {
+		m := petri.Marking(key)
+		if len(u.Net.EnabledList(m)) == 0 && !seen[key] {
+			seen[key] = true
+			out = append(out, m.Clone())
+		}
+	}
+	return out
+}
+
+// Summary renders prefix statistics.
+func (u *Prefix) Summary() string {
+	c, e, k := u.Stats()
+	return fmt.Sprintf("prefix: %d conditions, %d events, %d cutoffs", c, e, k)
+}
+
+// WriteDOT renders the occurrence net in Graphviz DOT format: conditions as
+// circles (labeled with their place), events as boxes (labeled with their
+// transition), cutoff events dashed.
+func (u *Prefix) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", u.Net.Name+"-prefix")
+	for c := range u.Conditions {
+		fmt.Fprintf(&b, "  c%d [shape=circle, label=%q];\n",
+			c, u.Net.Places[u.Conditions[c].Place].Name)
+	}
+	for e := range u.Events {
+		style := ""
+		if u.Events[e].Cutoff {
+			style = ", style=dashed"
+		}
+		fmt.Fprintf(&b, "  e%d [shape=box, label=%q%s];\n",
+			e, u.Net.Transitions[u.Events[e].Trans].Name, style)
+	}
+	for e := range u.Events {
+		for _, c := range u.Events[e].Pre {
+			fmt.Fprintf(&b, "  c%d -> e%d;\n", c, e)
+		}
+		for _, c := range u.Events[e].Post {
+			fmt.Fprintf(&b, "  e%d -> c%d;\n", e, c)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

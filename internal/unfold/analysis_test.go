@@ -1,0 +1,144 @@
+package unfold
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/reach"
+	"repro/internal/vme"
+)
+
+// TestConcurrencyPairsFromPrefix reproduces the Section 1.3 concurrency
+// analysis without building the state graph: the paper's four concurrent
+// pairs of the READ cycle are recovered from the unfolding.
+func TestConcurrencyPairsFromPrefix(t *testing.T) {
+	g := vme.ReadSTG()
+	u, err := Build(g.Net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := func(name string) int {
+		i := g.Net.TransitionIndex(name)
+		if i < 0 {
+			t.Fatalf("no transition %s", name)
+		}
+		return i
+	}
+	wantConcurrent := [][2]string{
+		{"DTACK-", "LDS-"},
+		{"DTACK-", "LDTACK-"},
+		{"DSr+", "LDS-"},
+		{"DSr+", "LDTACK-"},
+	}
+	for _, pair := range wantConcurrent {
+		co, conf := u.TransitionRelation(tr(pair[0]), tr(pair[1]))
+		if !co || conf {
+			t.Fatalf("%s || %s expected (co=%v conflict=%v)", pair[0], pair[1], co, conf)
+		}
+	}
+	// Sequenced transitions are not concurrent.
+	co, _ := u.TransitionRelation(tr("DSr+"), tr("LDS+"))
+	if co {
+		t.Fatal("DSr+ strictly precedes LDS+ in every cycle window")
+	}
+}
+
+func TestConflictRelationReadWrite(t *testing.T) {
+	g := vme.ReadWriteSTG()
+	u, err := Build(g.Net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, conflict := u.TransitionRelation(
+		g.Net.TransitionIndex("DSr+"), g.Net.TransitionIndex("DSw+"))
+	if !conflict {
+		t.Fatal("the read/write requests must be in conflict")
+	}
+}
+
+func TestRelationsMatrix(t *testing.T) {
+	net := gen.IndependentToggles(2)
+	u, err := Build(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := u.Relations()
+	if len(rel) != len(u.Events) {
+		t.Fatal("matrix shape")
+	}
+	// Occurrences of independent toggles are concurrent; within one toggle
+	// they are ordered.
+	for e1 := range u.Events {
+		for e2 := range u.Events {
+			if e1 == e2 {
+				continue
+			}
+			sameToggle := net.Transitions[u.Events[e1].Trans].Name[1] ==
+				net.Transitions[u.Events[e2].Trans].Name[1]
+			r := rel[e1][e2]
+			if sameToggle && r == Concurrent {
+				t.Fatalf("events of one toggle must be ordered, got %v", r)
+			}
+			if !sameToggle && r != Concurrent {
+				t.Fatalf("events of different toggles must be concurrent, got %v", r)
+			}
+		}
+	}
+	for _, r := range []Relation{Precedes, Follows, InConflict, Concurrent} {
+		if r.String() == "?" {
+			t.Fatal("relation rendering")
+		}
+	}
+}
+
+// TestDeadlockCheckAgainstExplicit: the prefix finds exactly the explicit
+// deadlocks on the philosophers and none on live nets.
+func TestDeadlockCheckAgainstExplicit(t *testing.T) {
+	phil := gen.Philosophers(3)
+	u, err := Build(phil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := u.DeadlockCheck()
+	rg, err := reach.Explore(phil, reach.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (len(dead) > 0) != (len(rg.Deadlocks()) > 0) {
+		t.Fatalf("prefix deadlocks %d vs explicit %d", len(dead), len(rg.Deadlocks()))
+	}
+	for _, m := range dead {
+		if len(phil.EnabledList(m)) != 0 {
+			t.Fatal("false deadlock witness")
+		}
+	}
+	live := vme.ReadSTG().Net
+	u2, err := Build(live, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u2.DeadlockCheck()) != 0 {
+		t.Fatal("read cycle is deadlock-free")
+	}
+	if !strings.Contains(u2.Summary(), "events") {
+		t.Fatal("summary rendering")
+	}
+}
+
+func TestPrefixWriteDOT(t *testing.T) {
+	u, err := Build(vme.ReadSTG().Net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := u.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "style=dashed", "shape=box", "shape=circle"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q", want)
+		}
+	}
+}

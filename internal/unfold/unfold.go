@@ -1,0 +1,470 @@
+// Package unfold implements McMillan-style finite complete prefixes of safe
+// Petri net unfoldings (Section 2.2): acyclic occurrence nets representing
+// all reachable markings, often far more compact than the reachability graph
+// and well suited for extracting ordering relations (causality, conflict,
+// concurrency) between events.
+package unfold
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/petri"
+)
+
+// Condition is an occurrence of a place.
+type Condition struct {
+	Place    int
+	Producer int // event index, or -1 for initial conditions
+	// Consumers lists the events consuming this condition (>1 = conflict).
+	Consumers []int
+	// Frozen marks conditions produced by cutoff events: they belong to
+	// cuts but never enable further events.
+	Frozen bool
+}
+
+// Event is an occurrence of a transition.
+type Event struct {
+	Trans  int
+	Pre    []int // condition indexes
+	Post   []int
+	Cutoff bool
+	// LocalSize is |[e]|, the size of the local configuration.
+	LocalSize int
+	// Mark is the marking reached by firing exactly [e].
+	Mark petri.Marking
+}
+
+// Prefix is a finite complete prefix.
+type Prefix struct {
+	Net        *petri.Net
+	Conditions []Condition
+	Events     []Event
+	NumCutoffs int
+
+	// hist[e] = bitset of events causally <= e (including e).
+	hist []bitset
+}
+
+// Options bound the construction.
+type Options struct {
+	MaxEvents int // default 1 << 16
+}
+
+func (o Options) maxEvents() int {
+	if o.MaxEvents > 0 {
+		return o.MaxEvents
+	}
+	return 1 << 16
+}
+
+// Build computes a finite complete prefix of the net's unfolding using
+// McMillan's cutoff criterion (|[e']| < |[e]| with equal markings, or
+// Mark([e]) equal to the initial marking).
+func Build(n *petri.Net, opts Options) (*Prefix, error) {
+	u := &Prefix{Net: n}
+	init := n.InitialMarking()
+	if !init.Safe() {
+		return nil, fmt.Errorf("unfold: initial marking not safe")
+	}
+	for p, tokens := range init {
+		if tokens == 1 {
+			u.Conditions = append(u.Conditions, Condition{Place: p, Producer: -1})
+		}
+	}
+
+	// Marking seen table: marking key -> smallest local config size.
+	seen := map[string]int{init.Key(): 0}
+
+	type pe struct {
+		trans     int
+		pre       []int
+		localSize int
+	}
+	var queue []pe
+	addExtensions := func(newCond int) {
+		// Any transition consuming the new condition's place may extend.
+		place := u.Conditions[newCond].Place
+		for _, t := range n.Places[place].Post {
+			for _, combo := range u.matchPreset(t, newCond) {
+				size := u.localSizeOf(combo) + 1
+				queue = append(queue, pe{trans: t, pre: combo, localSize: size})
+			}
+		}
+	}
+	for c := range u.Conditions {
+		addExtensions(c)
+	}
+
+	for len(queue) > 0 {
+		// Pop the extension with the smallest local configuration: McMillan's
+		// adequate order.
+		best := 0
+		for i := 1; i < len(queue); i++ {
+			if queue[i].localSize < queue[best].localSize {
+				best = i
+			}
+		}
+		ext := queue[best]
+		queue = append(queue[:best], queue[best+1:]...)
+
+		// The same (trans, preset) may have been enqueued twice.
+		if u.duplicateEvent(ext.trans, ext.pre) {
+			continue
+		}
+		if len(u.Events) >= opts.maxEvents() {
+			return nil, fmt.Errorf("unfold: event limit exceeded")
+		}
+
+		eIdx := len(u.Events)
+		ev := Event{Trans: ext.trans, Pre: append([]int(nil), ext.pre...)}
+		// History bitset.
+		h := newBitset(eIdx + 1)
+		h.set(eIdx)
+		for _, c := range ev.Pre {
+			if p := u.Conditions[c].Producer; p >= 0 {
+				h.or(u.hist[p])
+			}
+		}
+		ev.LocalSize = h.count()
+		// Marking of [e]: the cut before e, minus e's consumed places, plus
+		// its produced ones (e's own conditions do not exist yet).
+		ev.Mark = u.markOf(h)
+		for _, c := range ev.Pre {
+			ev.Mark[u.Conditions[c].Place]--
+		}
+		for _, p := range n.Transitions[ext.trans].Post {
+			ev.Mark[p]++
+		}
+		// Cutoff?
+		if prev, ok := seen[ev.Mark.Key()]; ok && prev < ev.LocalSize {
+			ev.Cutoff = true
+			u.NumCutoffs++
+		} else if !ok {
+			seen[ev.Mark.Key()] = ev.LocalSize
+		} else if prev >= ev.LocalSize {
+			seen[ev.Mark.Key()] = ev.LocalSize
+		}
+		u.Events = append(u.Events, ev)
+		u.hist = append(u.hist, h)
+		for _, c := range ev.Pre {
+			u.Conditions[c].Consumers = append(u.Conditions[c].Consumers, eIdx)
+		}
+		for _, p := range n.Transitions[ext.trans].Post {
+			cIdx := len(u.Conditions)
+			u.Conditions = append(u.Conditions, Condition{Place: p, Producer: eIdx, Frozen: ev.Cutoff})
+			u.Events[eIdx].Post = append(u.Events[eIdx].Post, cIdx)
+			if !ev.Cutoff {
+				addExtensions(cIdx)
+			}
+		}
+	}
+	return u, nil
+}
+
+// matchPreset finds all co-sets of conditions matching •t that include mustUse.
+func (u *Prefix) matchPreset(t, mustUse int) [][]int {
+	pre := u.Net.Transitions[t].Pre
+	mustPlace := u.Conditions[mustUse].Place
+	found := false
+	for _, p := range pre {
+		if p == mustPlace {
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+	// For each preset place, the candidate conditions.
+	var out [][]int
+	var combo []int
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(pre) {
+			// mustUse included?
+			has := false
+			for _, c := range combo {
+				if c == mustUse {
+					has = true
+				}
+			}
+			if has {
+				out = append(out, append([]int(nil), combo...))
+			}
+			return
+		}
+		p := pre[i]
+		for c := range u.Conditions {
+			if u.Conditions[c].Place != p || u.Conditions[c].Frozen {
+				continue
+			}
+			// Pairwise concurrency with already chosen conditions.
+			ok := true
+			for _, prev := range combo {
+				if !u.concurrentConds(prev, c) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				combo = append(combo, c)
+				rec(i + 1)
+				combo = combo[:len(combo)-1]
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+// concurrentConds reports whether two distinct conditions can coexist in a
+// reachable cut: no causality and no conflict between them.
+func (u *Prefix) concurrentConds(a, b int) bool {
+	if a == b {
+		return false
+	}
+	ha := u.condHist(a)
+	hb := u.condHist(b)
+	// Causality: a < b iff some consumer of a is in b's history; and vice
+	// versa.
+	for _, e := range u.Conditions[a].Consumers {
+		if hb.get(e) {
+			return false
+		}
+	}
+	for _, e := range u.Conditions[b].Consumers {
+		if ha.get(e) {
+			return false
+		}
+	}
+	// Conflict: two distinct events in the histories consuming the same
+	// condition.
+	for c := range u.Conditions {
+		var inA, inB []int
+		for _, e := range u.Conditions[c].Consumers {
+			if ha.get(e) {
+				inA = append(inA, e)
+			}
+			if hb.get(e) {
+				inB = append(inB, e)
+			}
+		}
+		for _, ea := range inA {
+			for _, eb := range inB {
+				if ea != eb {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// condHist returns the event history of a condition (its producer's closed
+// history, or empty for initial conditions).
+func (u *Prefix) condHist(c int) bitset {
+	p := u.Conditions[c].Producer
+	if p < 0 {
+		return newBitset(0)
+	}
+	return u.hist[p]
+}
+
+// localSizeOf computes |[e]| - 1 for a prospective event with the given
+// preset: the union of the preset's histories.
+func (u *Prefix) localSizeOf(pre []int) int {
+	h := newBitset(len(u.Events))
+	for _, c := range pre {
+		if p := u.Conditions[c].Producer; p >= 0 {
+			h.or(u.hist[p])
+		}
+	}
+	return h.count()
+}
+
+func (u *Prefix) duplicateEvent(t int, pre []int) bool {
+	sorted := append([]int(nil), pre...)
+	sort.Ints(sorted)
+	for _, e := range u.Events {
+		if e.Trans != t || len(e.Pre) != len(sorted) {
+			continue
+		}
+		es := append([]int(nil), e.Pre...)
+		sort.Ints(es)
+		same := true
+		for i := range es {
+			if es[i] != sorted[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// markOf computes the marking reached by firing exactly the events of h.
+func (u *Prefix) markOf(h bitset) petri.Marking {
+	m := make(petri.Marking, len(u.Net.Places))
+	inConfig := func(e int) bool { return e >= 0 && h.get(e) }
+	for c := range u.Conditions {
+		prod := u.Conditions[c].Producer
+		produced := prod == -1 || inConfig(prod)
+		if !produced {
+			continue
+		}
+		consumed := false
+		for _, e := range u.Conditions[c].Consumers {
+			if inConfig(e) {
+				consumed = true
+				break
+			}
+		}
+		if !consumed {
+			m[u.Conditions[c].Place]++
+		}
+	}
+	return m
+}
+
+// Causal reports e1 < e2 in the prefix.
+func (u *Prefix) Causal(e1, e2 int) bool {
+	return e1 != e2 && u.hist[e2].get(e1)
+}
+
+// Conflict reports e1 # e2: their histories branch on a shared condition.
+func (u *Prefix) Conflict(e1, e2 int) bool {
+	if e1 == e2 || u.Causal(e1, e2) || u.Causal(e2, e1) {
+		return false
+	}
+	h1, h2 := u.hist[e1], u.hist[e2]
+	for c := range u.Conditions {
+		var inA, inB []int
+		for _, e := range u.Conditions[c].Consumers {
+			if h1.get(e) {
+				inA = append(inA, e)
+			}
+			if h2.get(e) {
+				inB = append(inB, e)
+			}
+		}
+		for _, ea := range inA {
+			for _, eb := range inB {
+				if ea != eb {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Concurrent reports e1 co e2: no order and no conflict.
+func (u *Prefix) Concurrent(e1, e2 int) bool {
+	return e1 != e2 && !u.Causal(e1, e2) && !u.Causal(e2, e1) && !u.Conflict(e1, e2)
+}
+
+// ReachableMarkings enumerates the markings of all reachable cuts of the
+// prefix (token game on the acyclic occurrence net), projected onto the
+// original net. For a complete prefix this equals the net's reachability
+// set; it is the correctness oracle used in tests.
+func (u *Prefix) ReachableMarkings() map[string]bool {
+	// Occurrence-net state: marking over conditions.
+	init := make(petri.Marking, len(u.Conditions))
+	for c := range u.Conditions {
+		if u.Conditions[c].Producer == -1 {
+			init[c] = 1
+		}
+	}
+	seen := map[string]bool{}
+	out := map[string]bool{}
+	var project func(m petri.Marking) string
+	project = func(m petri.Marking) string {
+		pm := make(petri.Marking, len(u.Net.Places))
+		for c, v := range m {
+			if v > 0 {
+				pm[u.Conditions[c].Place]++
+			}
+		}
+		return pm.Key()
+	}
+	stack := []petri.Marking{init}
+	seen[init.Key()] = true
+	out[project(init)] = true
+	for len(stack) > 0 {
+		m := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for e := range u.Events {
+			ok := true
+			for _, c := range u.Events[e].Pre {
+				if m[c] == 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			next := m.Clone()
+			for _, c := range u.Events[e].Pre {
+				next[c]--
+			}
+			for _, c := range u.Events[e].Post {
+				next[c]++
+			}
+			if !seen[next.Key()] {
+				seen[next.Key()] = true
+				out[project(next)] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return out
+}
+
+// Stats summarizes the prefix size.
+func (u *Prefix) Stats() (conditions, events, cutoffs int) {
+	return len(u.Conditions), len(u.Events), u.NumCutoffs
+}
+
+// bitset is a compact grow-on-write bit vector.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64+1) }
+
+func (b *bitset) ensure(i int) {
+	for len(*b) <= i/64 {
+		*b = append(*b, 0)
+	}
+}
+
+func (b *bitset) set(i int) {
+	b.ensure(i)
+	(*b)[i/64] |= 1 << uint(i%64)
+}
+
+func (b bitset) get(i int) bool {
+	if i/64 >= len(b) {
+		return false
+	}
+	return b[i/64]&(1<<uint(i%64)) != 0
+}
+
+func (b *bitset) or(o bitset) {
+	b.ensure(len(o)*64 - 1)
+	for i, w := range o {
+		(*b)[i] |= w
+	}
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,168 @@
+// Package vme holds the paper's running example: the VME bus controller
+// (Figure 1) serving reads from a device to a bus and writes from the bus
+// into the device. It provides the READ-cycle waveform (Figure 2), the
+// READ-cycle STG (Figure 3), the READ+WRITE STG with choice (Figure 5), and
+// the reference synthesis results of Section 3 used as ground truth by tests
+// and benchmarks.
+package vme
+
+import "repro/internal/stg"
+
+// SignalOrder is the code order used throughout the paper's figures:
+// <DSr, DTACK, LDTACK, LDS, D>.
+var SignalOrder = []string{"DSr", "DTACK", "LDTACK", "LDS", "D"}
+
+// ReadWaveform returns the Figure 2 timing diagram of the READ cycle: the
+// event sequence and the causality arrows that Figure 3 draws as places.
+func ReadWaveform() stg.Waveform {
+	return stg.Waveform{
+		Name: "vme-read",
+		Signals: []stg.Signal{
+			{Name: "DSr", Kind: stg.Input},
+			{Name: "DTACK", Kind: stg.Output},
+			{Name: "LDTACK", Kind: stg.Input},
+			{Name: "LDS", Kind: stg.Output},
+			{Name: "D", Kind: stg.Output},
+		},
+		Events: []stg.WaveEvent{
+			{Signal: "DSr", Dir: stg.Rise},    // 0
+			{Signal: "LDS", Dir: stg.Rise},    // 1
+			{Signal: "LDTACK", Dir: stg.Rise}, // 2
+			{Signal: "D", Dir: stg.Rise},      // 3
+			{Signal: "DTACK", Dir: stg.Rise},  // 4
+			{Signal: "DSr", Dir: stg.Fall},    // 5
+			{Signal: "D", Dir: stg.Fall},      // 6
+			{Signal: "DTACK", Dir: stg.Fall},  // 7
+			{Signal: "LDS", Dir: stg.Fall},    // 8
+			{Signal: "LDTACK", Dir: stg.Fall}, // 9
+		},
+		Causality: [][2]int{
+			{0, 1}, // DSr+  -> LDS+
+			{1, 2}, // LDS+  -> LDTACK+
+			{2, 3}, // LDTACK+ -> D+
+			{3, 4}, // D+    -> DTACK+
+			{4, 5}, // DTACK+ -> DSr-
+			{5, 6}, // DSr-  -> D-
+			{6, 7}, // D-    -> DTACK-
+			{6, 8}, // D-    -> LDS-
+			{8, 9}, // LDS-  -> LDTACK-
+			{7, 0}, // DTACK- -> DSr+   (token: closes the cycle)
+			{9, 1}, // LDTACK- -> LDS+  (token: closes the cycle)
+		},
+	}
+}
+
+// ReadSTG builds the Figure 3 STG for the READ cycle directly (it equals the
+// compilation of ReadWaveform; both paths are tested against each other).
+func ReadSTG() *stg.STG {
+	g, err := stg.FromWaveform(ReadWaveform())
+	if err != nil {
+		panic("vme: ReadSTG construction failed: " + err.Error())
+	}
+	return g
+}
+
+// ReadWriteSTG builds the Figure 5 STG for the READ and WRITE cycles with
+// the two choice places (request choice and local-strobe choice) and the two
+// merge places joining the return-to-zero phase.
+//
+// READ branch:  DSr+ -> LDS+/r -> LDTACK+/r -> D+/r -> DTACK+/r -> DSr- -> D-/r
+// WRITE branch: DSw+ -> D+/w -> LDS+/w -> LDTACK+/w -> D-/w -> DTACK+/w -> DSw-
+// Shared: {D-/r | DSw-} -> LDS- -> LDTACK- -> (choice of next LDS+), and
+//
+//	{D-/r | DSw-} -> DTACK- -> (choice of next request).
+func ReadWriteSTG() *stg.STG {
+	g := stg.New("vme-read-write")
+	for _, s := range []struct {
+		name string
+		kind stg.Kind
+	}{
+		{"DSr", stg.Input}, {"DSw", stg.Input}, {"DTACK", stg.Output},
+		{"LDTACK", stg.Input}, {"LDS", stg.Output}, {"D", stg.Output},
+	} {
+		g.AddSignal(s.name, s.kind)
+	}
+	n := g.Net
+
+	// Transitions. Suffix /1 instances are created automatically by the
+	// duplicate-label machinery.
+	dsrP := g.Rise("DSr")
+	dswP := g.Rise("DSw")
+	ldsPr := g.Rise("LDS")
+	ldtPr := g.Rise("LDTACK")
+	dPr := g.Rise("D")
+	dtkPr := g.Rise("DTACK")
+	dsrM := g.Fall("DSr")
+	dMr := g.Fall("D")
+	dPw := g.Rise("D")
+	ldsPw := g.Rise("LDS")
+	ldtPw := g.Rise("LDTACK")
+	dMw := g.Fall("D")
+	dtkPw := g.Rise("DTACK")
+	dswM := g.Fall("DSw")
+	ldsM := g.Fall("LDS")
+	ldtM := g.Fall("LDTACK")
+	dtkM := g.Fall("DTACK")
+
+	// Choice place p0: the environment chooses read or write.
+	p0 := n.AddPlace("p0", 1)
+	n.ArcPT(p0, dsrP)
+	n.ArcPT(p0, dswP)
+	n.ArcTP(dtkM, p0)
+
+	// Choice place p2: which LDS+ instance fires next (consistent with p0's
+	// choice because the branch also needs the request token).
+	p2 := n.AddPlace("p2", 1)
+	n.ArcPT(p2, ldsPr)
+	n.ArcPT(p2, ldsPw)
+	n.ArcTP(ldtM, p2)
+
+	// READ branch chain.
+	n.Chain(dsrP, ldsPr, ldtPr, dPr, dtkPr, dsrM, dMr)
+	// WRITE branch chain.
+	n.Chain(dswP, dPw, ldsPw, ldtPw, dMw, dtkPw, dswM)
+
+	// Merge place p1 into LDS-, merge place p3 into DTACK-.
+	p1 := n.AddPlace("p1", 0)
+	n.ArcTP(dMr, p1)
+	n.ArcTP(dswM, p1)
+	n.ArcPT(p1, ldsM)
+	p3 := n.AddPlace("p3", 0)
+	n.ArcTP(dMr, p3)
+	n.ArcTP(dswM, p3)
+	n.ArcPT(p3, dtkM)
+
+	// Shared return-to-zero.
+	n.Chain(ldsM, ldtM)
+
+	if err := g.Validate(); err != nil {
+		panic("vme: ReadWriteSTG construction failed: " + err.Error())
+	}
+	return g
+}
+
+// PaperEquations are the Section 3.2 reference next-state equations for the
+// READ cycle after csc0 insertion, as Boolean formulas over
+// (DSr, DTACK, LDTACK, LDS, D, csc0):
+//
+//	D     = LDTACK * csc0
+//	LDS   = D + csc0
+//	DTACK = D
+//	csc0  = DSr * (csc0 + !LDTACK)
+//
+// Tests compare synthesized functions against these on the reachable
+// care-set (don't-cares are free).
+type PaperEquation struct {
+	Signal string
+	Eval   func(v map[string]bool) bool
+}
+
+// PaperReadEquations returns the reference equations keyed by signal name.
+func PaperReadEquations() []PaperEquation {
+	return []PaperEquation{
+		{"D", func(v map[string]bool) bool { return v["LDTACK"] && v["csc0"] }},
+		{"LDS", func(v map[string]bool) bool { return v["D"] || v["csc0"] }},
+		{"DTACK", func(v map[string]bool) bool { return v["D"] }},
+		{"csc0", func(v map[string]bool) bool { return v["DSr"] && (v["csc0"] || !v["LDTACK"]) }},
+	}
+}

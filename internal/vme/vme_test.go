@@ -1,0 +1,83 @@
+package vme_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/stg"
+	"repro/internal/vme"
+)
+
+func TestReadSTGMatchesWaveform(t *testing.T) {
+	g, err := stg.FromWaveform(vme.ReadWaveform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := vme.ReadSTG()
+	var a, b bytes.Buffer
+	if err := g.WriteG(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.WriteG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("waveform compilation and direct construction diverge:\n%s\nvs\n%s",
+			a.String(), b.String())
+	}
+}
+
+func TestSignalOrderMatchesPaper(t *testing.T) {
+	g := vme.ReadSTG()
+	for i, name := range vme.SignalOrder {
+		if g.Signals[i].Name != name {
+			t.Fatalf("signal %d is %s, want %s (paper code order)", i, g.Signals[i].Name, name)
+		}
+	}
+	// Kinds: DSr and LDTACK are environment-driven.
+	for _, in := range []string{"DSr", "LDTACK"} {
+		if g.Signals[g.SignalIndex(in)].Kind != stg.Input {
+			t.Fatalf("%s must be an input", in)
+		}
+	}
+	for _, out := range []string{"DTACK", "LDS", "D"} {
+		if g.Signals[g.SignalIndex(out)].Kind != stg.Output {
+			t.Fatalf("%s must be an output", out)
+		}
+	}
+}
+
+func TestReadWriteValid(t *testing.T) {
+	g := vme.ReadWriteSTG()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Two instances of the shared handshake transitions.
+	for _, name := range []string{"LDS+", "D+", "LDTACK+", "DTACK+", "D-"} {
+		if g.Net.TransitionIndex(name) < 0 || g.Net.TransitionIndex(name+"/1") < 0 {
+			t.Fatalf("expected two instances of %s", name)
+		}
+	}
+	if !strings.Contains(g.String(), "vme-read-write") {
+		t.Fatal("name lost")
+	}
+}
+
+func TestPaperEquationsSelfConsistent(t *testing.T) {
+	// The reference equations must at least be stable in the all-zero state
+	// and drive csc0 after DSr rises.
+	eqs := vme.PaperReadEquations()
+	zero := map[string]bool{}
+	for _, e := range eqs {
+		if e.Eval(zero) {
+			t.Fatalf("%s must be low in the all-zero state", e.Signal)
+		}
+	}
+	afterDSr := map[string]bool{"DSr": true}
+	for _, e := range eqs {
+		if e.Signal == "csc0" && !e.Eval(afterDSr) {
+			t.Fatal("csc0 must be excited after DSr+")
+		}
+	}
+}

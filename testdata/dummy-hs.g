@@ -1,0 +1,12 @@
+.model dummy-hs
+.inputs req
+.outputs ack
+.dummy sync
+.graph
+req+ sync
+sync ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

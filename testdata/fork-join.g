@@ -1,0 +1,14 @@
+.model fork-join
+.inputs go
+.outputs o1 o2 done
+.graph
+go+ o1+ o2+
+o1+ done+
+o2+ done+
+done+ go-
+go- o1- o2-
+o1- done-
+o2- done-
+done- go+
+.marking { <done-,go+> }
+.end

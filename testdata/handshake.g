@@ -1,0 +1,10 @@
+.model handshake
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

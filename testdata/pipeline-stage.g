@@ -1,0 +1,14 @@
+.model pipeline-stage
+.inputs Rin Aout
+.outputs Ain Rout
+.graph
+Rin+ Rout+
+Rout+ Ain+ Aout+
+Ain+ Rin-
+Rin- Rout-
+Aout+ Rout-
+Rout- Ain- Aout-
+Ain- Rin+
+Aout- Rout+
+.marking { <Ain-,Rin+> <Aout-,Rout+> }
+.end

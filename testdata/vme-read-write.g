@@ -1,0 +1,27 @@
+.model vme-read-write
+.inputs DSr DSw LDTACK
+.outputs DTACK LDS D
+.graph
+DSr+ LDS+
+DSw+ D+/1
+LDS+ LDTACK+
+LDTACK+ D+
+D+ DTACK+
+DTACK+ DSr-
+DSr- D-
+D- p1 p3
+D+/1 LDS+/1
+LDS+/1 LDTACK+/1
+LDTACK+/1 D-/1
+D-/1 DTACK+/1
+DTACK+/1 DSw-
+DSw- p1 p3
+LDS- LDTACK-
+LDTACK- p2
+DTACK- p0
+p0 DSr+ DSw+
+p2 LDS+ LDS+/1
+p1 LDS-
+p3 DTACK-
+.marking { p0 p2 }
+.end

@@ -1,0 +1,16 @@
+.model vme-read
+.inputs DSr LDTACK
+.outputs DTACK LDS D
+.graph
+DSr+ LDS+
+LDS+ LDTACK+
+LDTACK+ D+
+D+ DTACK+
+DTACK+ DSr-
+DSr- D-
+D- DTACK- LDS-
+DTACK- DSr+
+LDS- LDTACK-
+LDTACK- LDS+
+.marking { <DTACK-,DSr+> <LDTACK-,LDS+> }
+.end
