@@ -1,10 +1,16 @@
 // Command reach compares the state-space engines of Section 2.2 on one
-// specification: explicit enumeration, BDD-based symbolic traversal,
-// McMillan unfolding prefix, and stubborn-set partial-order reduction.
+// specification: explicit enumeration (sequential and parallel), BDD-based
+// symbolic traversal, McMillan unfolding prefix, and stubborn-set
+// partial-order reduction.
 //
 // Usage:
 //
-//	reach [-engine all|explicit|symbolic|unfold|stubborn] file.g
+//	reach [-engine all|explicit|symbolic|unfold|stubborn] [-workers N] file.g
+//
+// -workers N runs the explicit engine with N parallel workers in addition
+// to the sequential run and reports the speedup (0, the default, uses
+// GOMAXPROCS; 1 skips the parallel run). The parallel engine is
+// deterministic: its state graph is bit-identical to the sequential one.
 package main
 
 import (
@@ -12,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/reach"
@@ -32,6 +39,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("reach", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	engine := fs.String("engine", "all", "engine: all, explicit, symbolic, unfold, stubborn")
+	workers := fs.Int("workers", 0, "parallel workers for the explicit engine (0 = GOMAXPROCS, 1 = sequential only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,22 +48,28 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	n := g.Net
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
 
-	run := func(name string, f func() (string, error)) {
+	// Stats table: engine, result, wall time, speedup (parallel rows only).
+	run := func(name string, f func() (string, error)) time.Duration {
 		if *engine != "all" && *engine != name {
-			return
+			return 0
 		}
 		start := time.Now()
 		out, err := f()
 		elapsed := time.Since(start)
 		if err != nil {
-			fmt.Fprintf(stdout, "%-9s error: %v\n", name, err)
-			return
+			fmt.Fprintf(stdout, "%-12s error: %v\n", name, err)
+			return 0
 		}
-		fmt.Fprintf(stdout, "%-9s %-55s %v\n", name, out, elapsed.Round(time.Microsecond))
+		fmt.Fprintf(stdout, "%-12s %-55s %v\n", name, out, elapsed.Round(time.Microsecond))
+		return elapsed
 	}
 
-	run("explicit", func() (string, error) {
+	seq := run("explicit", func() (string, error) {
 		rg, err := reach.Explore(n, reach.Options{})
 		if err != nil {
 			return "", err
@@ -63,14 +77,32 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Sprintf("%d states, %d arcs, %d deadlocks",
 			rg.NumStates(), rg.NumArcs(), len(rg.Deadlocks())), nil
 	})
+	if w > 1 && (*engine == "all" || *engine == "explicit") {
+		start := time.Now()
+		rg, err := reach.Explore(n, reach.Options{Workers: w})
+		elapsed := time.Since(start)
+		name := fmt.Sprintf("explicit(w%d)", w)
+		if err != nil {
+			fmt.Fprintf(stdout, "%-12s error: %v\n", name, err)
+		} else {
+			out := fmt.Sprintf("%d states, %d arcs, %d deadlocks",
+				rg.NumStates(), rg.NumArcs(), len(rg.Deadlocks()))
+			speedup := "-"
+			if seq > 0 && elapsed > 0 {
+				speedup = fmt.Sprintf("%.2fx", seq.Seconds()/elapsed.Seconds())
+			}
+			fmt.Fprintf(stdout, "%-12s %-55s %-10v %s speedup\n",
+				name, out, elapsed.Round(time.Microsecond), speedup)
+		}
+	}
 	run("symbolic", func() (string, error) {
 		res, err := symbolic.Reach(n)
 		if err != nil {
 			return "", err
 		}
 		_, dead := symbolic.DeadStates(n, res)
-		return fmt.Sprintf("%.0f states, %d BDD nodes, %d iterations, %.0f deadlocks",
-			res.Count, res.PeakNodes, res.Iterations, dead), nil
+		return fmt.Sprintf("%s states, %d BDD nodes, %d iterations, %.0f deadlocks",
+			res.CountExact, res.PeakNodes, res.Iterations, dead), nil
 	})
 	run("unfold", func() (string, error) {
 		u, err := unfold.Build(n, unfold.Options{})

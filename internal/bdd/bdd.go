@@ -8,6 +8,7 @@ package bdd
 import (
 	"fmt"
 	"math"
+	"math/big"
 )
 
 // Node is a BDD vertex: variable index and two cofactor ids. Terminals use
@@ -342,6 +343,45 @@ func (m *Manager) SatCount(f Ref) float64 {
 		return p
 	}
 	return frac(f) * math.Exp2(float64(m.numVars))
+}
+
+// SatCountBig returns the exact number of satisfying assignments over all
+// NumVars variables as a big integer. SatCount's float64 silently loses
+// exactness past 2^53 assignments; this never does.
+func (m *Manager) SatCountBig(f Ref) *big.Int {
+	memo := map[Ref]*big.Int{}
+	// varLevel treats terminals as sitting below the last variable.
+	varLevel := func(f Ref) int {
+		if f == True || f == False {
+			return m.numVars
+		}
+		return int(m.level(f))
+	}
+	// below(f) counts assignments of the variables in [level(f), NumVars)
+	// that satisfy f; skipped levels on each branch contribute a factor of
+	// two per variable.
+	var below func(f Ref) *big.Int
+	below = func(f Ref) *big.Int {
+		switch f {
+		case False:
+			return big.NewInt(0)
+		case True:
+			return big.NewInt(1)
+		}
+		if c, ok := memo[f]; ok {
+			return c
+		}
+		l := int(m.level(f))
+		c := new(big.Int)
+		for _, br := range []Ref{m.lo(f), m.hi(f)} {
+			sub := new(big.Int).Set(below(br))
+			c.Add(c, sub.Lsh(sub, uint(varLevel(br)-l-1)))
+		}
+		memo[f] = c
+		return c
+	}
+	res := new(big.Int).Set(below(f))
+	return res.Lsh(res, uint(varLevel(f)))
 }
 
 // Support returns the variables f depends on, ascending.

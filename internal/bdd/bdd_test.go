@@ -1,6 +1,8 @@
 package bdd
 
 import (
+	"math"
+	"math/big"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -259,4 +261,41 @@ func TestVarPanics(t *testing.T) {
 		}
 	}()
 	m.Var(5)
+}
+
+func TestSatCountBig(t *testing.T) {
+	m := New(4)
+	a, b := m.Var(0), m.Var(1)
+	for _, tc := range []struct {
+		f    Ref
+		want int64
+	}{
+		{True, 16}, {False, 0}, {a, 8}, {m.And(a, b), 4}, {m.Xor(a, b), 8},
+	} {
+		if got := m.SatCountBig(tc.f); got.Cmp(big.NewInt(tc.want)) != 0 {
+			t.Fatalf("SatCountBig = %v, want %d", got, tc.want)
+		}
+	}
+}
+
+// TestSatCountBigBeyondFloat64 checks exactness where the float64 SatCount
+// cannot represent the answer: 2^60+1 assignments is not a float64 value.
+func TestSatCountBigBeyondFloat64(t *testing.T) {
+	m := New(60)
+	// f = (v0 ∧ v1 ∧ ... ∧ v58) ∨ ¬v0: a cube of 2 assignments over v0..v58
+	// unioned with half the space. Exact count = 2^59 + 2.
+	cube := True
+	for v := 0; v < 59; v++ {
+		cube = m.And(cube, m.Var(v))
+	}
+	f := m.Or(cube, m.NVar(0))
+	want := new(big.Int).Lsh(big.NewInt(1), 59)
+	want.Add(want, big.NewInt(2))
+	if got := m.SatCountBig(f); got.Cmp(want) != 0 {
+		t.Fatalf("SatCountBig = %v, want %v", got, want)
+	}
+	// The float64 count agrees only up to rounding: it cannot see the +2.
+	if got := m.SatCount(f); math.Abs(got-math.Exp2(59)) > 1e4 {
+		t.Fatalf("SatCount far from 2^59: %v", got)
+	}
 }

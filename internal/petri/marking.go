@@ -2,6 +2,7 @@ package petri
 
 import (
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -71,7 +72,7 @@ func (m Marking) Format(n *Net) string {
 		if v == 1 {
 			names = append(names, n.Places[i].Name)
 		} else if v > 1 {
-			names = append(names, n.Places[i].Name+"*"+string(rune('0'+v)))
+			names = append(names, n.Places[i].Name+"*"+strconv.Itoa(int(v)))
 		}
 	}
 	sort.Strings(names)

@@ -1,0 +1,27 @@
+package petri
+
+import "testing"
+
+// TestFormatMultiDigitTokens pins the fix for token counts above 9, which
+// used to render as punctuation (string(rune('0'+v)) gives ':' for 10).
+func TestFormatMultiDigitTokens(t *testing.T) {
+	n := New("fmt")
+	n.AddPlace("p", 0)
+	n.AddPlace("q", 0)
+	cases := []struct {
+		m    Marking
+		want string
+	}{
+		{Marking{0, 0}, "{}"},
+		{Marking{1, 0}, "{p}"},
+		{Marking{2, 1}, "{p*2,q}"},
+		{Marking{12, 0}, "{p*12}"},
+		{Marking{10, 11}, "{p*10,q*11}"},
+		{Marking{255, 1}, "{p*255,q}"},
+	}
+	for _, tc := range cases {
+		if got := tc.m.Format(n); got != tc.want {
+			t.Fatalf("Format(%v) = %q, want %q", tc.m, got, tc.want)
+		}
+	}
+}

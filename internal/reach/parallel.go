@@ -1,0 +1,147 @@
+package reach
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/petri"
+	"repro/internal/shardset"
+)
+
+// exploreParallel is the parallel sharded explicit engine: a worker-pool
+// frontier expansion with a sharded visited table (one mutex per shard,
+// shard chosen by an FNV hash of the marking key) and level-synchronized
+// BFS. Within a level, every worker expands a disjoint slice of the
+// frontier, so the set of states and edges discovered per level is
+// schedule-independent; only the provisional state ids are not. A
+// deterministic post-pass renumbers states in canonical sequential-BFS
+// order, making the returned Graph bit-identical to the sequential
+// explorer's for every worker count.
+//
+// MaxStates is enforced by the visited table itself: a refused insertion
+// proves the full state count exceeds the cap, so ErrStateLimit is
+// deterministic too. Unlike the sequential engine, no partial graph is
+// returned with the error (mid-level discovery order is not canonical).
+func exploreParallel(n *petri.Net, opts Options, workers int) (*Graph, error) {
+	init := n.InitialMarking()
+	if opts.RequireSafe && !init.Safe() {
+		return nil, fmt.Errorf("%w: initial marking %s", ErrUnsafe, init.Format(n))
+	}
+	visited := shardset.NewLimited(4*workers, opts.maxStates())
+	visited.Add(init.Key()) // id 0; maxStates ≥ 1 always admits it
+
+	type pstep struct {
+		t  int
+		to int32
+	}
+	// Provisional graph, indexed by visited-table id. markings and out only
+	// grow at level barriers; within a level workers read markings and
+	// write disjoint out[s] entries.
+	markings := []petri.Marking{init}
+	out := [][]pstep{nil}
+	frontier := []int32{0}
+
+	type workerResult struct {
+		newIDs      []int32
+		newMarkings []petri.Marking
+		err         error
+		limit       bool
+	}
+
+	for len(frontier) > 0 {
+		results := make([]workerResult, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				res := &results[w]
+				for i := w; i < len(frontier); i += workers {
+					s := frontier[i]
+					m := markings[s]
+					for t := 0; t < len(n.Transitions); t++ {
+						if !n.Enabled(m, t) {
+							continue
+						}
+						next := n.Fire(m, t)
+						if opts.RequireSafe && !next.Safe() {
+							res.err = fmt.Errorf("%w: firing %s from %s", ErrUnsafe,
+								n.Transitions[t].Name, m.Format(n))
+							return
+						}
+						id, added := visited.Add(next.Key())
+						if id < 0 {
+							res.limit = true
+							return
+						}
+						if added {
+							res.newIDs = append(res.newIDs, int32(id))
+							res.newMarkings = append(res.newMarkings, next)
+						}
+						out[s] = append(out[s], pstep{t: t, to: int32(id)})
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		limit := false
+		for w := range results {
+			if results[w].err != nil {
+				return nil, results[w].err
+			}
+			limit = limit || results[w].limit
+		}
+		if limit {
+			return nil, ErrStateLimit
+		}
+
+		// Barrier merge: ids handed out this level form the contiguous
+		// range [len(markings), visited.Len()).
+		if total := visited.Len(); total > len(markings) {
+			markings = append(markings, make([]petri.Marking, total-len(markings))...)
+			out = append(out, make([][]pstep, total-len(out))...)
+		}
+		frontier = frontier[:0]
+		for w := range results {
+			for i, id := range results[w].newIDs {
+				markings[id] = results[w].newMarkings[i]
+			}
+			frontier = append(frontier, results[w].newIDs...)
+		}
+	}
+
+	// Deterministic renumbering: a sequential BFS over the provisional
+	// graph visits states in exactly the order the sequential explorer
+	// numbers them, because each state's steps are already in ascending
+	// transition order.
+	g := &Graph{Net: n, Index: make(map[string]int, len(markings))}
+	g.Out = make([][]Step, len(markings))
+	renum := make([]int32, len(markings))
+	for i := range renum {
+		renum[i] = -1
+	}
+	renum[0] = 0
+	order := make([]int32, 1, len(markings))
+	for head := 0; head < len(order); head++ {
+		steps := out[order[head]]
+		if len(steps) == 0 {
+			continue
+		}
+		newSteps := make([]Step, len(steps))
+		for j, st := range steps {
+			if renum[st.to] < 0 {
+				renum[st.to] = int32(len(order))
+				order = append(order, st.to)
+			}
+			newSteps[j] = Step{Transition: st.t, To: int(renum[st.to])}
+		}
+		g.Out[head] = newSteps
+	}
+	g.Markings = make([]petri.Marking, len(order))
+	for newID, p := range order {
+		g.Markings[newID] = markings[p]
+		g.Index[markings[p].Key()] = newID
+	}
+	return g, nil
+}

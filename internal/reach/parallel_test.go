@@ -1,0 +1,126 @@
+package reach
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/petri"
+	"repro/internal/vme"
+)
+
+var workerCounts = []int{1, 2, 4, 8}
+
+// TestParallelMatchesSequential is the determinism guarantee: the parallel
+// explorer's Graph — state numbering, edges, and index — is bit-identical
+// to the sequential explorer's at every worker count. Run under -race this
+// also exercises the sharded visited table concurrently.
+func TestParallelMatchesSequential(t *testing.T) {
+	models := []struct {
+		name string
+		net  *petri.Net
+	}{
+		{"vme-read", vme.ReadSTG().Net},
+		{"vme-read-write", vme.ReadWriteSTG().Net},
+		{"toggles-8", gen.IndependentToggles(8)},
+		{"ring-9-4", gen.MarkedGraphRing(9, 4)},
+		{"muller-8", gen.MullerPipeline(8).Net},
+		{"phil-5", gen.Philosophers(5)},
+	}
+	for _, mdl := range models {
+		seq, err := Explore(mdl.net, Options{})
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", mdl.name, err)
+		}
+		for _, w := range workerCounts {
+			par, err := Explore(mdl.net, Options{Workers: w})
+			if err != nil {
+				t.Fatalf("%s w=%d: %v", mdl.name, w, err)
+			}
+			if !reflect.DeepEqual(seq.Markings, par.Markings) {
+				t.Fatalf("%s w=%d: markings differ", mdl.name, w)
+			}
+			if !reflect.DeepEqual(seq.Out, par.Out) {
+				t.Fatalf("%s w=%d: edges differ", mdl.name, w)
+			}
+			if !reflect.DeepEqual(seq.Index, par.Index) {
+				t.Fatalf("%s w=%d: index differs", mdl.name, w)
+			}
+		}
+	}
+}
+
+// TestParallelBuildSG checks the Workers plumbing through BuildSG: the SG
+// of the VME READ+WRITE spec is identical however many workers explore it.
+func TestParallelBuildSG(t *testing.T) {
+	seq, err := BuildSG(vme.ReadWriteSTG(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts {
+		par, err := BuildSG(vme.ReadWriteSTG(), Options{Workers: w})
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(seq.States, par.States) || !reflect.DeepEqual(seq.Out, par.Out) {
+			t.Fatalf("w=%d: SG differs from sequential", w)
+		}
+	}
+}
+
+// TestStateLimitExactAtInsertion pins the MaxStates cap regression: the
+// sequential abort happens at insertion time, with exactly MaxStates states
+// explored, and the parallel engine reports the same error.
+func TestStateLimitExactAtInsertion(t *testing.T) {
+	net := gen.IndependentToggles(6) // 64 states
+	g, err := Explore(net, Options{MaxStates: 17})
+	if !errors.Is(err, ErrStateLimit) {
+		t.Fatalf("want ErrStateLimit, got %v", err)
+	}
+	if g == nil || len(g.Markings) != 17 {
+		t.Fatalf("abort must leave exactly MaxStates explored states, got %v", g)
+	}
+	for _, w := range workerCounts {
+		if _, err := Explore(net, Options{MaxStates: 17, Workers: w}); !errors.Is(err, ErrStateLimit) {
+			t.Fatalf("w=%d: want ErrStateLimit, got %v", w, err)
+		}
+	}
+	// A cap the space fits exactly is not an error, for either engine.
+	for _, w := range []int{0, 2, 4} {
+		g, err := Explore(net, Options{MaxStates: 64, Workers: w})
+		if err != nil || g.NumStates() != 64 {
+			t.Fatalf("w=%d: exact-fit cap must succeed: %v %v", w, g, err)
+		}
+	}
+}
+
+// TestBuildSGToggleStateLimit pins the same insertion-time semantics on the
+// (marking, code) toggle exploration.
+func TestBuildSGToggleStateLimit(t *testing.T) {
+	g := toggleRingSpec(8)
+	if _, err := BuildSG(g, Options{MaxStates: 3}); !errors.Is(err, ErrStateLimit) {
+		t.Fatalf("want ErrStateLimit, got %v", err)
+	}
+	if _, err := BuildSG(g, Options{}); err != nil {
+		t.Fatalf("unbounded toggle SG: %v", err)
+	}
+}
+
+func TestParallelDetectsUnsafe(t *testing.T) {
+	n := petri.New("unsafe")
+	a := n.AddTransition("a")
+	b := n.AddTransition("b")
+	pa := n.AddPlace("pa", 1)
+	pb := n.AddPlace("pb", 1)
+	sink := n.AddPlace("sink", 0)
+	n.ArcPT(pa, a)
+	n.ArcPT(pb, b)
+	n.ArcTP(a, sink)
+	n.ArcTP(b, sink)
+	for _, w := range workerCounts {
+		if _, err := Explore(n, Options{RequireSafe: true, Workers: w}); !errors.Is(err, ErrUnsafe) {
+			t.Fatalf("w=%d: want ErrUnsafe, got %v", w, err)
+		}
+	}
+}

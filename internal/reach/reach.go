@@ -13,12 +13,20 @@ import (
 
 // Options bound an exploration.
 type Options struct {
-	// MaxStates aborts the exploration when exceeded (0 = 1<<22 default).
+	// MaxStates aborts the exploration when it would exceed this many
+	// states (0 = 1<<22 default). The cap is enforced at insertion time:
+	// exactly MaxStates states are explored before ErrStateLimit fires.
 	MaxStates int
 	// RequireSafe makes the exploration fail on the first marking with more
 	// than one token in a place. When false, markings up to 255 tokens per
 	// place are explored (boundedness violations beyond that still fail).
 	RequireSafe bool
+	// Workers selects the parallel sharded explorer when > 1: a
+	// level-synchronized BFS over a sharded visited table, followed by a
+	// deterministic renumbering pass, so the resulting Graph is
+	// bit-identical to the sequential explorer's regardless of worker
+	// count. 0 or 1 runs the sequential explorer.
+	Workers int
 }
 
 func (o Options) maxStates() int {
@@ -26,6 +34,13 @@ func (o Options) maxStates() int {
 		return o.MaxStates
 	}
 	return 1 << 22
+}
+
+func (o Options) workers() int {
+	if o.Workers > 1 {
+		return o.Workers
+	}
+	return 1
 }
 
 // ErrUnsafe is returned when RequireSafe is set and a 2-token place is found.
@@ -51,7 +66,16 @@ type Step struct {
 }
 
 // Explore computes the reachability graph of the net under the options.
+// With Options.Workers > 1 the parallel sharded explorer is used; it
+// produces a bit-identical Graph (same state numbering, edges and index).
+//
+// On ErrStateLimit the sequential explorer returns the partial graph
+// explored so far — exactly MaxStates states — alongside the error; the
+// parallel explorer returns a nil graph.
 func Explore(n *petri.Net, opts Options) (*Graph, error) {
+	if w := opts.workers(); w > 1 {
+		return exploreParallel(n, opts, w)
+	}
 	g := &Graph{Net: n, Index: make(map[string]int)}
 	init := n.InitialMarking()
 	if opts.RequireSafe && !init.Safe() {
@@ -59,9 +83,6 @@ func Explore(n *petri.Net, opts Options) (*Graph, error) {
 	}
 	g.add(init)
 	for head := 0; head < len(g.Markings); head++ {
-		if len(g.Markings) > opts.maxStates() {
-			return nil, ErrStateLimit
-		}
 		m := g.Markings[head]
 		for t := range n.Transitions {
 			if !n.Enabled(m, t) {
@@ -74,6 +95,9 @@ func Explore(n *petri.Net, opts Options) (*Graph, error) {
 			}
 			idx, ok := g.Index[next.Key()]
 			if !ok {
+				if len(g.Markings) >= opts.maxStates() {
+					return g, ErrStateLimit
+				}
 				idx = g.add(next)
 			}
 			g.Out[head] = append(g.Out[head], Step{Transition: t, To: idx})

@@ -1,6 +1,7 @@
 package reach
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/petri"
@@ -17,6 +18,10 @@ import (
 //
 // Dummy transitions are allowed: they change the marking but not the code.
 // Toggle transitions are rejected (normalize the spec first).
+//
+// Options.Workers plumbs through to the underlying marking exploration, so
+// the SG of a large STG is built with the parallel engine; the code
+// labeling passes stay sequential. The toggle path is always sequential.
 func BuildSG(g *stg.STG, opts Options) (*ts.SG, error) {
 	if len(g.Signals) > 64 {
 		return nil, fmt.Errorf("reach: %d signals exceed the 64-signal code limit", len(g.Signals))
@@ -121,7 +126,6 @@ func buildSGToggle(g *stg.STG, opts Options) (*ts.SG, error) {
 		m    petri.Marking
 		code ts.Code
 	}
-	key := func(n node) string { return n.m.Key() + "|" + fmt.Sprint(uint64(n.code)) }
 
 	sg := &ts.SG{
 		Name:    g.Name(),
@@ -129,10 +133,17 @@ func buildSGToggle(g *stg.STG, opts Options) (*ts.SG, error) {
 	}
 	index := map[string]int{}
 	var nodes []node
-	add := func(n node) int {
-		k := key(n)
+	maxStates := opts.maxStates()
+	// add returns (index, false) when inserting would exceed MaxStates, so
+	// the abort is exact: the limit fires with exactly maxStates states
+	// explored.
+	add := func(n node) (int, bool) {
+		k := toggleKey(n.m, n.code)
 		if i, ok := index[k]; ok {
-			return i
+			return i, true
+		}
+		if len(nodes) >= maxStates {
+			return 0, false
 		}
 		i := len(nodes)
 		index[k] = i
@@ -143,18 +154,16 @@ func buildSGToggle(g *stg.STG, opts Options) (*ts.SG, error) {
 			Label: n.m.Format(g.Net),
 		})
 		sg.Out = append(sg.Out, nil)
-		return i
+		return i, true
 	}
-	maxStates := opts.maxStates()
 	init := node{m: g.Net.InitialMarking(), code: 0}
 	if !init.m.Safe() {
 		return nil, fmt.Errorf("%w: initial marking", ErrUnsafe)
 	}
-	add(init)
+	if _, ok := add(init); !ok {
+		return nil, ErrStateLimit
+	}
 	for head := 0; head < len(nodes); head++ {
-		if len(nodes) > maxStates {
-			return nil, ErrStateLimit
-		}
 		cur := nodes[head]
 		for t := range g.Net.Transitions {
 			if !g.Net.Enabled(cur.m, t) {
@@ -190,9 +199,22 @@ func buildSGToggle(g *stg.STG, opts Options) (*ts.SG, error) {
 			if !nm.Safe() {
 				return nil, fmt.Errorf("%w: firing %s", ErrUnsafe, g.Net.Transitions[t].Name)
 			}
-			to := add(node{m: nm, code: nextCode})
+			to, ok := add(node{m: nm, code: nextCode})
+			if !ok {
+				return nil, ErrStateLimit
+			}
 			sg.Out[head] = append(sg.Out[head], ts.Arc{Event: ev, To: to})
 		}
 	}
 	return sg, nil
+}
+
+// toggleKey composes the visited key of a (marking, code) node in a single
+// buffer — one short-lived buffer plus the string, instead of the
+// string-concatenation + fmt.Sprint chain it replaces on this hot path.
+func toggleKey(m petri.Marking, code ts.Code) string {
+	b := make([]byte, len(m)+8)
+	copy(b, m)
+	binary.BigEndian.PutUint64(b[len(m):], uint64(code))
+	return string(b)
 }

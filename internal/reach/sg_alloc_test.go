@@ -1,0 +1,56 @@
+package reach
+
+import (
+	"testing"
+
+	"repro/internal/stg"
+	"repro/internal/ts"
+)
+
+// toggleRingSpec builds a single-signal STG whose n toggle transitions form
+// a ring: the (marking, code) exploration walks a cycle of n or 2n states.
+func toggleRingSpec(n int) *stg.STG {
+	g := stg.New("togring")
+	g.AddSignal("x", stg.Output)
+	tr := make([]int, n)
+	for i := range tr {
+		tr[i] = g.AddTransition(0, stg.Toggle)
+	}
+	for i := 0; i < n-1; i++ {
+		g.Net.Implicit(tr[i], tr[i+1], 0)
+	}
+	g.Net.Implicit(tr[n-1], tr[0], 1)
+	return g
+}
+
+// TestToggleKeyAllocs pins the hot-path fix: composing a (marking, code)
+// visited key takes at most two allocations (the scratch buffer and the
+// string), not the concatenation + fmt.Sprint chain it replaced.
+func TestToggleKeyAllocs(t *testing.T) {
+	m := toggleRingSpec(6).Net.InitialMarking()
+	code := ts.Code(0x0123456789abcdef)
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = toggleKey(m, code)
+	})
+	if allocs > 2 {
+		t.Fatalf("toggleKey allocates %.0f times per key, want ≤ 2", allocs)
+	}
+}
+
+func BenchmarkToggleKey(b *testing.B) {
+	m := toggleRingSpec(16).Net.InitialMarking()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = toggleKey(m, ts.Code(uint64(i)))
+	}
+}
+
+func BenchmarkBuildSGToggle(b *testing.B) {
+	g := toggleRingSpec(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildSG(g, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package shardset provides a concurrency-safe string-keyed set sharded
+// across independently locked hash buckets. It is the visited table of the
+// parallel explicit reachability engine (Section 2.2 state-space taming):
+// markings hash to a shard by FNV-1a of their byte key, so concurrent
+// workers rarely contend on the same mutex, and every key is assigned a
+// unique dense id at insertion time.
+package shardset
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Set is a sharded set of string keys. Each first insertion of a key
+// receives a unique id in [0, Len()); the ids are dense but their
+// assignment order is scheduling-dependent under concurrency (callers that
+// need a canonical order renumber in a deterministic post-pass).
+type Set struct {
+	shards []shard
+	mask   uint32
+	n      atomic.Int64
+	limit  int64 // 0 = unlimited
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string]int
+	// Pad each shard to its own cache line so neighbouring mutexes do not
+	// false-share under contention.
+	_ [40]byte
+}
+
+// New returns a set with the given shard count, rounded up to a power of
+// two (minimum 1).
+func New(shards int) *Set {
+	return NewLimited(shards, 0)
+}
+
+// NewLimited returns a set that refuses insertions beyond limit keys
+// (0 = unlimited). The limit is exact: Len never exceeds it, and a refused
+// Add implies the total number of distinct keys offered exceeds the limit.
+func NewLimited(shards, limit int) *Set {
+	n := 1
+	for n < shards && n < 1<<10 {
+		n <<= 1
+	}
+	s := &Set{shards: make([]shard, n), mask: uint32(n - 1), limit: int64(limit)}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]int)
+	}
+	return s
+}
+
+// Add inserts key if absent. It returns the key's id and whether this call
+// inserted it. When the set is at its limit and key is new, Add returns
+// (-1, false).
+func (s *Set) Add(key string) (id int, added bool) {
+	sh := &s.shards[fnv32a(key)&s.mask]
+	sh.mu.Lock()
+	if id, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		return id, false
+	}
+	n := s.n.Add(1)
+	if s.limit > 0 && n > s.limit {
+		// Roll back the reservation. The transient over-count cannot admit
+		// an extra key elsewhere: any concurrently rejected Add also held a
+		// genuinely new key, so the true total exceeds the limit anyway.
+		s.n.Add(-1)
+		sh.mu.Unlock()
+		return -1, false
+	}
+	id = int(n - 1)
+	sh.m[key] = id
+	sh.mu.Unlock()
+	return id, true
+}
+
+// Get returns the id of key, if present.
+func (s *Set) Get(key string) (int, bool) {
+	sh := &s.shards[fnv32a(key)&s.mask]
+	sh.mu.Lock()
+	id, ok := sh.m[key]
+	sh.mu.Unlock()
+	return id, ok
+}
+
+// Len returns the number of keys in the set.
+func (s *Set) Len() int { return int(s.n.Load()) }
+
+// fnv32a is the 32-bit FNV-1a hash.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

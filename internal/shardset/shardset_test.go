@@ -1,0 +1,86 @@
+package shardset
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestAddGet(t *testing.T) {
+	s := New(4)
+	id, added := s.Add("a")
+	if !added || id != 0 {
+		t.Fatalf("first add: id=%d added=%v", id, added)
+	}
+	id, added = s.Add("a")
+	if added || id != 0 {
+		t.Fatalf("re-add: id=%d added=%v", id, added)
+	}
+	id, added = s.Add("b")
+	if !added || id != 1 {
+		t.Fatalf("second key: id=%d added=%v", id, added)
+	}
+	if got, ok := s.Get("a"); !ok || got != 0 {
+		t.Fatalf("Get(a) = %d,%v", got, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get(missing) must miss")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestConcurrentAddsAssignDenseUniqueIDs(t *testing.T) {
+	const workers, keys = 8, 500
+	s := New(workers)
+	var wg sync.WaitGroup
+	ids := make([][]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Every worker offers every key: exactly one insertion wins per
+			// key, and all workers must observe the same id for it.
+			for k := 0; k < keys; k++ {
+				id, _ := s.Add(fmt.Sprintf("key-%d", k))
+				ids[w] = append(ids[w], id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != keys {
+		t.Fatalf("Len = %d, want %d", s.Len(), keys)
+	}
+	seen := make([]bool, keys)
+	for k, id := range ids[0] {
+		if id < 0 || id >= keys || seen[id] {
+			t.Fatalf("key %d: id %d out of range or duplicated", k, id)
+		}
+		seen[id] = true
+		for w := 1; w < workers; w++ {
+			if ids[w][k] != id {
+				t.Fatalf("key %d: worker %d saw id %d, worker 0 saw %d", k, w, ids[w][k], id)
+			}
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	s := NewLimited(2, 3)
+	for _, k := range []string{"a", "b", "c"} {
+		if id, added := s.Add(k); !added || id < 0 {
+			t.Fatalf("Add(%s) under limit: id=%d added=%v", k, id, added)
+		}
+	}
+	if id, added := s.Add("d"); added || id != -1 {
+		t.Fatalf("Add over limit: id=%d added=%v", id, added)
+	}
+	// Existing keys still resolve at the limit.
+	if id, added := s.Add("b"); added || id != 1 {
+		t.Fatalf("re-add at limit: id=%d added=%v", id, added)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 
 	"repro/internal/petri"
+	"repro/internal/shardset"
 )
 
 // Result summarizes a reduced exploration.
@@ -39,9 +40,9 @@ var ErrStateLimit = errors.New("stubborn: state limit exceeded")
 // the full state space is reached, typically visiting far fewer states.
 func Explore(n *petri.Net, opts Options) (*Result, error) {
 	res := &Result{}
-	seen := map[string]bool{}
+	seen := shardset.New(1)
 	init := n.InitialMarking()
-	seen[init.Key()] = true
+	seen.Add(init.Key())
 	stack := []petri.Marking{init}
 	for len(stack) > 0 {
 		m := stack[len(stack)-1]
@@ -58,8 +59,7 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 		for _, t := range fire {
 			next := n.Fire(m, t)
 			res.Arcs++
-			if !seen[next.Key()] {
-				seen[next.Key()] = true
+			if _, added := seen.Add(next.Key()); added {
 				stack = append(stack, next)
 			}
 		}

@@ -116,3 +116,32 @@ func TestLiveChoiceNet(t *testing.T) {
 		t.Fatal("no exploration happened")
 	}
 }
+
+// TestExploreDeterministic pins that the sharded-set-backed exploration is
+// reproducible: repeated runs visit identical state/arc counts and the same
+// deadlock markings.
+func TestExploreDeterministic(t *testing.T) {
+	net := gen.Philosophers(5)
+	first, err := Explore(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Explore(net, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.States != first.States || again.Arcs != first.Arcs {
+			t.Fatalf("run %d: %d states/%d arcs, first run %d/%d",
+				i, again.States, again.Arcs, first.States, first.Arcs)
+		}
+		if len(again.Deadlocks) != len(first.Deadlocks) {
+			t.Fatalf("run %d: %d deadlocks vs %d", i, len(again.Deadlocks), len(first.Deadlocks))
+		}
+		for j := range again.Deadlocks {
+			if !again.Deadlocks[j].Equal(first.Deadlocks[j]) {
+				t.Fatalf("run %d: deadlock %d differs", i, j)
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ package symbolic
 import (
 	"fmt"
 	"math"
+	"math/big"
 
 	"repro/internal/bdd"
 	"repro/internal/petri"
@@ -19,8 +20,12 @@ type Result struct {
 	M *bdd.Manager
 	// States is the characteristic function of the reachability set.
 	States bdd.Ref
-	// Count is the number of reachable markings.
+	// Count is the number of reachable markings as a float64 — kept for
+	// display, but exact only below 2^53.
 	Count float64
+	// CountExact is the exact number of reachable markings, which deep
+	// generated families can push past float64 precision.
+	CountExact *big.Int
 	// Iterations is the number of image steps until the fixed point.
 	Iterations int
 	// PeakNodes is the manager size after traversal (arena nodes).
@@ -111,6 +116,7 @@ func Reach(n *petri.Net) (*Result, error) {
 	return &Result{
 		M: m, States: reached,
 		Count:      m.SatCount(reached),
+		CountExact: m.SatCountBig(reached),
 		Iterations: iters,
 		PeakNodes:  m.Size(),
 	}, nil

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bdd"
 	"repro/internal/gen"
+	"repro/internal/petri"
 	"repro/internal/reach"
 	"repro/internal/structural"
 	"repro/internal/vme"
@@ -232,5 +233,34 @@ func TestReachRejectsUnsafeInitial(t *testing.T) {
 	net.Places[0].Initial = 2
 	if _, err := Reach(net); err == nil {
 		t.Fatal("unsafe initial marking must be rejected")
+	}
+}
+
+// TestCountExactMatchesExplicit cross-checks the big-integer count against
+// the explicit engine everywhere both run, and against the float count.
+func TestCountExactMatchesExplicit(t *testing.T) {
+	nets := map[string]*petri.Net{
+		"toggles-10": gen.IndependentToggles(10),
+		"muller-6":   gen.MullerPipeline(6).Net,
+		"ring-8-1":   gen.MarkedGraphRing(8, 1),
+		"phil-4":     gen.Philosophers(4),
+		"vme-rw":     vme.ReadWriteSTG().Net,
+	}
+	for name, net := range nets {
+		sym, err := Reach(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := reach.Explore(net, reach.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sym.CountExact == nil || !sym.CountExact.IsInt64() ||
+			sym.CountExact.Int64() != int64(exp.NumStates()) {
+			t.Fatalf("%s: exact count %v vs explicit %d", name, sym.CountExact, exp.NumStates())
+		}
+		if sym.Count != float64(exp.NumStates()) {
+			t.Fatalf("%s: float count %v vs explicit %d", name, sym.Count, exp.NumStates())
+		}
 	}
 }

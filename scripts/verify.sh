@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repo verification gate: formatting, vet, build, full tests, and the
+# race-detector subset covering the concurrent exploration engines.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/reach/... ./internal/stubborn/... ./internal/shardset/...
+echo "verify: OK"
