@@ -284,6 +284,46 @@ func BenchmarkSymbolicVsExplicit(b *testing.B) {
 	}
 }
 
+// BDD-KERNEL — the symbolic kernel's operating points on the two scaling
+// families: default settings, aggressive garbage collection (threshold 1
+// forces a collect-and-adapt cycle every iteration), and dynamic variable
+// reordering. Peak live nodes is the memory trajectory; the wall-clock
+// column is the throughput one.
+func BenchmarkSymbolicKernel(b *testing.B) {
+	models := []struct {
+		name string
+		net  *petri.Net
+	}{
+		{"toggles-12", gen.IndependentToggles(12)},
+		{"toggles-16", gen.IndependentToggles(16)},
+		{"muller-5", gen.MullerPipeline(5).Net},
+		{"muller-7", gen.MullerPipeline(7).Net},
+	}
+	modes := []struct {
+		name string
+		opts symbolic.Options
+	}{
+		{"default", symbolic.Options{}},
+		{"gc", symbolic.Options{GCThreshold: 1}},
+		{"sift", symbolic.Options{Sift: true}},
+	}
+	for _, mdl := range models {
+		for _, mode := range modes {
+			b.Run(mdl.name+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := symbolic.ReachOpts(mdl.net, mode.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.PeakNodes), "peaknodes")
+					b.ReportMetric(res.Stats.CacheHitRate()*100, "cachehit%")
+				}
+			})
+		}
+	}
+}
+
 // E-PAR — parallel sharded explicit reachability: the same graph, bit for
 // bit, at 1/2/4/8 workers, with wall-clock speedup on multi-core hosts.
 // pipeline-8 has 92736 states (≥ 2^16); ring and philosophers calibrate

@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	reach [-engine all|explicit|symbolic|unfold|stubborn] [-workers N] file.g
+//	reach [-engine all|explicit|symbolic|unfold|stubborn] [-workers N] [-sift] file.g
 //
 // -workers N runs the explicit engine with N parallel workers in addition
 // to the sequential run and reports the speedup (0, the default, uses
 // GOMAXPROCS; 1 skips the parallel run). The parallel engine is
 // deterministic: its state graph is bit-identical to the sequential one.
+//
+// -sift enables dynamic variable reordering (Rudell sifting) in the
+// symbolic engine. The symbolic row is followed by a kernel stats line:
+// live/peak node counts, op-cache hit rate, garbage collections and
+// reorder passes.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/bdd"
 	"repro/internal/reach"
 	"repro/internal/stg"
 	"repro/internal/stubborn"
@@ -40,6 +46,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs.SetOutput(stdout)
 	engine := fs.String("engine", "all", "engine: all, explicit, symbolic, unfold, stubborn")
 	workers := fs.Int("workers", 0, "parallel workers for the explicit engine (0 = GOMAXPROCS, 1 = sequential only)")
+	sift := fs.Bool("sift", false, "dynamic variable reordering (Rudell sifting) in the symbolic engine")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,15 +102,23 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 				name, out, elapsed.Round(time.Microsecond), speedup)
 		}
 	}
+	var symStats *bdd.Stats
 	run("symbolic", func() (string, error) {
-		res, err := symbolic.Reach(n)
+		res, err := symbolic.ReachOpts(n, symbolic.Options{Sift: *sift})
 		if err != nil {
 			return "", err
 		}
 		_, dead := symbolic.DeadStates(n, res)
+		s := res.M.Stats() // include DeadStates work in the snapshot
+		symStats = &s
 		return fmt.Sprintf("%s states, %d BDD nodes, %d iterations, %.0f deadlocks",
 			res.CountExact, res.PeakNodes, res.Iterations, dead), nil
 	})
+	if symStats != nil {
+		fmt.Fprintf(stdout, "%-12s live=%d peak=%d cache-hit=%.1f%% gc=%d freed=%d reorders=%d swaps=%d\n",
+			"  bdd", symStats.Live, symStats.PeakLive, 100*symStats.CacheHitRate(),
+			symStats.GCRuns, symStats.GCFreed, symStats.Reorders, symStats.Swaps)
+	}
 	run("unfold", func() (string, error) {
 		u, err := unfold.Build(n, unfold.Options{})
 		if err != nil {

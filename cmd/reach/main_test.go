@@ -40,6 +40,28 @@ func TestReachAllEngines(t *testing.T) {
 	}
 }
 
+func TestReachSymbolicSiftAndStats(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-engine", "symbolic", "-sift"}, strings.NewReader(muller2), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"symbolic", "bdd", "cache-hit=", "gc=", "reorders="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in symbolic report:\n%s", want, s)
+		}
+	}
+	// Same state count with and without reordering.
+	var plain bytes.Buffer
+	if err := run([]string{"-engine", "symbolic"}, strings.NewReader(muller2), &plain); err != nil {
+		t.Fatal(err)
+	}
+	wantStates := "16 states"
+	if !strings.Contains(s, wantStates) || !strings.Contains(plain.String(), wantStates) {
+		t.Fatalf("sifted and plain symbolic runs must both report %q:\n%s\n%s", wantStates, s, plain.String())
+	}
+}
+
 func TestReachSingleEngine(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-engine", "unfold"}, strings.NewReader(muller2), &out); err != nil {

@@ -1,0 +1,50 @@
+package bdd
+
+import "testing"
+
+// TestQuantifyMaskAllocs pins the interned-mask fix: the old kernel built a
+// `string(mask)` cache key per recursive quantification step, allocating on
+// every node visit. With interned masks and the direct-mapped op cache a
+// repeated quantification over the same variable set allocates nothing.
+// Mirrors internal/reach/sg_alloc_test.go.
+func TestQuantifyMaskAllocs(t *testing.T) {
+	const n = 64
+	m := New(n)
+	f := True
+	for i := 0; i < n/2; i++ {
+		f = m.And(f, m.Or(m.Var(2*i), m.Var(2*i+1)))
+	}
+	m.IncRef(f)
+	vars := []int{1, 7, 13, 40, 63}
+	m.Exists(f, vars) // warm: interns the mask, fills the cache
+	m.AndExists(f, f, vars)
+	allocs := testing.AllocsPerRun(100, func() {
+		m.Exists(f, vars)
+	})
+	if allocs > 0 {
+		t.Fatalf("Exists allocates %.0f times per call with an interned mask, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		m.AndExists(f, f, vars)
+	})
+	if allocs > 0 {
+		t.Fatalf("AndExists allocates %.0f times per call with an interned mask, want 0", allocs)
+	}
+}
+
+func BenchmarkAndExists(b *testing.B) {
+	const n = 64
+	m := New(n)
+	f := True
+	g := False
+	for i := 0; i < n/2; i++ {
+		f = m.And(f, m.Or(m.Var(2*i), m.Var(2*i+1)))
+		g = m.Or(g, m.And(m.Var(2*i), m.NVar((2*i+3)%n)))
+	}
+	vars := []int{0, 5, 11, 17, 23, 42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.AndExists(f, g, vars)
+	}
+}

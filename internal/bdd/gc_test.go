@@ -1,0 +1,163 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildMaj builds the majority-of-three function over vars a,b,c.
+func buildMaj(m *Manager, a, b, c int) Ref {
+	ab := m.And(m.Var(a), m.Var(b))
+	ac := m.And(m.Var(a), m.Var(c))
+	bc := m.And(m.Var(b), m.Var(c))
+	return m.OrN(ab, ac, bc)
+}
+
+// truthTable snapshots f over all 2^n assignments.
+func truthTable(m *Manager, f Ref, n int) []bool {
+	tt := make([]bool, 1<<uint(n))
+	for env := range tt {
+		tt[env] = m.Eval(f, uint64(env))
+	}
+	return tt
+}
+
+// TestGCRebuildIdentical pins GC correctness: build functions, drop the
+// references, collect, rebuild the same functions, and require identical
+// truth tables, identical (canonical) Refs, and a Size() shrink in between.
+func TestGCRebuildIdentical(t *testing.T) {
+	const n = 8
+	m := New(n)
+	build := func() []Ref {
+		var out []Ref
+		out = append(out, buildMaj(m, 0, 3, 6))
+		x := m.Xor(m.Var(1), m.Var(4))
+		out = append(out, m.And(x, buildMaj(m, 2, 5, 7)))
+		out = append(out, m.Exists(m.And(out[0], out[1]), []int{3, 4}))
+		return out
+	}
+
+	fs := build()
+	tables := make([][]bool, len(fs))
+	for i, f := range fs {
+		m.IncRef(f)
+		tables[i] = truthTable(m, f, n)
+	}
+	sizeLive := m.Size()
+
+	// Keep only fs[0]; everything unique to fs[1], fs[2] must be
+	// reclaimed.
+	for _, f := range fs[1:] {
+		m.DecRef(f)
+	}
+	freed := m.GC()
+	if freed == 0 {
+		t.Fatal("GC reclaimed nothing despite dropped references")
+	}
+	if m.Size() >= sizeLive {
+		t.Fatalf("Size() = %d did not shrink from %d after GC", m.Size(), sizeLive)
+	}
+	if got := truthTable(m, fs[0], n); !boolsEqual(got, tables[0]) {
+		t.Fatal("referenced function corrupted by GC")
+	}
+
+	// Rebuild: same functions, same truth tables, and the rebuilt roots
+	// must be canonical with the surviving one.
+	fs2 := build()
+	for i, f := range fs2 {
+		if got := truthTable(m, f, n); !boolsEqual(got, tables[i]) {
+			t.Fatalf("function %d differs after GC+rebuild", i)
+		}
+	}
+	if fs2[0] != fs[0] {
+		t.Fatal("rebuilding the referenced function must return the same Ref")
+	}
+	if s := m.Stats(); s.GCRuns != 1 || s.GCFreed == 0 {
+		t.Fatalf("stats not updated: %+v", s)
+	}
+}
+
+// TestGCKeepsPinnedVars checks projection functions survive a collection
+// with no external references at all.
+func TestGCKeepsPinnedVars(t *testing.T) {
+	m := New(4)
+	a, na := m.Var(2), m.NVar(1)
+	m.GC()
+	if m.Var(2) != a || m.NVar(1) != na {
+		t.Fatal("projection functions must be GC roots")
+	}
+	if !m.Eval(a, 1<<2) || m.Eval(a, 0) {
+		t.Fatal("Var(2) corrupted by GC")
+	}
+}
+
+// TestGCStress interleaves random op phases with collections and checks
+// semantics against retained truth tables.
+func TestGCStress(t *testing.T) {
+	const n = 6
+	rng := rand.New(rand.NewSource(7))
+	m := New(n)
+	type held struct {
+		r  Ref
+		tt []bool
+	}
+	var hold []held
+	for round := 0; round < 30; round++ {
+		// Build a random function over a few vars.
+		f := m.Var(rng.Intn(n))
+		for k := 0; k < 4; k++ {
+			g := m.Var(rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				g = m.Not(g)
+			}
+			switch rng.Intn(3) {
+			case 0:
+				f = m.And(f, g)
+			case 1:
+				f = m.Or(f, g)
+			default:
+				f = m.Xor(f, g)
+			}
+		}
+		hold = append(hold, held{m.IncRef(f), truthTable(m, f, n)})
+		if rng.Intn(3) == 0 && len(hold) > 2 {
+			// Drop a random held function and collect.
+			i := rng.Intn(len(hold))
+			m.DecRef(hold[i].r)
+			hold = append(hold[:i], hold[i+1:]...)
+			m.GC()
+			for _, h := range hold {
+				if !boolsEqual(truthTable(m, h.r, n), h.tt) {
+					t.Fatal("held function corrupted by GC")
+				}
+			}
+		}
+	}
+	if m.Stats().GCRuns == 0 {
+		t.Fatal("stress never collected")
+	}
+}
+
+// TestDecRefUnderflowPanics pins the misuse diagnostic.
+func TestDecRefUnderflowPanics(t *testing.T) {
+	m := New(2)
+	f := m.And(m.Var(0), m.Var(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DecRef below zero must panic")
+		}
+	}()
+	m.DecRef(f)
+}
+
+func boolsEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -37,12 +37,14 @@ func (m *Manager) isop(l, u Ref) ([]boolmin.Cube, Ref) {
 	lr := m.Or(m.Diff(l0, g0), m.Diff(l1, g1))
 	cr, gr := m.isop(lr, m.And(u0, u1))
 
+	// Cube literals are variable indices, not order levels.
+	lit := int(m.level2var[v])
 	var cubes []boolmin.Cube
 	for _, c := range c0 {
-		cubes = append(cubes, c.WithLiteral(int(v), false))
+		cubes = append(cubes, c.WithLiteral(lit, false))
 	}
 	for _, c := range c1 {
-		cubes = append(cubes, c.WithLiteral(int(v), true))
+		cubes = append(cubes, c.WithLiteral(lit, true))
 	}
 	cubes = append(cubes, cr...)
 

@@ -1,0 +1,144 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// interleavedAdder builds the function (x0∧y0) ∨ (x1∧y1) ∨ ... with the x
+// block ordered before the y block: the classic order for which sifting
+// must interleave the pairs and shrink the BDD exponentially.
+func interleavedAdder(m *Manager, pairs int) Ref {
+	f := False
+	for i := 0; i < pairs; i++ {
+		f = m.Or(f, m.And(m.Var(i), m.Var(pairs+i)))
+	}
+	return f
+}
+
+func TestSiftShrinksBadOrder(t *testing.T) {
+	const pairs = 6
+	m := New(2 * pairs)
+	f := m.IncRef(interleavedAdder(m, pairs))
+	tt := truthTable(m, f, 2*pairs)
+	m.GC()
+	before := m.Size()
+	m.Sift()
+	after := m.Size()
+	if after >= before {
+		t.Fatalf("sifting did not shrink the blocked adder: %d -> %d", before, after)
+	}
+	// The optimal interleaved order is linear (3 nodes per pair + terminals).
+	if after > 4*pairs+2 {
+		t.Fatalf("sifted size %d far from linear optimum", after)
+	}
+	if !boolsEqual(truthTable(m, f, 2*pairs), tt) {
+		t.Fatal("sifting changed the function")
+	}
+	if m.Stats().Reorders != 1 || m.Stats().Swaps == 0 {
+		t.Fatalf("reorder stats not updated: %+v", m.Stats())
+	}
+}
+
+// TestSiftPreservesRefsAndCanonicity checks that outstanding Refs stay
+// valid and canonical across reordering: rebuilding any held function after
+// a sift must return the identical Ref.
+func TestSiftPreservesRefsAndCanonicity(t *testing.T) {
+	const n = 10
+	rng := rand.New(rand.NewSource(42))
+	m := New(n)
+	type held struct {
+		r  Ref
+		tt []bool
+	}
+	var hold []held
+	for i := 0; i < 12; i++ {
+		f := m.Var(rng.Intn(n))
+		for k := 0; k < 6; k++ {
+			g := m.Var(rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				g = m.Not(g)
+			}
+			switch rng.Intn(3) {
+			case 0:
+				f = m.And(f, g)
+			case 1:
+				f = m.Or(f, g)
+			default:
+				f = m.Xor(f, g)
+			}
+		}
+		hold = append(hold, held{m.IncRef(f), truthTable(m, f, n)})
+	}
+	m.Sift()
+	for _, h := range hold {
+		if !boolsEqual(truthTable(m, h.r, n), h.tt) {
+			t.Fatal("sifting corrupted a held function")
+		}
+	}
+	// Canonicity after reorder: ops rebuilding an existing function must
+	// land on the same node.
+	for _, h := range hold {
+		if got := m.Or(h.r, h.r); got != h.r {
+			t.Fatal("idempotent Or must return the identical Ref after sifting")
+		}
+		if got := m.Not(m.Not(h.r)); got != h.r {
+			t.Fatal("double negation must return the identical Ref after sifting")
+		}
+	}
+	// The order must be a permutation and the mappings inverse.
+	seen := make([]bool, n)
+	for l, v := range m.Order() {
+		if seen[v] {
+			t.Fatalf("variable %d appears twice in order", v)
+		}
+		seen[v] = true
+		if m.Level(v) != l {
+			t.Fatalf("var2level/level2var out of sync at level %d", l)
+		}
+	}
+}
+
+// TestSiftThenOps checks the kernel keeps working after a reorder: fresh
+// operations, quantification and counting on a reordered manager.
+func TestSiftThenOps(t *testing.T) {
+	const n = 8
+	m := New(n)
+	f := m.IncRef(interleavedAdder(m, n/2))
+	m.Sift()
+	g := m.Exists(f, []int{0, 4})
+	want := m.Or(m.Or(m.restrictVar(f, 0, false, 4, false), m.restrictVar(f, 0, false, 4, true)),
+		m.Or(m.restrictVar(f, 0, true, 4, false), m.restrictVar(f, 0, true, 4, true)))
+	if g != want {
+		t.Fatal("Exists after sifting disagrees with explicit cofactor union")
+	}
+	if got := m.SatCount(m.Xor(f, f)); got != 0 {
+		t.Fatalf("Xor(f,f) = %v satisfying assignments after sift", got)
+	}
+	env, ok := m.AnySat(f)
+	if !ok || !m.Eval(f, env) {
+		t.Fatal("AnySat broken after sift")
+	}
+	sup := m.Support(f)
+	for i := 1; i < len(sup); i++ {
+		if sup[i-1] >= sup[i] {
+			t.Fatal("Support not ascending by variable after sift")
+		}
+	}
+}
+
+// restrictVar is a test helper: fix two variables in sequence.
+func (m *Manager) restrictVar(f Ref, v1 int, b1 bool, v2 int, b2 bool) Ref {
+	return m.Restrict(m.Restrict(f, v1, b1), v2, b2)
+}
+
+func TestSiftTrivialManagers(t *testing.T) {
+	m := New(0)
+	m.Sift() // must not panic
+	m1 := New(1)
+	f := m1.IncRef(m1.Var(0))
+	m1.Sift()
+	if !m1.Eval(f, 1) || m1.Eval(f, 0) {
+		t.Fatal("single-var manager broken by sift")
+	}
+}

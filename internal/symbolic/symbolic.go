@@ -28,8 +28,34 @@ type Result struct {
 	CountExact *big.Int
 	// Iterations is the number of image steps until the fixed point.
 	Iterations int
-	// PeakNodes is the manager size after traversal (arena nodes).
+	// PeakNodes is the peak number of simultaneously live BDD nodes.
 	PeakNodes int
+	// Stats is the BDD kernel counter snapshot after traversal: cache hit
+	// rates, GC collections, reorder passes (see bdd.Stats).
+	Stats bdd.Stats
+}
+
+// Options tune the BDD kernel during a symbolic traversal.
+type Options struct {
+	// Sift enables dynamic variable reordering (Rudell sifting): the
+	// manager reorders whenever the live node count quadruples since the
+	// last pass.
+	Sift bool
+	// GCThreshold is the live-node count that arms mark-and-sweep garbage
+	// collection between image steps; after each collection the threshold
+	// doubles from the surviving size. 0 uses a default of 1<<15 live
+	// nodes; a negative value disables GC.
+	GCThreshold int
+}
+
+func (o Options) gcThreshold() int {
+	if o.GCThreshold > 0 {
+		return o.GCThreshold
+	}
+	if o.GCThreshold < 0 {
+		return math.MaxInt
+	}
+	return 1 << 15
 }
 
 // Reach computes the reachable markings of a safe net with the naive
@@ -37,7 +63,11 @@ type Result struct {
 // image of the transition function is applied iteratively until the
 // characteristic function reaches a fixed point. Enabledness uses 1-safe
 // semantics: input places marked and fresh output places empty.
-func Reach(n *petri.Net) (*Result, error) {
+func Reach(n *petri.Net) (*Result, error) { return ReachOpts(n, Options{}) }
+
+// ReachOpts is Reach with explicit kernel options: bounded-memory garbage
+// collection of dead intermediate nodes and optional dynamic reordering.
+func ReachOpts(n *petri.Net, opts Options) (*Result, error) {
 	if len(n.Places) > 4096 {
 		return nil, fmt.Errorf("symbolic: %d places is unreasonable", len(n.Places))
 	}
@@ -91,11 +121,17 @@ func Reach(n *petri.Net) (*Result, error) {
 				result = m.And(result, m.Var(p))
 			}
 		}
-		ts[t] = trans{enable: enable, result: result, touched: touched}
+		ts[t] = trans{enable: m.IncRef(enable), result: m.IncRef(result), touched: touched}
 	}
 
-	reached := init
-	frontier := init
+	// Frontier-set traversal with reference-counted roots: only the
+	// transition relation, the reached set and the current frontier are
+	// protected, so periodic mark-and-sweep collections reclaim every
+	// intermediate image and keep memory bounded on long traversals.
+	reached := m.IncRef(init)
+	frontier := m.IncRef(init)
+	gcAt := opts.gcThreshold()
+	siftAt := 1 << 12
 	iters := 0
 	for frontier != bdd.False {
 		iters++
@@ -110,15 +146,31 @@ func Reach(n *petri.Net) (*Result, error) {
 			img = m.And(img, tr.result)
 			next = m.Or(next, img)
 		}
-		frontier = m.Diff(next, reached)
-		reached = m.Or(reached, next)
+		m.DecRef(frontier)
+		frontier = m.IncRef(m.Diff(next, reached))
+		m.DecRef(reached)
+		reached = m.IncRef(m.Or(reached, next))
+		if live := m.Size(); live > gcAt {
+			m.GC()
+			if s := m.Size() * 2; s > gcAt {
+				gcAt = s
+			}
+		}
+		if opts.Sift {
+			if live := m.Size(); live > siftAt {
+				m.Sift()
+				siftAt = m.Size() * 4
+			}
+		}
 	}
+	m.DecRef(frontier)
 	return &Result{
 		M: m, States: reached,
 		Count:      m.SatCount(reached),
 		CountExact: m.SatCountBig(reached),
 		Iterations: iters,
-		PeakNodes:  m.Size(),
+		PeakNodes:  m.Stats().PeakLive,
+		Stats:      m.Stats(),
 	}, nil
 }
 

@@ -15,4 +15,8 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/reach/... ./internal/stubborn/... ./internal/shardset/...
+# Cross-engine differential suite under the race detector, then a short
+# fuzz smoke of the BDD kernel against its truth-table oracle.
+go test -run Conformance -race ./internal/conformance/
+go test -fuzz=FuzzBDDOps -fuzztime=5s -run '^$' ./internal/bdd/
 echo "verify: OK"
