@@ -97,33 +97,66 @@ func BenchmarkFig7CSC(b *testing.B) {
 	}
 }
 
-// E-F7b — automatic CSC solving (search over insertion points).
+// E-F7b — automatic CSC solving (search over insertion points). The worker
+// sweep on the generated conflict-rich ring measures the parallel candidate
+// search: shared signature memo, scratch arenas, fan-out over the pool. The
+// chosen insertion is bit-identical at every worker count.
 func BenchmarkSolveCSC(b *testing.B) {
-	g := vme.ReadSTG()
-	for i := 0; i < b.N; i++ {
-		if _, err := encoding.SolveCSC(g, 0); err != nil {
-			b.Fatal(err)
+	b.Run("vme-read", func(b *testing.B) {
+		g := vme.ReadSTG()
+		for i := 0; i < b.N; i++ {
+			if _, err := encoding.SolveCSC(g, 0); err != nil {
+				b.Fatal(err)
+			}
 		}
+	})
+	ring := gen.CSCRing(3)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("cscring-3/w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := encoding.SolveCSCOpts(ring, 3, encoding.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
-// E-EQ — next-state function derivation and minimization.
+// E-EQ — next-state function derivation and minimization. The worker sweep
+// on the solved conflict-rich ring measures the shared-extraction deriver:
+// one state-graph pass for all signals, one shared don't-care set, pooled
+// minimizer scratch. Functions are bit-identical at every worker count.
 func BenchmarkEquationDerivation(b *testing.B) {
-	g := vme.ReadSTG()
-	g2, err := encoding.InsertSignal(g, "csc0",
-		g.Net.TransitionIndex("LDS+"), g.Net.TransitionIndex("D-"))
-	if err != nil {
-		b.Fatal(err)
-	}
-	sg, err := reach.BuildSG(g2, reach.Options{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := logic.DeriveAll(sg); err != nil {
+	b.Run("vme-read", func(b *testing.B) {
+		g := vme.ReadSTG()
+		g2, err := encoding.InsertSignal(g, "csc0",
+			g.Net.TransitionIndex("LDS+"), g.Net.TransitionIndex("D-"))
+		if err != nil {
 			b.Fatal(err)
 		}
+		sg, err := reach.BuildSG(g2, reach.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := logic.DeriveAll(sg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sol, err := encoding.SolveCSC(gen.CSCRing(2), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("cscring-2/w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := logic.DeriveAllOpts(sol.SG, logic.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -430,14 +463,16 @@ func BenchmarkFullFlow(b *testing.B) {
 		{"vme-read", vme.ReadSTG()},
 		{"vme-read-write", vme.ReadWriteSTG()},
 	} {
-		b.Run(tc.name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				rep, err := core.Synthesize(tc.g, core.Options{})
-				if err != nil || !rep.Verification.OK() {
-					b.Fatal(err)
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/w%d", tc.name, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rep, err := core.Synthesize(tc.g, core.Options{Workers: w})
+					if err != nil || !rep.Verification.OK() {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

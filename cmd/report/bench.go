@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (e.g. "SolveCSC/cscring-2/w4").
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics holds any additional value/unit pairs the benchmark reported
+	// (allocs/op, states, events, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchFile is the committed benchmark trajectory record (BENCH_synth.json).
+type benchFile struct {
+	Suite      string        `json:"suite"`
+	GoVersion  string        `json:"go"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// writeBenchJSON converts `go test -bench` plain-text output on r into the
+// benchmark trajectory JSON on w. Lines that are not benchmark results (the
+// goos/goarch/pkg/cpu header, PASS, ok) contribute metadata or are skipped.
+func writeBenchJSON(r io.Reader, w io.Writer) error {
+	out := benchFile{
+		Suite:      "synth",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: []benchResult{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
+			out.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, err := parseBenchLine(line)
+		if err != nil {
+			return fmt.Errorf("bench-json: %w", err)
+		}
+		out.Benchmarks = append(out.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkSolveCSC/cscring-2/w4-8   100   123456 ns/op   12.00 states
+func parseBenchLine(line string) (benchResult, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return benchResult{}, fmt.Errorf("malformed line %q", line)
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the trailing -GOMAXPROCS suffix go test appends.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, fmt.Errorf("iterations in %q: %w", line, err)
+	}
+	res := benchResult{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, fmt.Errorf("value in %q: %w", line, err)
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			res.NsPerOp = val
+			continue
+		}
+		if res.Metrics == nil {
+			res.Metrics = map[string]float64{}
+		}
+		res.Metrics[unit] = val
+	}
+	return res, nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkSolveCSC/vme-read-4         	      27	  42724567 ns/op
+BenchmarkSolveCSC/cscring-2/w4-4     	      31	  37000000 ns/op	       5.000 states
+BenchmarkParallelExplore/phil-7/w2-4 	     100	    123456 ns/op	    1000 states	     200 B/op	       3 allocs/op
+PASS
+ok  	repro	12.345s
+`
+
+func TestWriteBenchJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := writeBenchJSON(strings.NewReader(sampleBenchOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(out.Bytes(), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if f.Suite != "synth" || f.GOMAXPROCS < 1 || f.GoVersion == "" {
+		t.Fatalf("metadata incomplete: %+v", f)
+	}
+	if !strings.Contains(f.CPU, "Xeon") {
+		t.Fatalf("cpu line not captured: %q", f.CPU)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("want 3 benchmarks, got %d", len(f.Benchmarks))
+	}
+	first := f.Benchmarks[0]
+	if first.Name != "SolveCSC/vme-read" || first.Iterations != 27 || first.NsPerOp != 42724567 {
+		t.Fatalf("first result misparsed: %+v", first)
+	}
+	second := f.Benchmarks[1]
+	if second.Name != "SolveCSC/cscring-2/w4" || second.Metrics["states"] != 5 {
+		t.Fatalf("second result misparsed: %+v", second)
+	}
+	third := f.Benchmarks[2]
+	if third.Metrics["allocs/op"] != 3 || third.Metrics["B/op"] != 200 {
+		t.Fatalf("alloc metrics misparsed: %+v", third)
+	}
+}
+
+func TestWriteBenchJSONRejectsGarbage(t *testing.T) {
+	var out bytes.Buffer
+	err := writeBenchJSON(strings.NewReader("BenchmarkBroken notanumber ns/op\n"), &out)
+	if err == nil {
+		t.Fatal("malformed benchmark line must error")
+	}
+}

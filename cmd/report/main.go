@@ -2,12 +2,17 @@
 // every figure of the paper it runs the corresponding pipeline and prints
 // the measured result next to the paper's expectation.
 //
-// Usage: go run ./cmd/report
+// Usage:
+//
+//	go run ./cmd/report                    # experiment tables
+//	go test -bench ... | go run ./cmd/report -bench-json > BENCH_synth.json
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"repro/internal/core"
@@ -29,6 +34,19 @@ import (
 )
 
 func main() {
+	benchJSON := flag.Bool("bench-json", false,
+		"parse 'go test -bench' output on stdin into the benchmark trajectory JSON on stdout")
+	flag.Parse()
+	if *benchJSON {
+		if err := writeBenchJSON(os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	report()
+}
+
+func report() {
 	fmt.Println("| Exp | Paper expectation | Measured |")
 	fmt.Println("|---|---|---|")
 

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	synth [-style complex|gc|rs] [-maxfanin N] [-method insert|reduce]
-//	      [-quiet] [-spec out.g] file.g
+//	      [-workers N] [-quiet] [-spec out.g] file.g
 //
 // With -spec the final specification (including inserted state signals) is
 // written in .g format to the given file ("-" for stdout).
@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/encoding"
@@ -27,18 +28,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "synth:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("synth", flag.ContinueOnError)
-	fs.SetOutput(stdout)
+	// Usage and flag errors are diagnostics: they belong on stderr, not
+	// mixed into the tool's parseable output.
+	fs.SetOutput(stderr)
 	styleName := fs.String("style", "complex", "gate architecture: complex, gc, rs")
 	maxFanIn := fs.Int("maxfanin", 0, "decompose to this gate fan-in (0 = no mapping)")
 	method := fs.String("method", "insert", "CSC method: insert (state signals) or reduce (concurrency)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for encoding search and logic derivation")
 	quiet := fs.Bool("quiet", false, "print only the equations")
 	specOut := fs.String("spec", "", "write the final specification (.g) to this file, '-' for stdout")
 	eqnOut := fs.String("out", "", "write the netlist (.eqn, verify-compatible) to this file, '-' for stdout")
@@ -65,9 +69,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 	var rep *core.Report
 	if *method == "reduce" {
-		rep, err = synthesizeByReduction(g, style)
+		rep, err = synthesizeByReduction(g, style, *workers)
 	} else {
-		rep, err = core.Synthesize(g, core.Options{Style: style, MaxFanIn: *maxFanIn})
+		rep, err = core.Synthesize(g, core.Options{Style: style, MaxFanIn: *maxFanIn, Workers: *workers})
 	}
 	if err != nil {
 		return err
@@ -110,7 +114,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 // synthesizeByReduction runs the flow with the concurrency-reduction CSC
 // method instead of signal insertion.
-func synthesizeByReduction(g *stg.STG, style logic.Style) (*core.Report, error) {
+func synthesizeByReduction(g *stg.STG, style logic.Style, workers int) (*core.Report, error) {
 	sg, err := reach.BuildSG(g, reach.Options{})
 	if err != nil {
 		return nil, err
@@ -126,7 +130,7 @@ func synthesizeByReduction(g *stg.STG, style logic.Style) (*core.Report, error) 
 		}
 		rep.Spec, rep.SG, rep.CSC = sol.STG, sol.SG, sol.Description
 	}
-	rep.Netlist, err = logic.Synthesize(rep.SG, style)
+	rep.Netlist, err = logic.SynthesizeOpts(rep.SG, style, logic.Options{Workers: workers})
 	if err != nil {
 		return nil, err
 	}

@@ -26,8 +26,8 @@ LDTACK- LDS+
 `
 
 func TestSynthDefault(t *testing.T) {
-	var out bytes.Buffer
-	if err := run(nil, strings.NewReader(vmeRead), &out); err != nil {
+	var out, errOut bytes.Buffer
+	if err := run(nil, strings.NewReader(vmeRead), &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"csc0", "speed-independent", "DTACK = D"} {
@@ -39,23 +39,23 @@ func TestSynthDefault(t *testing.T) {
 
 func TestSynthQuietStyles(t *testing.T) {
 	for _, style := range []string{"complex", "gc", "rs"} {
-		var out bytes.Buffer
-		if err := run([]string{"-style", style, "-quiet"}, strings.NewReader(vmeRead), &out); err != nil {
+		var out, errOut bytes.Buffer
+		if err := run([]string{"-style", style, "-quiet"}, strings.NewReader(vmeRead), &out, &errOut); err != nil {
 			t.Fatalf("style %s: %v", style, err)
 		}
 		if !strings.Contains(out.String(), "=") {
 			t.Fatalf("style %s: no equations", style)
 		}
 	}
-	var out bytes.Buffer
-	if err := run([]string{"-style", "bogus"}, strings.NewReader(vmeRead), &out); err == nil {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-style", "bogus"}, strings.NewReader(vmeRead), &out, &errOut); err == nil {
 		t.Fatal("bogus style must error")
 	}
 }
 
 func TestSynthReduceMethod(t *testing.T) {
-	var out bytes.Buffer
-	if err := run([]string{"-method", "reduce"}, strings.NewReader(vmeRead), &out); err != nil {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-method", "reduce"}, strings.NewReader(vmeRead), &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "delay") {
@@ -67,8 +67,8 @@ func TestSynthReduceMethod(t *testing.T) {
 }
 
 func TestSynthSpecOut(t *testing.T) {
-	var out bytes.Buffer
-	if err := run([]string{"-quiet", "-spec", "-"}, strings.NewReader(vmeRead), &out); err != nil {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-quiet", "-spec", "-"}, strings.NewReader(vmeRead), &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), ".internal csc0") {
@@ -77,8 +77,8 @@ func TestSynthSpecOut(t *testing.T) {
 }
 
 func TestSynthEqnOut(t *testing.T) {
-	var out bytes.Buffer
-	if err := run([]string{"-quiet", "-out", "-"}, strings.NewReader(vmeRead), &out); err != nil {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-quiet", "-out", "-"}, strings.NewReader(vmeRead), &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), ".internal csc0") || !strings.Contains(out.String(), ".inputs DSr") {
@@ -87,11 +87,52 @@ func TestSynthEqnOut(t *testing.T) {
 }
 
 func TestSynthMapped(t *testing.T) {
-	var out bytes.Buffer
-	if err := run([]string{"-maxfanin", "2"}, strings.NewReader(vmeRead), &out); err != nil {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-maxfanin", "2"}, strings.NewReader(vmeRead), &out, &errOut); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "max fan-in 2") {
 		t.Fatalf("mapped output expected:\n%s", out.String())
 	}
+}
+
+func TestSynthBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, strings.NewReader(vmeRead), &out, &errOut); err == nil {
+		t.Fatal("unknown flag must error")
+	}
+	if out.Len() != 0 {
+		t.Fatalf("flag diagnostics leaked to stdout:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "Usage") && !strings.Contains(errOut.String(), "-no-such-flag") {
+		t.Fatalf("usage text expected on stderr:\n%s", errOut.String())
+	}
+}
+
+func TestSynthWorkersDeterministic(t *testing.T) {
+	var ref, refErr bytes.Buffer
+	if err := run([]string{"-workers", "1"}, strings.NewReader(vmeRead), &ref, &refErr); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"2", "4"} {
+		var out, errOut bytes.Buffer
+		if err := run([]string{"-workers", w}, strings.NewReader(vmeRead), &out, &errOut); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := stripTiming(out.String()), stripTiming(ref.String()); got != want {
+			t.Fatalf("workers=%s output differs:\n%s\nwant:\n%s", w, got, want)
+		}
+	}
+}
+
+// stripTiming drops the wall-clock line, the only run-dependent output.
+func stripTiming(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "timing:") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
 }

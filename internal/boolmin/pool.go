@@ -1,0 +1,174 @@
+package boolmin
+
+import (
+	"math/bits"
+	"slices"
+)
+
+// Minimizer is a reusable scratch context for repeated Minimize calls. The
+// package-level Minimize allocates fresh hash maps for every merge level of
+// the Quine–McCluskey table; on synthesis workloads — one cover per signal
+// per candidate state graph — that allocation churn dominates the actual
+// merging. A Minimizer keeps the cube tables as plain sorted slices and
+// reuses their backing arrays call to call.
+//
+// The produced cover is identical to Minimize's for every input: the prime
+// set is the same (only its construction differs) and the covering step is
+// shared. A Minimizer is not safe for concurrent use — give each worker its
+// own.
+type Minimizer struct {
+	cur, next []Cube
+	merged    []bool
+	primesBuf []Cube
+}
+
+// Minimize is the pooled equivalent of the package-level Minimize: same
+// cover, no per-level table allocations.
+func (mz *Minimizer) Minimize(on, dc []uint64, n int) Cover {
+	if len(on) == 0 {
+		return Cover{N: n}
+	}
+	primes := mz.primes(on, dc, n)
+	chosen := selectCover(primes, on, n)
+	return Cover{N: n, Cubes: chosen}
+}
+
+// cubeCmp orders cubes by (Care, popcount(Val), Val): equal cubes become
+// adjacent, cubes of one care mask form a run, and inside a run the
+// popcount-adjacent sub-runs that Quine–McCluskey merges are contiguous.
+func cubeCmp(a, b Cube) int {
+	if a.Care != b.Care {
+		if a.Care < b.Care {
+			return -1
+		}
+		return 1
+	}
+	pa, pb := bits.OnesCount64(a.Val), bits.OnesCount64(b.Val)
+	if pa != pb {
+		return pa - pb
+	}
+	switch {
+	case a.Val < b.Val:
+		return -1
+	case a.Val > b.Val:
+		return 1
+	}
+	return 0
+}
+
+// sortDedup sorts cubes with cubeCmp and compacts duplicates in place.
+func sortDedup(cubes []Cube) []Cube {
+	slices.SortFunc(cubes, cubeCmp)
+	w := 0
+	for i, c := range cubes {
+		if i > 0 && c == cubes[i-1] {
+			continue
+		}
+		cubes[w] = c
+		w++
+	}
+	return cubes[:w]
+}
+
+// primes computes the same prime-implicant set as the package-level Primes,
+// replacing its per-level group/merge/dedup hash maps with runs over one
+// sorted slice: cubes sharing a care mask are adjacent, and within such a
+// run the popcount-p and popcount-p+1 sub-runs pair up for merging.
+func (mz *Minimizer) primes(on, dc []uint64, n int) []Cube {
+	mask := maskN(n)
+	cur := mz.cur[:0]
+	for _, m := range on {
+		cur = append(cur, Cube{Val: m & mask, Care: mask})
+	}
+	for _, m := range dc {
+		cur = append(cur, Cube{Val: m & mask, Care: mask})
+	}
+	primes := mz.primesBuf[:0]
+	next := mz.next[:0]
+	for len(cur) > 0 {
+		cur = sortDedup(cur)
+		if cap(mz.merged) < len(cur) {
+			mz.merged = make([]bool, len(cur))
+		}
+		merged := mz.merged[:len(cur)]
+		for i := range merged {
+			merged[i] = false
+		}
+		next = next[:0]
+		for lo := 0; lo < len(cur); {
+			// One care-mask run: cur[lo:hi).
+			hi := lo + 1
+			for hi < len(cur) && cur[hi].Care == cur[lo].Care {
+				hi++
+			}
+			// Popcount sub-runs inside it; adjacent sub-runs merge.
+			for a := lo; a < hi; {
+				b := a + 1
+				popA := bits.OnesCount64(cur[a].Val)
+				for b < hi && bits.OnesCount64(cur[b].Val) == popA {
+					b++
+				}
+				c := b
+				if b < hi && bits.OnesCount64(cur[b].Val) == popA+1 {
+					for c < hi && bits.OnesCount64(cur[c].Val) == popA+1 {
+						c++
+					}
+					for i := a; i < b; i++ {
+						for j := b; j < c; j++ {
+							if m, ok := Merge(cur[i], cur[j]); ok {
+								next = append(next, m)
+								merged[i] = true
+								merged[j] = true
+							}
+						}
+					}
+				}
+				a = b
+			}
+			lo = hi
+		}
+		for i, c := range cur {
+			if !merged[i] {
+				primes = append(primes, c)
+			}
+		}
+		cur, next = next, cur[:0]
+	}
+	mz.cur, mz.next = cur[:0], next[:0]
+
+	// Same final ordering and dominance dedup as the package-level Primes.
+	slices.SortFunc(primes, func(a, b Cube) int {
+		if la, lb := a.Literals(), b.Literals(); la != lb {
+			return la - lb
+		}
+		if a.Care != b.Care {
+			if a.Care < b.Care {
+				return -1
+			}
+			return 1
+		}
+		switch {
+		case a.Val < b.Val:
+			return -1
+		case a.Val > b.Val:
+			return 1
+		}
+		return 0
+	})
+	mz.primesBuf = primes
+	w := 0
+	for _, c := range primes {
+		dominated := false
+		for _, d := range primes[:w] {
+			if d.Covers(c) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			primes[w] = c
+			w++
+		}
+	}
+	return primes[:w]
+}

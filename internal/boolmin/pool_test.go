@@ -1,0 +1,89 @@
+package boolmin
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randFunc draws a random incompletely specified function: each of the 2^n
+// minterms goes to on/off/dc with the given on and off probabilities.
+func randFunc(rng *rand.Rand, n int, pOn, pOff float64) (on, off []uint64) {
+	for m := uint64(0); m < uint64(1)<<uint(n); m++ {
+		switch r := rng.Float64(); {
+		case r < pOn:
+			on = append(on, m)
+		case r < pOn+pOff:
+			off = append(off, m)
+		}
+	}
+	return on, off
+}
+
+// TestMinimizerMatchesMinimize pins the Minimizer contract: for any input,
+// one reused Minimizer produces exactly the cover of the allocating
+// package-level pipeline — same primes, same selection.
+func TestMinimizerMatchesMinimize(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var mz Minimizer
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(7) // 2..8 variables
+		on, off := randFunc(rng, n, 0.3, 0.4)
+		dc := DontCares(on, off, n)
+		want := Minimize(on, dc, n)
+		got := mz.Minimize(on, dc, n)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d (n=%d): pooled cover %v, want %v\non=%v dc=%v",
+				trial, n, got.Cubes, want.Cubes, on, dc)
+		}
+	}
+}
+
+// TestDontCares pins the bitset enumeration against the definition.
+func TestDontCares(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(10)
+		on, off := randFunc(rng, n, 0.25, 0.25)
+		inOn := map[uint64]bool{}
+		for _, m := range on {
+			inOn[m] = true
+		}
+		inOff := map[uint64]bool{}
+		for _, m := range off {
+			inOff[m] = true
+		}
+		var want []uint64
+		for m := uint64(0); m < uint64(1)<<uint(n); m++ {
+			if !inOn[m] && !inOff[m] {
+				want = append(want, m)
+			}
+		}
+		got := DontCares(on, off, n)
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d (n=%d): dc %v, want %v", trial, n, got, want)
+		}
+	}
+}
+
+func BenchmarkMinimize(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	on, off := randFunc(rng, 9, 0.3, 0.3)
+	dc := DontCares(on, off, 9)
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Minimize(on, dc, 9)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		var mz Minimizer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mz.Minimize(on, dc, 9)
+		}
+	})
+}

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/encoding"
 	"repro/internal/logic"
@@ -34,6 +35,30 @@ type Options struct {
 	Constraints []sim.RelativeOrder
 	// Reach bounds state-graph construction.
 	Reach reach.Options
+	// Workers sizes the worker pools of the encoding candidate search and
+	// the per-signal logic derivation. 0 or 1 runs the sequential reference
+	// paths; any count produces bit-identical results.
+	Workers int
+}
+
+// Timing is the per-phase wall-clock breakdown of a flow run.
+type Timing struct {
+	SG       time.Duration
+	Encoding time.Duration
+	Logic    time.Duration
+	Mapping  time.Duration
+	Verify   time.Duration
+}
+
+func (t Timing) String() string {
+	s := fmt.Sprintf("sg=%v encoding=%v logic=%v", t.SG, t.Encoding, t.Logic)
+	if t.Mapping > 0 {
+		s += fmt.Sprintf(" map=%v", t.Mapping)
+	}
+	if t.Verify > 0 {
+		s += fmt.Sprintf(" verify=%v", t.Verify)
+	}
+	return s
 }
 
 // Report is the result of a full synthesis run.
@@ -52,6 +77,8 @@ type Report struct {
 	Netlist *logic.Netlist
 	// Verification is the composition check result (nil when skipped).
 	Verification *sim.Result
+	// Timing is the phase breakdown of this run.
+	Timing Timing
 }
 
 // Equations renders the implementation equations.
@@ -80,6 +107,9 @@ func (r *Report) Summary() string {
 			fmt.Fprintf(&b, "verification:  FAILED: %v\n", r.Verification.Violations)
 		}
 	}
+	if r.Timing != (Timing{}) {
+		fmt.Fprintf(&b, "timing:        %s\n", r.Timing)
+	}
 	return b.String()
 }
 
@@ -88,6 +118,7 @@ func Synthesize(g *stg.STG, opts Options) (*Report, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	phase := time.Now()
 	baseSG, err := reach.BuildSG(g, opts.Reach)
 	if err != nil {
 		return nil, fmt.Errorf("core: state graph: %w", err)
@@ -99,6 +130,7 @@ func Synthesize(g *stg.STG, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("core: dummy contraction: %w", err)
 	}
 	rep := &Report{Input: g, Properties: baseSG.CheckImplementability()}
+	rep.Timing.SG = time.Since(phase)
 	if !rep.Properties.Persistent {
 		return nil, fmt.Errorf("core: specification is not persistent (arbitration needed): %v",
 			baseSG.PersistencyViolations()[0])
@@ -114,20 +146,26 @@ func Synthesize(g *stg.STG, opts Options) (*Report, error) {
 	// State encoding can be solved in several ways; technology mapping may
 	// fail on one encoding and succeed on another, so iterate over ranked
 	// solutions.
-	sols, err := encoding.Solutions(g, opts.MaxCSCSignals, 5)
+	phase = time.Now()
+	sols, err := encoding.SolutionsOpts(g, opts.MaxCSCSignals, 5, encoding.Options{Workers: opts.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("core: state encoding: %w", err)
 	}
+	rep.Timing.Encoding = time.Since(phase)
 	var lastErr error
 	for _, sol := range sols {
 		rep.Spec, rep.SG, rep.CSC = sol.STG, sol.SG, sol.Description
-		rep.Netlist, err = logic.Synthesize(rep.SG, opts.Style)
+		phase = time.Now()
+		rep.Netlist, err = logic.SynthesizeOpts(rep.SG, opts.Style, logic.Options{Workers: opts.Workers})
+		rep.Timing.Logic += time.Since(phase)
 		if err != nil {
 			lastErr = fmt.Errorf("core: logic synthesis: %w", err)
 			continue
 		}
 		if opts.MaxFanIn > 0 {
+			phase = time.Now()
 			rep.Netlist, err = techmap.Map(rep.Netlist, rep.Spec, techmap.Options{MaxFanIn: opts.MaxFanIn})
+			rep.Timing.Mapping += time.Since(phase)
 			if err != nil {
 				lastErr = fmt.Errorf("core: technology mapping: %w", err)
 				continue
@@ -140,7 +178,9 @@ func Synthesize(g *stg.STG, opts Options) (*Report, error) {
 		return nil, lastErr
 	}
 	if !opts.SkipVerify {
+		phase = time.Now()
 		rep.Verification, err = sim.Verify(rep.Netlist, rep.Spec, sim.Options{Constraints: opts.Constraints})
+		rep.Timing.Verify = time.Since(phase)
 		if err != nil {
 			return nil, fmt.Errorf("core: verification: %w", err)
 		}

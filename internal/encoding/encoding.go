@@ -148,6 +148,15 @@ type Solution struct {
 	Literals int
 }
 
+// unsolvedLiteralCost is the literal cost carried by candidates that reduce
+// but do not eliminate the CSC conflicts. The ranking key is (conflicts,
+// literals, enumeration order), so this sentinel only breaks ties among
+// still-unsolved candidates against solved ones at the same conflict count —
+// a situation that cannot arise (solved means zero conflicts) — while
+// keeping the cost field a plain int. It merely has to dwarf every real
+// cover cost without overflowing additions.
+const unsolvedLiteralCost = 1 << 29
+
 // SolveCSC resolves all CSC conflicts of g by inserting internal state
 // signals. It searches insertion-point pairs around non-input transitions
 // (inputs must stay untouched), validates every candidate against the full
@@ -155,18 +164,29 @@ type Solution struct {
 // and returns the valid solution with minimal complex-gate literal cost.
 // Up to maxSignals signals are inserted (each named csc0, csc1, ...).
 func SolveCSC(g *stg.STG, maxSignals int) (*Solution, error) {
-	sols, err := Solutions(g, maxSignals, 1)
+	return SolveCSCOpts(g, maxSignals, Options{})
+}
+
+// SolveCSCOpts is SolveCSC with explicit solver options.
+func SolveCSCOpts(g *stg.STG, maxSignals int, opts Options) (*Solution, error) {
+	sols, err := SolutionsOpts(g, maxSignals, 1, opts)
 	if err != nil {
 		return nil, err
 	}
 	return sols[0], nil
 }
 
+func describeInsertion(g *stg.STG, name string, r, f Point) string {
+	return fmt.Sprintf("insert %s: + %s, - %s", name, r.describe(g), f.describe(g))
+}
+
 // rankedInsertions tries every (rise, fall) pair of insertion points around
 // non-input transitions and returns the property-preserving candidates that
 // reduce the conflict count, ranked by (conflicts, literal cost, order).
-func rankedInsertions(g *stg.STG, name string, limit int) ([]*Solution, error) {
-	baseSG, err := buildSG(g)
+// With ctx.workers > 1 the pairs are evaluated by the memoized parallel
+// evaluator; the ranking — and thus the returned list — is identical.
+func rankedInsertions(g *stg.STG, name string, limit int, ctx *evalCtx) ([]*Solution, error) {
+	baseSG, err := ctx.buildSG(g)
 	if err != nil {
 		return nil, err
 	}
@@ -178,11 +198,7 @@ func rankedInsertions(g *stg.STG, name string, limit int) ([]*Solution, error) {
 			points = append(points, Point{Before: true, Trans: t}, Point{Before: false, Trans: t})
 		}
 	}
-	type scored struct {
-		sol *Solution
-		key [3]int
-	}
-	var all []scored
+	var pairs []insPair
 	order := 0
 	for _, r := range points {
 		for _, f := range points {
@@ -190,41 +206,14 @@ func rankedInsertions(g *stg.STG, name string, limit int) ([]*Solution, error) {
 				continue
 			}
 			order++
-			cand, err := InsertSignalAt(g, name, r, f)
-			if err != nil {
-				continue
-			}
-			sg, err := buildSG(cand)
-			if err != nil {
-				continue // inconsistent or unsafe insertion
-			}
-			imp := sg.CheckImplementability()
-			if !imp.Persistent || !imp.DeadlockFree {
-				continue
-			}
-			conflicts := len(sg.CSCConflicts())
-			if conflicts >= baseConflicts {
-				continue // no progress
-			}
-			lits := 1 << 29
-			if conflicts == 0 {
-				if l, err := complexLiterals(sg); err == nil {
-					lits = l
-				} else {
-					continue
-				}
-			}
-			all = append(all, scored{
-				sol: &Solution{
-					STG: cand,
-					SG:  sg,
-					Description: fmt.Sprintf("insert %s: + %s, - %s",
-						name, r.describe(g), f.describe(g)),
-					Literals: lits,
-				},
-				key: [3]int{conflicts, lits, order},
-			})
+			pairs = append(pairs, insPair{r: r, f: f, order: order})
 		}
+	}
+	var all []scored
+	if ctx.workers > 1 {
+		all = evalPairsParallel(g, name, pairs, baseConflicts, ctx.workers)
+	} else {
+		all = evalPairsSequential(g, name, pairs, baseConflicts, ctx)
 	}
 	if len(all) == 0 {
 		return nil, fmt.Errorf("no property-preserving insertion found for %s", name)
@@ -236,8 +225,43 @@ func rankedInsertions(g *stg.STG, name string, limit int) ([]*Solution, error) {
 	out := make([]*Solution, len(all))
 	for i, s := range all {
 		out[i] = s.sol
+		if out[i].SG == nil {
+			// Memo-hit survivor of the ranked cut: build its own SG now.
+			// Its isomorphic twin built fine, so this cannot fail.
+			sg, err := ctx.buildSG(out[i].STG)
+			if err != nil {
+				return nil, fmt.Errorf("encoding: rebuilding memoized candidate: %w", err)
+			}
+			out[i].SG = sg
+		}
 	}
 	return out, nil
+}
+
+// evalPairsSequential is the reference evaluator: one candidate at a time on
+// the solve-wide scratch arena.
+func evalPairsSequential(g *stg.STG, name string, pairs []insPair, baseConflicts int, ctx *evalCtx) []scored {
+	var all []scored
+	for _, p := range pairs {
+		cand, err := InsertSignalAt(g, name, p.r, p.f)
+		if err != nil {
+			continue
+		}
+		sg, m := evaluateCandidate(cand, baseConflicts, ctx.arena)
+		if !m.ok {
+			continue
+		}
+		all = append(all, scored{
+			sol: &Solution{
+				STG:         cand,
+				SG:          sg,
+				Description: describeInsertion(g, name, p.r, p.f),
+				Literals:    m.lits,
+			},
+			key: [3]int{m.conflicts, m.lits, p.order},
+		})
+	}
+	return all
 }
 
 func less(a, b [3]int) bool {
@@ -254,10 +278,17 @@ func less(a, b [3]int) bool {
 // cost. Callers that need to iterate (e.g. technology mapping retries) use
 // this instead of SolveCSC.
 func Solutions(g *stg.STG, maxSignals, limit int) ([]*Solution, error) {
+	return SolutionsOpts(g, maxSignals, limit, Options{})
+}
+
+// SolutionsOpts is Solutions with explicit solver options. The returned
+// solution list — descriptions, literal costs and order — is identical at
+// every Options.Workers value.
+func SolutionsOpts(g *stg.STG, maxSignals, limit int, opts Options) ([]*Solution, error) {
 	if limit <= 0 {
 		limit = 5
 	}
-	out, err := firstRound(g, maxSignals, limit)
+	out, err := firstRound(g, maxSignals, limit, newEvalCtx(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -265,8 +296,8 @@ func Solutions(g *stg.STG, maxSignals, limit int) ([]*Solution, error) {
 	return out, nil
 }
 
-func firstRound(g *stg.STG, maxSignals, limit int) ([]*Solution, error) {
-	sg, err := buildSG(g)
+func firstRound(g *stg.STG, maxSignals, limit int, ctx *evalCtx) ([]*Solution, error) {
+	sg, err := ctx.buildSG(g)
 	if err != nil {
 		return nil, err
 	}
@@ -280,7 +311,7 @@ func firstRound(g *stg.STG, maxSignals, limit int) ([]*Solution, error) {
 	if maxSignals <= 0 {
 		maxSignals = 3
 	}
-	ranked, err := rankedInsertions(g, "csc0", limit*2)
+	ranked, err := rankedInsertions(g, "csc0", limit*2, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -294,7 +325,7 @@ func firstRound(g *stg.STG, maxSignals, limit int) ([]*Solution, error) {
 			continue
 		}
 		// Greedy continuation for multi-signal cases.
-		sol, err := continueGreedy(cand, maxSignals-1)
+		sol, err := continueGreedy(cand, maxSignals-1, ctx)
 		if err == nil {
 			out = append(out, sol)
 		}
@@ -305,13 +336,13 @@ func firstRound(g *stg.STG, maxSignals, limit int) ([]*Solution, error) {
 	return out, nil
 }
 
-func continueGreedy(start *Solution, rounds int) (*Solution, error) {
+func continueGreedy(start *Solution, rounds int, ctx *evalCtx) (*Solution, error) {
 	cur := start
 	for i := 0; i < rounds; i++ {
 		if cur.SG.HasCSC() {
 			return cur, nil
 		}
-		ranked, err := rankedInsertions(cur.STG, fmt.Sprintf("csc%d", i+1), 1)
+		ranked, err := rankedInsertions(cur.STG, fmt.Sprintf("csc%d", i+1), 1, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -399,7 +430,7 @@ func bestReduction(g *stg.STG, baseConflicts int) (*stg.STG, string, error) {
 			if conflicts >= baseConflicts {
 				continue
 			}
-			lits := 1 << 29
+			lits := unsolvedLiteralCost
 			if conflicts == 0 {
 				if l, err := complexLiterals(sg); err == nil {
 					lits = l

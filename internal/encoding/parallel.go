@@ -1,0 +1,228 @@
+package encoding
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/reach"
+	"repro/internal/stg"
+	"repro/internal/ts"
+)
+
+// Options configure the CSC solvers.
+type Options struct {
+	// Workers selects the memoized parallel candidate evaluator when > 1:
+	// the (rise, fall) insertion pairs of every ranking round are fanned out
+	// across a worker pool, and a canonical-signature memo lets symmetric
+	// insertion points (isomorphic candidate STGs) share one evaluation. The
+	// ranking key stays (conflicts, literals, enumeration order), so the
+	// solution list is bit-identical to the sequential evaluator's at any
+	// worker count. 0 or 1 runs the sequential reference evaluator.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 1 {
+		return o.Workers
+	}
+	return 1
+}
+
+// evalCtx carries the per-solve evaluation state: the worker count and the
+// sequential path's reusable reachability arena.
+type evalCtx struct {
+	workers int
+	arena   *reach.Arena
+}
+
+func newEvalCtx(opts Options) *evalCtx {
+	return &evalCtx{workers: opts.workers(), arena: reach.NewArena()}
+}
+
+func (c *evalCtx) buildSG(g *stg.STG) (*ts.SG, error) {
+	sg, err := reach.BuildSG(g, reach.Options{Arena: c.arena})
+	if err != nil {
+		return nil, err
+	}
+	return ts.ContractDummies(sg)
+}
+
+// candMetrics is the memoizable outcome of evaluating one candidate STG.
+// Isomorphic candidates have identical metrics: conflict counts, the
+// implementability verdict and literal costs are all graph-level properties.
+type candMetrics struct {
+	ok        bool // property-preserving and reduces the conflict count
+	conflicts int
+	lits      int
+}
+
+// evaluateCandidate scores one inserted-signal candidate exactly as the
+// historical sequential loop did: build the SG (candidates violating
+// consistency or safety fail here), require persistency and deadlock
+// freedom, require conflict-count progress, and cost the solved candidates
+// by complex-gate literals. Unsolved survivors carry unsolvedLiteralCost.
+func evaluateCandidate(cand *stg.STG, baseConflicts int, ar *reach.Arena) (*ts.SG, candMetrics) {
+	sg, err := reach.BuildSG(cand, reach.Options{Arena: ar})
+	if err != nil {
+		return nil, candMetrics{}
+	}
+	if sg, err = ts.ContractDummies(sg); err != nil {
+		return nil, candMetrics{}
+	}
+	imp := sg.CheckImplementability()
+	if !imp.Persistent || !imp.DeadlockFree {
+		return nil, candMetrics{}
+	}
+	conflicts := len(sg.CSCConflicts())
+	if conflicts >= baseConflicts {
+		return nil, candMetrics{}
+	}
+	lits := unsolvedLiteralCost
+	if conflicts == 0 {
+		l, err := complexLiterals(sg)
+		if err != nil {
+			return nil, candMetrics{}
+		}
+		lits = l
+	}
+	return sg, candMetrics{ok: true, conflicts: conflicts, lits: lits}
+}
+
+// insPair is one enumerated (rise, fall) candidate with its deterministic
+// enumeration index — the ranking tie-breaker that makes the chosen solution
+// independent of evaluation order.
+type insPair struct {
+	r, f  Point
+	order int
+}
+
+type scored struct {
+	sol *Solution
+	key [3]int
+}
+
+// memoEntry is a singleflight slot: the first worker to claim a canonical
+// signature computes the metrics and closes done; later workers with an
+// isomorphic candidate wait and reuse them.
+type memoEntry struct {
+	done chan struct{}
+	m    candMetrics
+}
+
+// evalPairsParallel fans the candidate evaluations across workers goroutines,
+// each with its own reachability arena. Results land in a slot per pair, so
+// assembly order — and with it the ranking — is the enumeration order, not
+// the completion order. Memo-hit survivors come back without an SG; the
+// caller rebuilds the few that survive the ranked cut.
+func evalPairsParallel(g *stg.STG, name string, pairs []insPair, baseConflicts, workers int) []scored {
+	type result struct {
+		cand *stg.STG
+		sg   *ts.SG
+		m    candMetrics
+	}
+	results := make([]result, len(pairs))
+	memo := make(map[string]*memoEntry)
+	var mu sync.Mutex
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ar := reach.NewArena()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pairs) {
+					return
+				}
+				p := pairs[i]
+				cand, err := InsertSignalAt(g, name, p.r, p.f)
+				if err != nil {
+					continue
+				}
+				sig := canonicalSignature(cand)
+				mu.Lock()
+				e, hit := memo[sig]
+				if !hit {
+					e = &memoEntry{done: make(chan struct{})}
+					memo[sig] = e
+				}
+				mu.Unlock()
+				if hit {
+					<-e.done
+					if e.m.ok {
+						results[i] = result{cand: cand, m: e.m}
+					}
+					continue
+				}
+				sg, m := evaluateCandidate(cand, baseConflicts, ar)
+				e.m = m
+				close(e.done)
+				if m.ok {
+					results[i] = result{cand: cand, sg: sg, m: m}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var all []scored
+	for i, res := range results {
+		if !res.m.ok {
+			continue
+		}
+		p := pairs[i]
+		all = append(all, scored{
+			sol: &Solution{
+				STG:         res.cand,
+				SG:          res.sg, // nil on memo hits; rebuilt after ranking
+				Description: describeInsertion(g, name, p.r, p.f),
+				Literals:    res.m.lits,
+			},
+			key: [3]int{res.m.conflicts, res.m.lits, p.order},
+		})
+	}
+	return all
+}
+
+// canonicalSignature renders a name-independent structural signature of an
+// STG: transitions are identified by their (unique) names and every place by
+// "sorted preset > sorted postset > tokens", with the place descriptors
+// themselves sorted. Generated place names are deliberately excluded —
+// symmetric insertion points ("after t" vs "before u" across an unmarked
+// chain t -> p -> u) build isomorphic nets differing only in those names,
+// and the memo must identify exactly such pairs. Two STGs over the same
+// signal set with equal signatures are isomorphic: transition names fix the
+// transition bijection and the descriptor multiset fixes the places.
+func canonicalSignature(g *stg.STG) string {
+	net := g.Net
+	descs := make([]string, len(net.Places))
+	var sb strings.Builder
+	var names []string
+	appendNames := func(ts []int) {
+		names = names[:0]
+		for _, t := range ts {
+			names = append(names, net.Transitions[t].Name)
+		}
+		sort.Strings(names)
+		for _, nm := range names {
+			sb.WriteString(nm)
+			sb.WriteByte(',')
+		}
+	}
+	for i := range net.Places {
+		p := &net.Places[i]
+		sb.Reset()
+		appendNames(p.Pre)
+		sb.WriteByte('>')
+		appendNames(p.Post)
+		sb.WriteByte('>')
+		sb.WriteString(strconv.Itoa(p.Initial))
+		descs[i] = sb.String()
+	}
+	sort.Strings(descs)
+	return strings.Join(descs, ";")
+}

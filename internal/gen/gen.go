@@ -65,6 +65,64 @@ func IndependentToggles(n int) *petri.Net {
 	return net
 }
 
+// CSCRing builds a k-stage ring of "double-pulse" cells, the scalable
+// CSC-conflict-rich family used to benchmark the state-encoding solver.
+// Stage i drives two output signals a_i and b_i through the cycle
+//
+//	a_i+ ; a_i- ; b_i+ ; b_{i-1}- ; a_i+/1 ; a_i-/1 ; (advance to stage i+1)
+//
+// chained into one global cycle (a live safe marked graph, hence persistent
+// and deadlock-free). The double pulse of a_i revisits the stage's entry
+// code twice, producing exactly two CSC conflict pairs per stage; the
+// overlapped handoff of the b signals (b_i rises before b_{i-1} falls) keeps
+// a distinct b-bit high at every stage boundary, so conflicts never cross
+// stages and the spec is solvable by inserting exactly one state signal per
+// stage (csc_i+ after a_i+, csc_i- after a_i+/1 splits both pairs).
+// The state graph has 6k states and the net 6k transitions, so the solver's
+// candidate space grows quadratically with k while every candidate rebuild
+// stays linear — the worst case for the serial search and the best target
+// for the memoized parallel one. k is clamped to at least 2: the k=1 ring
+// degenerates (its b pulse separates the two a pulses, which needs two
+// inserted signals instead of one).
+func CSCRing(k int) *stg.STG {
+	if k < 2 {
+		k = 2
+	}
+	g := stg.New(fmt.Sprintf("cscring-%d", k))
+	a1 := make([]int, k) // a_i+
+	a2 := make([]int, k) // a_i-
+	b1 := make([]int, k) // b_i+
+	b2 := make([]int, k) // b_i-
+	a3 := make([]int, k) // a_i+/1
+	a4 := make([]int, k) // a_i-/1
+	for i := 0; i < k; i++ {
+		a := g.AddSignal(fmt.Sprintf("a%d", i), stg.Output)
+		b := g.AddSignal(fmt.Sprintf("b%d", i), stg.Output)
+		a1[i] = g.AddTransition(a, stg.Rise)
+		a2[i] = g.AddTransition(a, stg.Fall)
+		b1[i] = g.AddTransition(b, stg.Rise)
+		b2[i] = g.AddTransition(b, stg.Fall)
+		a3[i] = g.AddTransition(a, stg.Rise)
+		a4[i] = g.AddTransition(a, stg.Fall)
+	}
+	net := g.Net
+	for i := 0; i < k; i++ {
+		prev := (i + k - 1) % k
+		net.Chain(a1[i], a2[i], b1[i])
+		// Handoff: b_{i-1} falls only after b_i has risen, so some b bit is
+		// high at every stage boundary (b_{k-1} is initially high).
+		net.Chain(b1[i], b2[prev], a3[i], a4[i])
+		// Advance to the next stage; the single global token starts in front
+		// of stage 0.
+		tokens := 0
+		if i == k-1 {
+			tokens = 1
+		}
+		net.Implicit(a4[i], a1[(i+1)%k], tokens)
+	}
+	return g
+}
+
 // MarkedGraphRing builds a k-stage ring with the given number of tokens —
 // a linear-size net with a polynomial state space, used for calibration.
 func MarkedGraphRing(k, tokens int) *petri.Net {

@@ -89,6 +89,46 @@ func TestPhilosophers(t *testing.T) {
 	}
 }
 
+// TestCSCRing pins the family's contract: a live safe marked graph with
+// 6k transitions and 6k states, conflict-rich (at least 2 CSC conflict pairs
+// per stage) but persistent and deadlock-free, so the only missing
+// implementability property is state coding.
+func TestCSCRing(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		g := CSCRing(k)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("cscring-%d: %v", k, err)
+		}
+		if !g.Net.IsMarkedGraph() || !g.Net.StronglyConnected() {
+			t.Fatalf("cscring-%d must be a strongly connected marked graph", k)
+		}
+		if len(g.Net.Transitions) != 6*k || len(g.Signals) != 2*k {
+			t.Fatalf("cscring-%d: %d transitions, %d signals",
+				k, len(g.Net.Transitions), len(g.Signals))
+		}
+		sg, err := reach.BuildSG(g, reach.Options{})
+		if err != nil {
+			t.Fatalf("cscring-%d: %v", k, err)
+		}
+		if sg.NumStates() != 6*k {
+			t.Fatalf("cscring-%d: %d states, want %d", k, sg.NumStates(), 6*k)
+		}
+		imp := sg.CheckImplementability()
+		if !imp.Consistent || !imp.Persistent || !imp.DeadlockFree {
+			t.Fatalf("cscring-%d: %v", k, imp)
+		}
+		if imp.CSC {
+			t.Fatalf("cscring-%d must have CSC conflicts", k)
+		}
+		if got := len(sg.CSCConflicts()); got < 2*k {
+			t.Fatalf("cscring-%d: %d conflicts, want >= %d", k, got, 2*k)
+		}
+	}
+	if CSCRing(0).Name() != "cscring-2" {
+		t.Fatal("k < 2 must clamp to 2")
+	}
+}
+
 func TestPipelineSTGDepth(t *testing.T) {
 	if PipelineSTGDepth(4) != 16 || PipelineSTGDepth(40) != 1<<30 {
 		t.Fatal("depth estimate broken")

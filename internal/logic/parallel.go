@@ -1,0 +1,327 @@
+package logic
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/boolmin"
+	"repro/internal/stg"
+	"repro/internal/ts"
+)
+
+// Options configure the derivation and synthesis entry points.
+type Options struct {
+	// Workers selects the shared-extraction parallel deriver when > 1: one
+	// pass over the state graph computes every signal's next-state
+	// information at once (per-signal scans disappear), the don't-care set —
+	// identical for all signals of one SG — is enumerated once, and the
+	// per-signal cover minimizations fan out across a worker pool with
+	// pooled minimizer scratch. Functions and netlists are bit-identical to
+	// the sequential reference path at any worker count. 0 or 1 runs the
+	// sequential per-signal reference implementation.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 1 {
+		return o.Workers
+	}
+	return 1
+}
+
+// extraction is the shared one-pass next-state analysis of a state graph.
+// For every state the excited rise/fall signal sets are folded into a
+// successor code nextCode = (code | rise) &^ fall; aggregating those by
+// unique code answers, for all signals at once, everything the per-signal
+// Derive scan computes: agreement (CSC), implied next values, and region
+// classification.
+type extraction struct {
+	n     int
+	names []string
+	// Unique codes in first-seen state order — the order Derive appends
+	// minterms in, so shared-path on/off sets match it exactly.
+	codes  []ts.Code
+	andNxt []ts.Code
+	orNxt  []ts.Code
+	// Per-code region masks: bit s set iff some state with this code has
+	// signal s in the region.
+	erP, erM, qrP, qrM []ts.Code
+	// dc is the shared don't-care set: the unreachable codes, in increasing
+	// minterm order, as MinimizeOnOff enumerates them. Nil when n > 14.
+	dc []uint64
+}
+
+// extract runs the shared pass. Cost: one sweep of states and arcs plus one
+// sweep of the unique codes — independent of the signal count.
+func extract(g *ts.SG) *extraction {
+	n := len(g.Signals)
+	ex := &extraction{n: n, names: make([]string, n)}
+	for i, s := range g.Signals {
+		ex.names[i] = s.Name
+	}
+	mask := ts.Code(0)
+	if n > 0 {
+		mask = ts.Code((uint64(1) << uint(n)) - 1)
+		if n >= 64 {
+			mask = ^ts.Code(0)
+		}
+	}
+	idx := make(map[ts.Code]int, len(g.States))
+	for s := range g.States {
+		code := g.States[s].Code
+		var rise, fall ts.Code
+		for _, a := range g.Out[s] {
+			if a.Event.Sig < 0 {
+				continue
+			}
+			bit := ts.Code(1) << uint(a.Event.Sig)
+			if a.Event.Dir == stg.Rise {
+				rise |= bit
+			} else {
+				fall |= bit
+			}
+		}
+		next := (code | rise) &^ fall
+		quiet := mask &^ (rise | fall)
+		i, ok := idx[code]
+		if !ok {
+			i = len(ex.codes)
+			idx[code] = i
+			ex.codes = append(ex.codes, code)
+			ex.andNxt = append(ex.andNxt, next)
+			ex.orNxt = append(ex.orNxt, next)
+			ex.erP = append(ex.erP, rise)
+			ex.erM = append(ex.erM, fall)
+			ex.qrP = append(ex.qrP, code&quiet)
+			ex.qrM = append(ex.qrM, quiet&^code)
+			continue
+		}
+		ex.andNxt[i] &= next
+		ex.orNxt[i] |= next
+		ex.erP[i] |= rise
+		ex.erM[i] |= fall
+		ex.qrP[i] |= code & quiet
+		ex.qrM[i] |= quiet &^ code
+	}
+	if n <= 14 {
+		reach := make([]uint64, len(ex.codes))
+		for i, c := range ex.codes {
+			reach[i] = uint64(c)
+		}
+		ex.dc = boolmin.DontCares(reach, nil, n)
+	}
+	return ex
+}
+
+// conflicted reports whether some code implies two next values for sig.
+func (ex *extraction) conflicted(sig int) bool {
+	bit := ts.Code(1) << uint(sig)
+	for i := range ex.codes {
+		if (ex.orNxt[i]^ex.andNxt[i])&bit != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// onOff splits the unique codes into sig's on and off sets, in the exact
+// first-seen order Derive produces. Must not be called on a conflicted
+// signal.
+func (ex *extraction) onOff(sig int) (on, off []uint64) {
+	bit := ts.Code(1) << uint(sig)
+	for i, c := range ex.codes {
+		if ex.andNxt[i]&bit != 0 {
+			on = append(on, uint64(c))
+		} else {
+			off = append(off, uint64(c))
+		}
+	}
+	return on, off
+}
+
+// deriveShared produces sig's Function from the shared extraction, with the
+// cover minimized through the worker's pooled scratch.
+func (ex *extraction) deriveShared(sig int, mz *boolmin.Minimizer) Function {
+	on, off := ex.onOff(sig)
+	f := Function{Signal: sig, Name: ex.names[sig], N: ex.n, Names: ex.names, On: on, Off: off}
+	if ex.n <= 14 {
+		f.Cover = mz.Minimize(on, ex.dc, ex.n)
+	} else {
+		f.Cover = deriveCover(on, off, ex.n)
+	}
+	return f
+}
+
+// nonInputs lists the signals synthesis derives functions for.
+func nonInputs(signals []stg.Signal) []int {
+	var out []int
+	for sig, s := range signals {
+		if s.Kind == stg.Output || s.Kind == stg.Internal {
+			out = append(out, sig)
+		}
+	}
+	return out
+}
+
+// DeriveAllOpts is DeriveAll with explicit options. With Workers > 1 the
+// shared-extraction deriver runs: per-signal state scans collapse into one
+// pass and the cover minimizations fan out across the pool. The returned
+// functions — minterm order, covers, errors — are identical to DeriveAll's.
+func DeriveAllOpts(g *ts.SG, opts Options) ([]Function, error) {
+	w := opts.workers()
+	if w <= 1 {
+		return DeriveAll(g)
+	}
+	sigs := nonInputs(g.Signals)
+	ex := extract(g)
+	// Conflicts are found on the cheap aggregate first; the reference
+	// deriver then reproduces the exact witness error, in signal order.
+	for _, sig := range sigs {
+		if ex.conflicted(sig) {
+			if _, err := Derive(g, sig); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("logic: internal: aggregate found a conflict for %s the deriver did not", ex.names[sig])
+		}
+	}
+	out := make([]Function, len(sigs))
+	runWorkers(w, len(sigs), func(mz *boolmin.Minimizer, i int) {
+		out[i] = ex.deriveShared(sigs[i], mz)
+	})
+	return out, nil
+}
+
+// SynthesizeOpts is Synthesize with explicit options; see DeriveAllOpts for
+// the Workers > 1 path. Netlists are identical at any worker count.
+func SynthesizeOpts(g *ts.SG, style Style, opts Options) (*Netlist, error) {
+	w := opts.workers()
+	if w <= 1 {
+		return Synthesize(g, style)
+	}
+	nl := &Netlist{Name: g.Name}
+	for _, s := range g.Signals {
+		nl.AddSignal(s.Name, s.Kind)
+	}
+	sigs := nonInputs(g.Signals)
+	ex := extract(g)
+	// CSC conflicts surface before the fan-out, in signal order, so the
+	// workers run an error-free pure computation. For complex gates the
+	// reference deriver reproduces the exact witness error.
+	for _, sig := range sigs {
+		if style == ComplexGate {
+			if ex.conflicted(sig) {
+				if _, err := Derive(g, sig); err != nil {
+					return nil, err
+				}
+				return nil, fmt.Errorf("logic: internal: aggregate found a conflict for %s the deriver did not", ex.names[sig])
+			}
+		} else if err := ex.srConflict(sig); err != nil {
+			return nil, err
+		}
+	}
+	gates := make([]Gate, len(sigs))
+	runWorkers(w, len(sigs), func(mz *boolmin.Minimizer, i int) {
+		gates[i] = ex.synthesizeShared(sigs[i], style, mz)
+	})
+	nl.Gates = append(nl.Gates, gates...)
+	if err := nl.Validate(); err != nil {
+		return nil, fmt.Errorf("logic: synthesized netlist invalid: %w", err)
+	}
+	return nl, nil
+}
+
+// srConflict checks sig's monotonous-cover consistency condition and reports
+// the first conflicting code in first-seen order (the reference
+// SetResetCovers reports an arbitrary one — it walks a map).
+func (ex *extraction) srConflict(sig int) error {
+	bit := ts.Code(1) << uint(sig)
+	for i, c := range ex.codes {
+		erPlus := ex.erP[i]&bit != 0
+		erMinus := ex.erM[i]&bit != 0
+		qrPlus := ex.qrP[i]&bit != 0
+		qrMinus := ex.qrM[i]&bit != 0
+		if erPlus && (erMinus || qrMinus) || erMinus && qrPlus {
+			return &CSCError{Signal: ex.names[sig], Code: c, N: ex.n}
+		}
+	}
+	return nil
+}
+
+// synthesizeShared mirrors synthesizeSignal on the shared extraction. The
+// caller has already ruled out CSC conflicts for sig.
+func (ex *extraction) synthesizeShared(sig int, style Style, mz *boolmin.Minimizer) Gate {
+	if style == ComplexGate {
+		f := ex.deriveShared(sig, mz)
+		return Gate{Kind: Comb, Output: sig, F: f.Cover}
+	}
+	set, reset := ex.setResetCovers(sig, mz)
+	kind := CElem
+	if style == StandardC {
+		kind = RSLatch
+	}
+	return Gate{Kind: kind, Output: sig, Set: set, Reset: reset}
+}
+
+// setResetCovers mirrors SetResetCovers on the shared extraction: identical
+// monotonous-cover on/off assignment per unique code, in first-seen order.
+func (ex *extraction) setResetCovers(sig int, mz *boolmin.Minimizer) (set, reset boolmin.Cover) {
+	bit := ts.Code(1) << uint(sig)
+	var setOn, setOff, resetOn, resetOff []uint64
+	for i, c := range ex.codes {
+		m := uint64(c)
+		switch {
+		case ex.erP[i]&bit != 0:
+			setOn = append(setOn, m)
+			resetOff = append(resetOff, m)
+		case ex.erM[i]&bit != 0:
+			resetOn = append(resetOn, m)
+			setOff = append(setOff, m)
+		default:
+			if ex.qrP[i]&bit != 0 {
+				resetOff = append(resetOff, m)
+			}
+			if ex.qrM[i]&bit != 0 {
+				setOff = append(setOff, m)
+			}
+		}
+	}
+	set = minimizeOnOffPooled(setOn, setOff, ex.n, mz)
+	reset = minimizeOnOffPooled(resetOn, resetOff, ex.n, mz)
+	return set, reset
+}
+
+// minimizeOnOffPooled is MinimizeOnOff routed through pooled scratch on the
+// exact-QMC widths.
+func minimizeOnOffPooled(on, off []uint64, n int, mz *boolmin.Minimizer) boolmin.Cover {
+	if n <= 14 && len(on) > 0 {
+		return mz.Minimize(on, boolmin.DontCares(on, off, n), n)
+	}
+	return boolmin.MinimizeOnOff(on, off, n)
+}
+
+// runWorkers fans f over n indexes across w goroutines, each owning a pooled
+// minimizer. Results keyed by index stay deterministic however the indexes
+// are claimed.
+func runWorkers(w, n int, f func(mz *boolmin.Minimizer, i int)) {
+	if w > n {
+		w = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mz boolmin.Minimizer
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(&mz, i)
+			}
+		}()
+	}
+	wg.Wait()
+}

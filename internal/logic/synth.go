@@ -92,16 +92,24 @@ func synthesizeSignal(g *ts.SG, sig int, style Style) (Gate, error) {
 // low or falling.
 func SetResetCovers(g *ts.SG, sig int) (set, reset boolmin.Cover, err error) {
 	n := len(g.Signals)
-	// Classify codes by the strongest region among their states.
-	type codeInfo struct{ erPlus, erMinus, qrPlus, qrMinus bool }
-	byCode := map[ts.Code]*codeInfo{}
+	// Classify codes by the strongest region among their states. Codes are
+	// kept in first-seen state order so the minimizer sees a deterministic
+	// minterm order (and the same order the shared-extraction path emits).
+	type codeInfo struct {
+		code                             ts.Code
+		erPlus, erMinus, qrPlus, qrMinus bool
+	}
+	byCode := map[ts.Code]int{}
+	var infos []codeInfo
 	for s := range g.States {
 		c := g.States[s].Code
-		ci := byCode[c]
-		if ci == nil {
-			ci = &codeInfo{}
-			byCode[c] = ci
+		i, ok := byCode[c]
+		if !ok {
+			i = len(infos)
+			byCode[c] = i
+			infos = append(infos, codeInfo{code: c})
 		}
+		ci := &infos[i]
 		switch RegionOf(g, s, sig) {
 		case ERPlus:
 			ci.erPlus = true
@@ -114,7 +122,8 @@ func SetResetCovers(g *ts.SG, sig int) (set, reset boolmin.Cover, err error) {
 		}
 	}
 	var setOn, setOff, resetOn, resetOff []uint64
-	for c, ci := range byCode {
+	for _, ci := range infos {
+		c := ci.code
 		m := uint64(c)
 		if ci.erPlus && (ci.erMinus || ci.qrMinus) || ci.erMinus && ci.qrPlus {
 			return set, reset, &CSCError{Signal: g.Signals[sig].Name, Code: c, N: n}

@@ -27,6 +27,11 @@ type Options struct {
 	// bit-identical to the sequential explorer's regardless of worker
 	// count. 0 or 1 runs the sequential explorer.
 	Workers int
+	// Arena, when non-nil, runs the sequential explorer on reusable scratch
+	// memory: the returned Graph is bit-identical but aliases the arena and
+	// stays valid only until the arena's next use. Ignored when Workers > 1
+	// (the sharded explorer has its own per-worker storage).
+	Arena *Arena
 }
 
 func (o Options) maxStates() int {
@@ -75,6 +80,9 @@ type Step struct {
 func Explore(n *petri.Net, opts Options) (*Graph, error) {
 	if w := opts.workers(); w > 1 {
 		return exploreParallel(n, opts, w)
+	}
+	if opts.Arena != nil {
+		return exploreArena(n, opts, opts.Arena)
 	}
 	g := &Graph{Net: n, Index: make(map[string]int)}
 	init := n.InitialMarking()

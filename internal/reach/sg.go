@@ -21,7 +21,10 @@ import (
 //
 // Options.Workers plumbs through to the underlying marking exploration, so
 // the SG of a large STG is built with the parallel engine; the code
-// labeling passes stay sequential. The toggle path is always sequential.
+// labeling passes stay sequential. Options.Arena additionally runs the
+// exploration and the labeling scratch on reusable memory — the returned SG
+// owns its own storage either way. The toggle path is always sequential and
+// ignores both.
 func BuildSG(g *stg.STG, opts Options) (*ts.SG, error) {
 	if len(g.Signals) > 64 {
 		return nil, fmt.Errorf("reach: %d signals exceed the 64-signal code limit", len(g.Signals))
@@ -43,14 +46,22 @@ func BuildSG(g *stg.STG, opts Options) (*ts.SG, error) {
 	// code from the (unknown) initial code; fixed/value constrain initial
 	// bits: firing a+ from s requires code(s).a == 0, i.e.
 	// initial.a == delta[s].a; firing a- requires initial.a != delta[s].a.
-	delta := make([]ts.Code, rg.NumStates())
-	seen := make([]bool, rg.NumStates())
+	var (
+		delta []ts.Code
+		seen  []bool
+		queue []int
+	)
+	if a := opts.Arena; a != nil {
+		delta, seen, queue = a.sgScratch(rg.NumStates())
+	} else {
+		delta = make([]ts.Code, rg.NumStates())
+		seen = make([]bool, rg.NumStates())
+	}
 	seen[0] = true
 	var initKnown, initVal ts.Code
-	queue := []int{0}
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
+	queue = append(queue, 0)
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
 		for _, step := range rg.Out[s] {
 			l := g.Labels[step.Transition]
 			next := delta[s]
@@ -87,6 +98,9 @@ func BuildSG(g *stg.STG, opts Options) (*ts.SG, error) {
 			delta[step.To] = next
 			queue = append(queue, step.To)
 		}
+	}
+	if a := opts.Arena; a != nil {
+		a.putQueue(queue)
 	}
 
 	// Phase 2: assemble the SG. Signals that never switch keep initial 0.

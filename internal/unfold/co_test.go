@@ -1,0 +1,89 @@
+package unfold
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/petri"
+	"repro/internal/vme"
+)
+
+// TestCoMatrixMatchesSlow checks, over every pair of conditions, that the
+// incrementally maintained concurrency matrix agrees with the definitional
+// oracle (history walk + conflict scan) — on marked graphs, choice nets and
+// nets with cutoff-frozen conditions alike.
+func TestCoMatrixMatchesSlow(t *testing.T) {
+	models := []struct {
+		name string
+		net  *petri.Net
+	}{
+		{"vme-read", vme.ReadSTG().Net},
+		{"vme-read-write", vme.ReadWriteSTG().Net},
+		{"toggles-4", gen.IndependentToggles(4)},
+		{"muller-3", gen.MullerPipeline(3).Net},
+		{"phil-3", gen.Philosophers(3)},
+		{"cscring-2", gen.CSCRing(2).Net},
+	}
+	for _, mdl := range models {
+		u, err := Build(mdl.net, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", mdl.name, err)
+		}
+		nc := len(u.Conditions)
+		if len(u.co) != nc {
+			t.Fatalf("%s: %d co rows for %d conditions", mdl.name, len(u.co), nc)
+		}
+		for a := 0; a < nc; a++ {
+			for b := 0; b < nc; b++ {
+				want := u.concurrentCondsSlow(a, b)
+				if got := u.concurrentConds(a, b); got != want {
+					t.Fatalf("%s: concurrentConds(%d,%d)=%v, oracle says %v",
+						mdl.name, a, b, got, want)
+				}
+				if byMatrix := u.co[a].get(b); a != b && byMatrix != want {
+					t.Fatalf("%s: co[%d].get(%d)=%v, oracle says %v",
+						mdl.name, a, b, byMatrix, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCoMatrixSymmetric: the mirrored updates must keep the matrix symmetric.
+func TestCoMatrixSymmetric(t *testing.T) {
+	u, err := Build(vme.ReadWriteSTG().Net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := range u.co {
+		for b := range u.co {
+			if u.co[a].get(b) != u.co[b].get(a) {
+				t.Fatalf("co matrix asymmetric at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+// BenchmarkBuildPrefix tracks the possible-extension search cost the co
+// matrix amortizes (BenchmarkUnfoldingVsRG in the top-level suite guards the
+// same path on the toggle family).
+func BenchmarkBuildPrefix(b *testing.B) {
+	models := []struct {
+		name string
+		net  *petri.Net
+	}{
+		{"toggles-12", gen.IndependentToggles(12)},
+		{"vme-read-write", vme.ReadWriteSTG().Net},
+		{"phil-5", gen.Philosophers(5)},
+	}
+	for _, mdl := range models {
+		b.Run(fmt.Sprintf("%s", mdl.name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(mdl.net, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

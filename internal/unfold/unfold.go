@@ -7,6 +7,7 @@ package unfold
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/petri"
@@ -44,6 +45,12 @@ type Prefix struct {
 
 	// hist[e] = bitset of events causally <= e (including e).
 	hist []bitset
+	// co[c] = bitset of conditions concurrent with c, maintained
+	// incrementally as conditions are added (see addCondition). The possible
+	//-extension search asks the concurrency question for quadratically many
+	// condition pairs; answering from this matrix replaces a history/conflict
+	// walk that is itself linear in the prefix size.
+	co []bitset
 }
 
 // Options bound the construction.
@@ -71,6 +78,17 @@ func Build(n *petri.Net, opts Options) (*Prefix, error) {
 		if tokens == 1 {
 			u.Conditions = append(u.Conditions, Condition{Place: p, Producer: -1})
 		}
+	}
+	// Initial conditions form the initial cut: pairwise concurrent. Each row
+	// is the full initial cut minus the condition itself.
+	full := newBitset(len(u.Conditions))
+	for c := range u.Conditions {
+		full.set(c)
+	}
+	for c := range u.Conditions {
+		row := append(bitset(nil), full...)
+		row[c/64] &^= 1 << uint(c%64)
+		u.co = append(u.co, row)
 	}
 
 	// Marking seen table: marking key -> smallest local config size.
@@ -150,10 +168,15 @@ func Build(n *petri.Net, opts Options) (*Prefix, error) {
 		for _, c := range ev.Pre {
 			u.Conditions[c].Consumers = append(u.Conditions[c].Consumers, eIdx)
 		}
+		// A condition is concurrent with e's post-conditions iff it is
+		// concurrent with every condition of •e (preset members self-exclude:
+		// no condition is concurrent with itself).
+		inter := u.coIntersect(ev.Pre)
 		for _, p := range n.Transitions[ext.trans].Post {
 			cIdx := len(u.Conditions)
 			u.Conditions = append(u.Conditions, Condition{Place: p, Producer: eIdx, Frozen: ev.Cutoff})
 			u.Events[eIdx].Post = append(u.Events[eIdx].Post, cIdx)
+			u.addCoRow(cIdx, inter, u.Events[eIdx].Post)
 			if !ev.Cutoff {
 				addExtensions(cIdx)
 			}
@@ -217,9 +240,45 @@ func (u *Prefix) matchPreset(t, mustUse int) [][]int {
 	return out
 }
 
+// coIntersect computes the set of conditions concurrent with every member of
+// a co-set (an event preset). The preset's own members drop out for free: a
+// condition is never concurrent with itself.
+func (u *Prefix) coIntersect(pre []int) bitset {
+	out := append(bitset(nil), u.co[pre[0]]...)
+	for _, d := range pre[1:] {
+		out.and(u.co[d])
+	}
+	return out
+}
+
+// addCoRow installs the concurrency row of a freshly created condition c:
+// the preset intersection plus c's siblings (post-conditions of one event
+// coexist in the cut it produces), with the symmetric bits mirrored into the
+// existing rows.
+func (u *Prefix) addCoRow(c int, inter bitset, siblings []int) {
+	row := append(bitset(nil), inter...)
+	for _, s := range siblings {
+		if s != c {
+			row.set(s)
+		}
+	}
+	row.forEach(func(b int) { u.co[b].set(c) })
+	u.co = append(u.co, row)
+}
+
 // concurrentConds reports whether two distinct conditions can coexist in a
-// reachable cut: no causality and no conflict between them.
+// reachable cut: no causality and no conflict between them. Answered from
+// the incrementally maintained matrix; concurrentCondsSlow is the
+// definitional oracle it is tested against.
 func (u *Prefix) concurrentConds(a, b int) bool {
+	return a != b && u.co[a].get(b)
+}
+
+// concurrentCondsSlow decides concurrency from first principles: walk the
+// histories for causality, then scan every condition for a conflict between
+// the two histories. Linear in the prefix size per query — kept as the test
+// oracle for the cached matrix.
+func (u *Prefix) concurrentCondsSlow(a, b int) bool {
 	if a == b {
 		return false
 	}
@@ -456,6 +515,26 @@ func (b *bitset) or(o bitset) {
 	b.ensure(len(o)*64 - 1)
 	for i, w := range o {
 		(*b)[i] |= w
+	}
+}
+
+// and intersects b with o in place.
+func (b bitset) and(o bitset) {
+	for i := range b {
+		if i < len(o) {
+			b[i] &= o[i]
+		} else {
+			b[i] = 0
+		}
+	}
+}
+
+// forEach calls f with each set bit's index in increasing order.
+func (b bitset) forEach(f func(i int)) {
+	for w, word := range b {
+		for ; word != 0; word &= word - 1 {
+			f(w*64 + bits.TrailingZeros64(word))
+		}
 	}
 }
 

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Benchmark trajectory harness: runs the synthesis benchmark suite and
+# writes the parsed record to BENCH_synth.json via cmd/report -bench-json.
+#
+# Usage:
+#   scripts/bench.sh            # full run, writes BENCH_synth.json
+#   scripts/bench.sh -smoke     # 1-iteration run into a temp file; validates
+#                               # the harness without touching the committed
+#                               # record (used by scripts/verify.sh)
+#
+# Environment:
+#   BENCHTIME   go test -benchtime value for the full run (default 1s)
+#   OUT         output path for the full run (default BENCH_synth.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHES='^(BenchmarkSolveCSC|BenchmarkEquationDerivation|BenchmarkFullFlow|BenchmarkSymbolicVsExplicit|BenchmarkParallelExplore)$'
+
+if [ "${1:-}" = "-smoke" ]; then
+    out=$(mktemp /tmp/bench_synth.XXXXXX.json)
+    trap 'rm -f "$out"' EXIT
+    go test -run '^$' -bench "$BENCHES" -benchtime=1x . | go run ./cmd/report -bench-json > "$out"
+    # The record must be well-formed JSON with a non-empty benchmark list.
+    go run ./cmd/report -bench-json < /dev/null > /dev/null # exercises the empty path
+    python3 - "$out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    rec = json.load(f)
+assert rec["suite"] == "synth", rec
+assert rec["benchmarks"], "no benchmarks parsed"
+names = {b["name"] for b in rec["benchmarks"]}
+for want in ("SolveCSC/cscring-3/w1", "SolveCSC/cscring-3/w4",
+             "EquationDerivation/cscring-2/w1", "EquationDerivation/cscring-2/w4"):
+    assert want in names, f"{want} missing from {sorted(names)}"
+print(f"bench smoke: {len(rec['benchmarks'])} benchmarks parsed OK")
+EOF
+    exit 0
+fi
+
+out=${OUT:-BENCH_synth.json}
+go test -run '^$' -bench "$BENCHES" -benchtime="${BENCHTIME:-1s}" -benchmem . \
+    | go run ./cmd/report -bench-json > "$out"
+echo "wrote $out"

@@ -19,4 +19,10 @@ go test -race ./internal/reach/... ./internal/stubborn/... ./internal/shardset/.
 # fuzz smoke of the BDD kernel against its truth-table oracle.
 go test -run Conformance -race ./internal/conformance/
 go test -fuzz=FuzzBDDOps -fuzztime=5s -run '^$' ./internal/bdd/
+# Parallel synthesis determinism under the race detector: identical
+# solutions, functions and netlists at every worker count.
+go test -race -run 'Deterministic|MatchesSequential|TieBreak|CSCError' ./internal/encoding/ ./internal/logic/
+# Benchmark trajectory harness smoke: one iteration of the suite, parsed
+# through cmd/report -bench-json into a validated throwaway record.
+scripts/bench.sh -smoke
 echo "verify: OK"
