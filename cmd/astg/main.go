@@ -6,7 +6,8 @@
 //
 //	astg [-sg] [-dot] [-sgdot] [-wave] [-conflicts] file.g
 //
-// With no file the spec is read from stdin.
+// With no file the spec is read from stdin. Usage and flag errors go to
+// stderr and exit with status 2; runtime errors exit with status 1.
 package main
 
 import (
@@ -15,27 +16,25 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/encoding"
 	"repro/internal/reach"
 	"repro/internal/stg"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "astg:", err)
-		os.Exit(1)
-	}
+	cli.Exit("astg", run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("astg", flag.ContinueOnError)
-	fs.SetOutput(stdout)
+	fs.SetOutput(stderr)
 	dumpSG := fs.Bool("sg", false, "dump the state graph")
 	dumpDOT := fs.Bool("dot", false, "dump the Petri net in DOT format")
 	dumpSGDOT := fs.Bool("sgdot", false, "dump the state graph in DOT format")
 	wave := fs.Bool("wave", false, "render one cycle as an ASCII timing diagram")
 	showConflicts := fs.Bool("conflicts", false, "list CSC conflicts")
-	if err := fs.Parse(args); err != nil {
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -27,7 +28,7 @@ LDTACK- LDS+
 
 func TestRunReport(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-conflicts"}, strings.NewReader(vmeRead), &out); err != nil {
+	if err := run([]string{"-conflicts"}, strings.NewReader(vmeRead), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	// Note: the .g file declares inputs before outputs, so the conflict
@@ -42,14 +43,14 @@ func TestRunReport(t *testing.T) {
 
 func TestRunDOT(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-dot"}, strings.NewReader(vmeRead), &out); err != nil {
+	if err := run([]string{"-dot"}, strings.NewReader(vmeRead), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "digraph") {
 		t.Fatal("DOT output expected")
 	}
 	out.Reset()
-	if err := run([]string{"-sgdot"}, strings.NewReader(vmeRead), &out); err != nil {
+	if err := run([]string{"-sgdot"}, strings.NewReader(vmeRead), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "lightcoral") {
@@ -59,7 +60,7 @@ func TestRunDOT(t *testing.T) {
 
 func TestRunWaveAndSG(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-wave", "-sg"}, strings.NewReader(vmeRead), &out); err != nil {
+	if err := run([]string{"-wave", "-sg"}, strings.NewReader(vmeRead), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "~~") || !strings.Contains(out.String(), "--DSr+-->") {
@@ -69,10 +70,10 @@ func TestRunWaveAndSG(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, strings.NewReader("garbage"), &out); err == nil {
+	if err := run(nil, strings.NewReader("garbage"), &out, io.Discard); err == nil {
 		t.Fatal("parse error expected")
 	}
-	if err := run([]string{"nonexistent.g"}, nil, &out); err == nil {
+	if err := run([]string{"nonexistent.g"}, nil, &out, io.Discard); err == nil {
 		t.Fatal("missing file error expected")
 	}
 }

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	reach [-engine all|explicit|symbolic|unfold|stubborn] [-workers N] [-sift] file.g
+//	reach [-engine all|explicit|symbolic|unfold|stubborn] [-workers N]
+//	      [-sift] [-timeout D] file.g
 //
 // -workers N runs the explicit engine with N parallel workers in addition
 // to the sequential run and reports the speedup (0, the default, uses
@@ -16,9 +17,18 @@
 // symbolic engine. The symbolic row is followed by a kernel stats line:
 // live/peak node counts, op-cache hit rate, garbage collections and
 // reorder passes.
+//
+// -timeout D aborts the analysis after the given wall-clock duration
+// (e.g. 500ms, 10s). Engines report the partial statistics they reached
+// before the abort, and the command exits nonzero.
+//
+// Usage and flag errors go to stderr and exit with status 2; runtime and
+// budget-abort errors exit with status 1.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +37,8 @@ import (
 	"time"
 
 	"repro/internal/bdd"
+	"repro/internal/budget"
+	"repro/internal/cli"
 	"repro/internal/reach"
 	"repro/internal/stg"
 	"repro/internal/stubborn"
@@ -35,19 +47,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "reach:", err)
-		os.Exit(1)
-	}
+	cli.Exit("reach", run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("reach", flag.ContinueOnError)
-	fs.SetOutput(stdout)
+	fs.SetOutput(stderr)
 	engine := fs.String("engine", "all", "engine: all, explicit, symbolic, unfold, stubborn")
 	workers := fs.Int("workers", 0, "parallel workers for the explicit engine (0 = GOMAXPROCS, 1 = sequential only)")
 	sift := fs.Bool("sift", false, "dynamic variable reordering (Rudell sifting) in the symbolic engine")
-	if err := fs.Parse(args); err != nil {
+	timeout := fs.Duration("timeout", 0, "abort the analysis after this wall-clock duration (0 = none)")
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 	g, err := load(fs.Arg(0), stdin)
@@ -59,8 +69,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	var bgt *budget.Budget
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		bgt = &budget.Budget{Ctx: ctx}
+	}
 
 	// Stats table: engine, result, wall time, speedup (parallel rows only).
+	// A budget abort prints the partial statistics the engine reached and
+	// makes the whole command fail; other engine errors are reported inline
+	// without failing the comparison.
+	var abort error
 	run := func(name string, f func() (string, error)) time.Duration {
 		if *engine != "all" && *engine != name {
 			return 0
@@ -69,7 +89,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		out, err := f()
 		elapsed := time.Since(start)
 		if err != nil {
-			fmt.Fprintf(stdout, "%-12s error: %v\n", name, err)
+			if out != "" {
+				fmt.Fprintf(stdout, "%-12s %-55s aborted: %v\n", name, out, err)
+			} else {
+				fmt.Fprintf(stdout, "%-12s error: %v\n", name, err)
+			}
+			if abort == nil && budgetAbort(err) {
+				abort = err
+			}
 			return 0
 		}
 		fmt.Fprintf(stdout, "%-12s %-55s %v\n", name, out, elapsed.Round(time.Microsecond))
@@ -77,20 +104,23 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	seq := run("explicit", func() (string, error) {
-		rg, err := reach.Explore(n, reach.Options{})
+		rg, err := reach.Explore(n, reach.Options{Budget: bgt})
 		if err != nil {
-			return "", err
+			return partialGraph(rg), err
 		}
 		return fmt.Sprintf("%d states, %d arcs, %d deadlocks",
 			rg.NumStates(), rg.NumArcs(), len(rg.Deadlocks())), nil
 	})
 	if w > 1 && (*engine == "all" || *engine == "explicit") {
 		start := time.Now()
-		rg, err := reach.Explore(n, reach.Options{Workers: w})
+		rg, err := reach.Explore(n, reach.Options{Workers: w, Budget: bgt})
 		elapsed := time.Since(start)
 		name := fmt.Sprintf("explicit(w%d)", w)
 		if err != nil {
 			fmt.Fprintf(stdout, "%-12s error: %v\n", name, err)
+			if abort == nil && budgetAbort(err) {
+				abort = err
+			}
 		} else {
 			out := fmt.Sprintf("%d states, %d arcs, %d deadlocks",
 				rg.NumStates(), rg.NumArcs(), len(rg.Deadlocks()))
@@ -104,8 +134,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	var symStats *bdd.Stats
 	run("symbolic", func() (string, error) {
-		res, err := symbolic.ReachOpts(n, symbolic.Options{Sift: *sift})
+		res, err := symbolic.ReachOpts(n, symbolic.Options{Sift: *sift, Budget: bgt})
 		if err != nil {
+			if res != nil {
+				return fmt.Sprintf("partial: %.0f states after %d iterations",
+					res.Count, res.Iterations), err
+			}
 			return "", err
 		}
 		_, dead := symbolic.DeadStates(n, res)
@@ -120,22 +154,47 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			symStats.GCRuns, symStats.GCFreed, symStats.Reorders, symStats.Swaps)
 	}
 	run("unfold", func() (string, error) {
-		u, err := unfold.Build(n, unfold.Options{})
+		u, err := unfold.Build(n, unfold.Options{Budget: bgt})
 		if err != nil {
+			if u != nil {
+				c, e, k := u.Stats()
+				return fmt.Sprintf("partial: %d conditions, %d events, %d cutoffs", c, e, k), err
+			}
 			return "", err
 		}
 		c, e, k := u.Stats()
 		return fmt.Sprintf("%d conditions, %d events, %d cutoffs", c, e, k), nil
 	})
 	run("stubborn", func() (string, error) {
-		res, err := stubborn.Explore(n, stubborn.Options{})
+		res, err := stubborn.Explore(n, stubborn.Options{Budget: bgt})
 		if err != nil {
+			if res != nil {
+				return fmt.Sprintf("partial: %d states, %d arcs", res.States, res.Arcs), err
+			}
 			return "", err
 		}
 		return fmt.Sprintf("%d states, %d arcs, %d deadlocks",
 			res.States, res.Arcs, len(res.Deadlocks)), nil
 	})
+	if abort != nil {
+		return fmt.Errorf("analysis aborted: %w", abort)
+	}
 	return nil
+}
+
+func partialGraph(rg *reach.Graph) string {
+	if rg == nil {
+		return ""
+	}
+	return fmt.Sprintf("partial: %d states, %d arcs", rg.NumStates(), rg.NumArcs())
+}
+
+// budgetAbort reports whether err came from the budget taxonomy (limit,
+// cancellation, or recovered panic) rather than from the model itself.
+func budgetAbort(err error) bool {
+	var le budget.ErrLimit
+	var ie *budget.ErrInternal
+	return errors.Is(err, budget.ErrCanceled) || errors.As(err, &le) || errors.As(err, &ie)
 }
 
 func load(path string, stdin io.Reader) (*stg.STG, error) {

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/cli"
 )
 
 const muller2 = `
@@ -24,8 +28,8 @@ a1- r0+ r1+
 `
 
 func TestReachAllEngines(t *testing.T) {
-	var out bytes.Buffer
-	if err := run(nil, strings.NewReader(muller2), &out); err != nil {
+	var out, errb bytes.Buffer
+	if err := run(nil, strings.NewReader(muller2), &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -41,8 +45,8 @@ func TestReachAllEngines(t *testing.T) {
 }
 
 func TestReachSymbolicSiftAndStats(t *testing.T) {
-	var out bytes.Buffer
-	if err := run([]string{"-engine", "symbolic", "-sift"}, strings.NewReader(muller2), &out); err != nil {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-engine", "symbolic", "-sift"}, strings.NewReader(muller2), &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -53,7 +57,7 @@ func TestReachSymbolicSiftAndStats(t *testing.T) {
 	}
 	// Same state count with and without reordering.
 	var plain bytes.Buffer
-	if err := run([]string{"-engine", "symbolic"}, strings.NewReader(muller2), &plain); err != nil {
+	if err := run([]string{"-engine", "symbolic"}, strings.NewReader(muller2), &plain, &errb); err != nil {
 		t.Fatal(err)
 	}
 	wantStates := "16 states"
@@ -63,8 +67,8 @@ func TestReachSymbolicSiftAndStats(t *testing.T) {
 }
 
 func TestReachSingleEngine(t *testing.T) {
-	var out bytes.Buffer
-	if err := run([]string{"-engine", "unfold"}, strings.NewReader(muller2), &out); err != nil {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-engine", "unfold"}, strings.NewReader(muller2), &out, &errb); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), "explicit") {
@@ -73,8 +77,43 @@ func TestReachSingleEngine(t *testing.T) {
 }
 
 func TestReachParseError(t *testing.T) {
-	var out bytes.Buffer
-	if err := run(nil, strings.NewReader("junk"), &out); err == nil {
+	var out, errb bytes.Buffer
+	if err := run(nil, strings.NewReader("junk"), &out, &errb); err == nil {
 		t.Fatal("parse error expected")
+	}
+}
+
+// TestReachUsageError pins the exit-2 contract: a bad flag is reported as a
+// cli.Usage error and the diagnostic lands on stderr, not stdout.
+func TestReachUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-no-such-flag"}, strings.NewReader(muller2), &out, &errb)
+	var usage cli.Usage
+	if !errors.As(err, &usage) {
+		t.Fatalf("want cli.Usage, got %v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("usage diagnostics leaked to stdout:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "no-such-flag") {
+		t.Fatalf("flag diagnostic missing from stderr:\n%s", errb.String())
+	}
+}
+
+// TestReachTimeoutAbort pins the budget-abort contract: an already-expired
+// deadline makes every engine report a wall-limit abort and the run fail
+// with a budget-taxonomy error, while the abort rows still print.
+func TestReachTimeoutAbort(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-timeout", "1ns"}, strings.NewReader(muller2), &out, &errb)
+	if err == nil {
+		t.Fatal("expired timeout must fail the run")
+	}
+	var le budget.ErrLimit
+	if !errors.As(err, &le) || le.Resource != budget.Wall {
+		t.Fatalf("want wall ErrLimit, got %v", err)
+	}
+	if !strings.Contains(out.String(), "aborted") && !strings.Contains(out.String(), "error") {
+		t.Fatalf("abort rows expected in output:\n%s", out.String())
 	}
 }

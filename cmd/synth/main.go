@@ -6,19 +6,31 @@
 // Usage:
 //
 //	synth [-style complex|gc|rs] [-maxfanin N] [-method insert|reduce]
-//	      [-workers N] [-quiet] [-spec out.g] file.g
+//	      [-workers N] [-timeout D] [-maxstates N] [-fallback]
+//	      [-quiet] [-spec out.g] file.g
 //
 // With -spec the final specification (including inserted state signals) is
 // written in .g format to the given file ("-" for stdout).
+//
+// -timeout and -maxstates bound the run by wall clock and explored states.
+// On a budget trip the command prints whatever partial analysis it reached
+// and exits 1 — unless -fallback is set, in which case synthesis degrades
+// through the engine ladder (symbolic, then stubborn-set, then capped
+// explicit analysis) and reports the analysis trace instead of a netlist.
+//
+// Usage and flag errors go to stderr and exit with status 2.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 
+	"repro/internal/budget"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/logic"
@@ -28,10 +40,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "synth:", err)
-		os.Exit(1)
-	}
+	cli.Exit("synth", run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
@@ -46,7 +55,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	quiet := fs.Bool("quiet", false, "print only the equations")
 	specOut := fs.String("spec", "", "write the final specification (.g) to this file, '-' for stdout")
 	eqnOut := fs.String("out", "", "write the netlist (.eqn, verify-compatible) to this file, '-' for stdout")
-	if err := fs.Parse(args); err != nil {
+	timeout := fs.Duration("timeout", 0, "abort the flow after this wall-clock duration (0 = none)")
+	maxStates := fs.Int("maxstates", 0, "abort explicit analysis past this many states (0 = none)")
+	fallback := fs.Bool("fallback", false, "degrade to cheaper analysis engines instead of failing on a budget trip")
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 
@@ -67,14 +79,35 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	bgt := &budget.Budget{MaxStates: *maxStates}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		bgt.Ctx = ctx
+	}
+
 	var rep *core.Report
 	if *method == "reduce" {
-		rep, err = synthesizeByReduction(g, style, *workers)
+		rep, err = synthesizeByReduction(g, style, *workers, bgt)
 	} else {
-		rep, err = core.Synthesize(g, core.Options{Style: style, MaxFanIn: *maxFanIn, Workers: *workers})
+		rep, err = core.Synthesize(g, core.Options{
+			Style: style, MaxFanIn: *maxFanIn, Workers: *workers,
+			Budget: bgt, Fallback: *fallback,
+		})
 	}
 	if err != nil {
+		// A budget trip still carries the partial analysis; show it so the
+		// nonzero exit comes with the stats reached before the abort.
+		if rep != nil {
+			fmt.Fprint(stdout, rep.Summary())
+		}
 		return err
+	}
+	if rep.Netlist == nil {
+		// Degraded run: analysis completed on a cheaper engine, nothing to
+		// synthesize. -spec/-out have no artifact to write.
+		fmt.Fprint(stdout, rep.Summary())
+		return nil
 	}
 	if *specOut != "" {
 		w := stdout
@@ -114,8 +147,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 
 // synthesizeByReduction runs the flow with the concurrency-reduction CSC
 // method instead of signal insertion.
-func synthesizeByReduction(g *stg.STG, style logic.Style, workers int) (*core.Report, error) {
-	sg, err := reach.BuildSG(g, reach.Options{})
+func synthesizeByReduction(g *stg.STG, style logic.Style, workers int, bgt *budget.Budget) (*core.Report, error) {
+	sg, err := reach.BuildSG(g, reach.Options{Budget: bgt})
 	if err != nil {
 		return nil, err
 	}
@@ -130,11 +163,11 @@ func synthesizeByReduction(g *stg.STG, style logic.Style, workers int) (*core.Re
 		}
 		rep.Spec, rep.SG, rep.CSC = sol.STG, sol.SG, sol.Description
 	}
-	rep.Netlist, err = logic.SynthesizeOpts(rep.SG, style, logic.Options{Workers: workers})
+	rep.Netlist, err = logic.SynthesizeOpts(rep.SG, style, logic.Options{Workers: workers, Budget: bgt})
 	if err != nil {
 		return nil, err
 	}
-	rep.Verification, err = sim.Verify(rep.Netlist, rep.Spec, sim.Options{})
+	rep.Verification, err = sim.Verify(rep.Netlist, rep.Spec, sim.Options{Budget: bgt})
 	if err != nil {
 		return nil, err
 	}

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/cli"
 )
 
 const vmeRead = `
@@ -106,6 +110,48 @@ func TestSynthBadFlag(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "Usage") && !strings.Contains(errOut.String(), "-no-such-flag") {
 		t.Fatalf("usage text expected on stderr:\n%s", errOut.String())
+	}
+}
+
+// TestSynthBadFlagIsUsage pins the exit-2 mapping: flag errors surface as
+// cli.Usage so main exits with status 2.
+func TestSynthBadFlagIsUsage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-no-such-flag"}, strings.NewReader(vmeRead), &out, &errOut)
+	var usage cli.Usage
+	if !errors.As(err, &usage) {
+		t.Fatalf("want cli.Usage, got %v", err)
+	}
+}
+
+// TestSynthMaxStatesAbort pins the budget-abort contract: a state ceiling
+// below the reachable space fails with a typed limit error and the partial
+// analysis still prints.
+func TestSynthMaxStatesAbort(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-maxstates", "4"}, strings.NewReader(vmeRead), &out, &errOut)
+	var le budget.ErrLimit
+	if !errors.As(err, &le) || le.Resource != budget.States {
+		t.Fatalf("want states ErrLimit, got %v", err)
+	}
+}
+
+// TestSynthFallbackDegrades pins the ladder: with -fallback the same ceiling
+// succeeds (exit 0) and reports the degraded analysis trace instead of a
+// netlist.
+func TestSynthFallbackDegrades(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-maxstates", "4", "-fallback"}, strings.NewReader(vmeRead), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"degraded", "explicit", "symbolic"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in degraded report:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "DTACK = D") {
+		t.Fatalf("degraded run must not report equations:\n%s", s)
 	}
 }
 

@@ -6,7 +6,8 @@
 //
 //	tse -from 'LDTACK-@2' -to 'DSr+@3' [-cycles 4] [-delay 'DSr+=50:60'] ... file.g
 //
-// Unlisted transitions default to delay [1,1].
+// Unlisted transitions default to delay [1,1]. Usage and flag errors go to
+// stderr and exit with status 2; runtime errors exit with status 1.
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/stg"
 	"repro/internal/timing"
 )
@@ -47,21 +49,18 @@ func (d delayFlags) Set(v string) error {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "tse:", err)
-		os.Exit(1)
-	}
+	cli.Exit("tse", run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("tse", flag.ContinueOnError)
-	fs.SetOutput(stdout)
+	fs.SetOutput(stderr)
 	delays := delayFlags{}
 	from := fs.String("from", "", "occurrence NAME@CYCLE")
 	to := fs.String("to", "", "occurrence NAME@CYCLE")
 	cycles := fs.Int("cycles", 4, "unrolling depth")
 	fs.Var(delays, "delay", "NAME=min:max (repeatable)")
-	if err := fs.Parse(args); err != nil {
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -21,7 +22,7 @@ ack- req+
 
 func TestTSECycleTimeOnly(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-delay", "req+=3:5"}, strings.NewReader(ring), &out); err != nil {
+	if err := run([]string{"-delay", "req+=3:5"}, strings.NewReader(ring), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "cycle time: [6.0, 8.0]") {
@@ -32,7 +33,7 @@ func TestTSECycleTimeOnly(t *testing.T) {
 func TestTSESeparation(t *testing.T) {
 	var out bytes.Buffer
 	args := []string{"-from", "ack+@2", "-to", "req-@2", "-delay", "req-=10:12"}
-	if err := run(args, strings.NewReader(ring), &out); err != nil {
+	if err := run(args, strings.NewReader(ring), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "sep<0 holds") {
@@ -42,13 +43,13 @@ func TestTSESeparation(t *testing.T) {
 
 func TestTSEErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-delay", "zz=1:2"}, strings.NewReader(ring), &out); err == nil {
+	if err := run([]string{"-delay", "zz=1:2"}, strings.NewReader(ring), &out, io.Discard); err == nil {
 		t.Fatal("unknown transition must error")
 	}
-	if err := run([]string{"-delay", "broken"}, strings.NewReader(ring), &out); err == nil {
+	if err := run([]string{"-delay", "broken"}, strings.NewReader(ring), &out, io.Discard); err == nil {
 		t.Fatal("malformed delay must error")
 	}
-	if err := run([]string{"-from", "zz@0", "-to", "ack+@0"}, strings.NewReader(ring), &out); err == nil {
+	if err := run([]string{"-from", "zz@0", "-to", "ack+@0"}, strings.NewReader(ring), &out, io.Discard); err == nil {
 		t.Fatal("unknown occurrence must error")
 	}
 }

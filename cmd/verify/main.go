@@ -8,6 +8,9 @@
 // and reports hazards (semimodularity violations), conformance failures,
 // C-element drive fights and deadlocks. The STG check verifies safety and
 // receptiveness on the specification alphabet.
+//
+// Usage and flag errors go to stderr and exit with status 2; runtime errors
+// (including failed verification) exit with status 1.
 package main
 
 import (
@@ -17,16 +20,14 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/logic"
 	"repro/internal/sim"
 	"repro/internal/stg"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "verify:", err)
-		os.Exit(1)
-	}
+	cli.Exit("verify", run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
 type sepFlags []sim.RelativeOrder
@@ -67,14 +68,14 @@ func parseEvent(s string) (sim.EventRef, error) {
 	return sim.EventRef{Signal: s[:len(s)-1], Dir: dir}, nil
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
-	fs.SetOutput(stdout)
+	fs.SetOutput(stderr)
 	implEqn := fs.String("impl", "", "gate-level implementation (.eqn)")
 	conform := fs.String("conform", "", "implementation STG (.g) for trace conformance")
 	var seps sepFlags
 	fs.Var(&seps, "sep", "relative timing assumption EARLIER<LATER (repeatable)")
-	if err := fs.Parse(args); err != nil {
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 	spec, err := loadSTG(fs.Arg(0), stdin)

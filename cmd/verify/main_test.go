@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -45,7 +46,7 @@ func write(t *testing.T, name, content string) string {
 func TestVerifyGateLevelOK(t *testing.T) {
 	var out bytes.Buffer
 	eqn := write(t, "good.eqn", goodEqn)
-	if err := run([]string{"-impl", eqn}, strings.NewReader(spec), &out); err != nil {
+	if err := run([]string{"-impl", eqn}, strings.NewReader(spec), &out, io.Discard); err != nil {
 		t.Fatalf("%v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "OK: speed-independent") {
@@ -56,7 +57,7 @@ func TestVerifyGateLevelOK(t *testing.T) {
 func TestVerifyGateLevelFails(t *testing.T) {
 	var out bytes.Buffer
 	eqn := write(t, "bad.eqn", badEqn)
-	if err := run([]string{"-impl", eqn}, strings.NewReader(spec), &out); err == nil {
+	if err := run([]string{"-impl", eqn}, strings.NewReader(spec), &out, io.Discard); err == nil {
 		t.Fatal("inverted circuit must fail")
 	}
 	if !strings.Contains(out.String(), "violation:") {
@@ -67,7 +68,7 @@ func TestVerifyGateLevelFails(t *testing.T) {
 func TestVerifyConformance(t *testing.T) {
 	var out bytes.Buffer
 	implG := write(t, "impl.g", spec)
-	if err := run([]string{"-conform", implG}, strings.NewReader(spec), &out); err != nil {
+	if err := run([]string{"-conform", implG}, strings.NewReader(spec), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "OK: implementation STG conforms") {
@@ -78,13 +79,13 @@ func TestVerifyConformance(t *testing.T) {
 func TestVerifySepFlag(t *testing.T) {
 	var out bytes.Buffer
 	eqn := write(t, "good.eqn", goodEqn)
-	if err := run([]string{"-impl", eqn, "-sep", "req+<ack+"}, strings.NewReader(spec), &out); err != nil {
+	if err := run([]string{"-impl", eqn, "-sep", "req+<ack+"}, strings.NewReader(spec), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	// Malformed separations.
 	for _, bad := range []string{"nope", "a<", "a?<b+"} {
 		var o bytes.Buffer
-		if err := run([]string{"-impl", eqn, "-sep", bad}, strings.NewReader(spec), &o); err == nil {
+		if err := run([]string{"-impl", eqn, "-sep", bad}, strings.NewReader(spec), &o, io.Discard); err == nil {
 			t.Fatalf("bad sep %q must be rejected", bad)
 		}
 	}
@@ -92,7 +93,7 @@ func TestVerifySepFlag(t *testing.T) {
 
 func TestVerifyNeedsMode(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, strings.NewReader(spec), &out); err == nil {
+	if err := run(nil, strings.NewReader(spec), &out, io.Discard); err == nil {
 		t.Fatal("missing mode must error")
 	}
 }

@@ -140,7 +140,9 @@ const (
 	maxCacheSize     = 1 << 21
 )
 
-// New creates a manager for the given number of variables.
+// New creates a manager for the given number of variables. A negative count
+// panics: callers size managers from place/signal counts, which cannot be
+// negative unless the caller is broken.
 func New(numVars int) *Manager {
 	if numVars < 0 {
 		panic("bdd: negative variable count")
@@ -216,6 +218,9 @@ func (m *Manager) NVar(i int) Ref {
 	return r
 }
 
+// checkVar guards the public Var/Cube entry points with an invariant panic:
+// variable indexes are fixed at New time, so an out-of-range index is a bug
+// in the calling encoder.
 func (m *Manager) checkVar(i int) {
 	if i < 0 || i >= m.numVars {
 		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.numVars))
@@ -343,6 +348,9 @@ func (m *Manager) tableDelete(id int32) {
 			return
 		}
 		if cur == 0 {
+			// Deleting a node the unique table does not hold means the
+			// table and the node store disagree — corruption that must
+			// surface immediately, not be papered over.
 			panic("bdd: tableDelete of absent node")
 		}
 		h = (h + 1) & m.tableMask
@@ -719,6 +727,7 @@ func (m *Manager) NodeCount(f Ref) int {
 }
 
 // Cube builds the conjunction of literals: vars[i] at polarity pols[i].
+// Mismatched slice lengths panic — a malformed call, not a runtime state.
 func (m *Manager) Cube(vars []int, pols []bool) Ref {
 	if len(vars) != len(pols) {
 		panic("bdd: vars/pols length mismatch")

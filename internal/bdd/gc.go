@@ -26,6 +26,8 @@ func (m *Manager) IncRef(f Ref) Ref {
 func (m *Manager) DecRef(f Ref) {
 	switch c := m.extRef[f]; c {
 	case 0:
+		// An unbalanced DecRef would let GC reclaim live nodes later;
+		// failing at the unbalanced call is the only debuggable option.
 		panic("bdd: DecRef of unreferenced node")
 	case 0xffff:
 		// pinned

@@ -6,15 +6,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/encoding"
 	"repro/internal/logic"
 	"repro/internal/reach"
 	"repro/internal/sim"
 	"repro/internal/stg"
+	"repro/internal/stubborn"
+	"repro/internal/symbolic"
 	"repro/internal/techmap"
 	"repro/internal/ts"
 )
@@ -39,6 +43,39 @@ type Options struct {
 	// the per-signal logic derivation. 0 or 1 runs the sequential reference
 	// paths; any count produces bit-identical results.
 	Workers int
+	// Budget bounds the whole flow: its cancellation and resource ceilings
+	// are threaded into every phase (state graph, encoding, logic,
+	// verification). nil is unlimited.
+	Budget *budget.Budget
+	// Fallback enables the degradation ladder: when a budget limit (never a
+	// cancellation) trips state-graph construction, analysis is retried
+	// with progressively cheaper engines — symbolic BDD traversal, then
+	// stubborn-set reduced exploration, then capped explicit exploration —
+	// each under the remaining budget. A degraded run returns a Report with
+	// Netlist == nil and the engines tried in Attempts.
+	Fallback bool
+}
+
+// Attempt records one analysis engine tried by the degradation ladder.
+type Attempt struct {
+	// Engine names the rung: "explicit", "symbolic", "stubborn" or
+	// "explicit-capped".
+	Engine string
+	// Err is the typed budget error that stopped the rung; nil on success.
+	Err error
+	// States is the number of states the rung counted or visited (partial
+	// on failed rungs).
+	States int
+	// Duration is the rung's wall-clock time.
+	Duration time.Duration
+}
+
+func (a Attempt) String() string {
+	out := fmt.Sprintf("%s: %d states in %v", a.Engine, a.States, a.Duration.Round(time.Millisecond))
+	if a.Err != nil {
+		out += fmt.Sprintf(" (%v)", a.Err)
+	}
+	return out
 }
 
 // Timing is the per-phase wall-clock breakdown of a flow run.
@@ -77,22 +114,47 @@ type Report struct {
 	Netlist *logic.Netlist
 	// Verification is the composition check result (nil when skipped).
 	Verification *sim.Result
+	// Attempts traces the analysis engines run by this flow, in order. A
+	// degraded run (Options.Fallback after a budget trip) has the failed
+	// explicit attempt followed by the fallback rungs and Netlist == nil.
+	Attempts []Attempt
 	// Timing is the phase breakdown of this run.
 	Timing Timing
 }
 
-// Equations renders the implementation equations.
-func (r *Report) Equations() string { return r.Netlist.Equations() }
+// Equations renders the implementation equations ("" on degraded runs).
+func (r *Report) Equations() string {
+	if r.Netlist == nil {
+		return ""
+	}
+	return r.Netlist.Equations()
+}
 
 // Summary renders a human-readable flow report.
 func (r *Report) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "specification: %s (%d signals, %d transitions)\n",
 		r.Input.Name(), len(r.Input.Signals), len(r.Input.Net.Transitions))
-	fmt.Fprintf(&b, "state graph:   %d states, %d arcs\n", r.SG.NumStates(), r.SG.NumArcs())
-	fmt.Fprintf(&b, "properties:    %s\n", r.Properties)
+	if r.SG != nil {
+		fmt.Fprintf(&b, "state graph:   %d states, %d arcs\n", r.SG.NumStates(), r.SG.NumArcs())
+		fmt.Fprintf(&b, "properties:    %s\n", r.Properties)
+	}
 	if r.CSC != "" {
 		fmt.Fprintf(&b, "state coding:  %s\n", r.CSC)
+	}
+	if r.Netlist == nil {
+		header := "degraded"
+		if n := len(r.Attempts); n == 0 || r.Attempts[n-1].Err != nil {
+			header = "aborted"
+		}
+		fmt.Fprintf(&b, "%s analysis (no netlist synthesized):\n", header)
+		for _, a := range r.Attempts {
+			fmt.Fprintf(&b, "  %s\n", a)
+		}
+		if r.Timing != (Timing{}) {
+			fmt.Fprintf(&b, "timing:        %s\n", r.Timing)
+		}
+		return b.String()
 	}
 	fmt.Fprintf(&b, "implementation (%d gates, %d literals, max fan-in %d):\n",
 		len(r.Netlist.Gates), r.Netlist.LiteralCount(), r.Netlist.MaxFanIn())
@@ -114,14 +176,40 @@ func (r *Report) Summary() string {
 }
 
 // Synthesize runs the complete flow on an STG specification.
+//
+// With Options.Budget set, every phase honors the budget's cancellation and
+// resource ceilings and aborts with the typed budget errors (errors.Is
+// against budget.ErrCanceled / budget.Sentinel). With Options.Fallback also
+// set, a budget *limit* during state-graph construction degrades to cheaper
+// analysis engines instead of failing; see Options.Fallback.
 func Synthesize(g *stg.STG, opts Options) (*Report, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	ropts := opts.Reach
+	if ropts.Budget == nil {
+		ropts.Budget = opts.Budget
+	}
 	phase := time.Now()
-	baseSG, err := reach.BuildSG(g, opts.Reach)
+	baseSG, err := reach.BuildSG(g, ropts)
 	if err != nil {
-		return nil, fmt.Errorf("core: state graph: %w", err)
+		sgDur := time.Since(phase)
+		var le budget.ErrLimit
+		isLimit := errors.As(err, &le)
+		if opts.Fallback && isLimit {
+			return degrade(g, opts, ropts, err, le, sgDur)
+		}
+		wrapped := fmt.Errorf("core: state graph: %w", err)
+		if budgetErr(err) {
+			// Budget abort without fallback: hand back the aborted attempt
+			// so callers can report how far the analysis got.
+			rep := &Report{Input: g}
+			rep.Attempts = append(rep.Attempts, Attempt{
+				Engine: "explicit", Err: err, States: le.Used, Duration: sgDur,
+			})
+			return rep, wrapped
+		}
+		return nil, wrapped
 	}
 	// Dummy (λ) events are contracted for synthesis: regions are defined on
 	// signal-edge arcs; the verifier still handles the dummies in the spec.
@@ -131,6 +219,9 @@ func Synthesize(g *stg.STG, opts Options) (*Report, error) {
 	}
 	rep := &Report{Input: g, Properties: baseSG.CheckImplementability()}
 	rep.Timing.SG = time.Since(phase)
+	rep.Attempts = append(rep.Attempts, Attempt{
+		Engine: "explicit", States: baseSG.NumStates(), Duration: rep.Timing.SG,
+	})
 	if !rep.Properties.Persistent {
 		return nil, fmt.Errorf("core: specification is not persistent (arbitration needed): %v",
 			baseSG.PersistencyViolations()[0])
@@ -146,23 +237,40 @@ func Synthesize(g *stg.STG, opts Options) (*Report, error) {
 	// State encoding can be solved in several ways; technology mapping may
 	// fail on one encoding and succeed on another, so iterate over ranked
 	// solutions.
+	if err := opts.Budget.Check("core.encoding"); err != nil {
+		return rep, err
+	}
 	phase = time.Now()
-	sols, err := encoding.SolutionsOpts(g, opts.MaxCSCSignals, 5, encoding.Options{Workers: opts.Workers})
+	sols, err := encoding.SolutionsOpts(g, opts.MaxCSCSignals, 5,
+		encoding.Options{Workers: opts.Workers, Budget: opts.Budget})
 	if err != nil {
+		if budgetErr(err) {
+			return rep, err
+		}
 		return nil, fmt.Errorf("core: state encoding: %w", err)
 	}
 	rep.Timing.Encoding = time.Since(phase)
+	if err := opts.Budget.Check("core.logic"); err != nil {
+		return rep, err
+	}
 	var lastErr error
 	for _, sol := range sols {
 		rep.Spec, rep.SG, rep.CSC = sol.STG, sol.SG, sol.Description
 		phase = time.Now()
-		rep.Netlist, err = logic.SynthesizeOpts(rep.SG, opts.Style, logic.Options{Workers: opts.Workers})
+		rep.Netlist, err = logic.SynthesizeOpts(rep.SG, opts.Style,
+			logic.Options{Workers: opts.Workers, Budget: opts.Budget})
 		rep.Timing.Logic += time.Since(phase)
 		if err != nil {
+			if budgetErr(err) {
+				return rep, err
+			}
 			lastErr = fmt.Errorf("core: logic synthesis: %w", err)
 			continue
 		}
 		if opts.MaxFanIn > 0 {
+			if err := opts.Budget.Check("core.map"); err != nil {
+				return rep, err
+			}
 			phase = time.Now()
 			rep.Netlist, err = techmap.Map(rep.Netlist, rep.Spec, techmap.Options{MaxFanIn: opts.MaxFanIn})
 			rep.Timing.Mapping += time.Since(phase)
@@ -178,16 +286,90 @@ func Synthesize(g *stg.STG, opts Options) (*Report, error) {
 		return nil, lastErr
 	}
 	if !opts.SkipVerify {
+		if err := opts.Budget.Check("core.verify"); err != nil {
+			return rep, err
+		}
 		phase = time.Now()
-		rep.Verification, err = sim.Verify(rep.Netlist, rep.Spec, sim.Options{Constraints: opts.Constraints})
+		rep.Verification, err = sim.Verify(rep.Netlist, rep.Spec,
+			sim.Options{Constraints: opts.Constraints, Budget: opts.Budget})
 		rep.Timing.Verify = time.Since(phase)
 		if err != nil {
+			if budgetErr(err) {
+				return rep, err
+			}
 			return nil, fmt.Errorf("core: verification: %w", err)
 		}
 		if !rep.Verification.OK() {
 			return rep, fmt.Errorf("core: implementation fails verification: %v",
 				rep.Verification.Violations)
 		}
+	}
+	return rep, nil
+}
+
+// budgetErr reports whether err belongs to the budget taxonomy — a
+// cancellation, a resource limit, or a recovered worker panic. Such errors
+// pass through Synthesize unwrapped so errors.Is/As keep working, with the
+// partial Report alongside.
+func budgetErr(err error) bool {
+	var le budget.ErrLimit
+	var ie *budget.ErrInternal
+	return errors.Is(err, budget.ErrCanceled) || errors.As(err, &le) || errors.As(err, &ie)
+}
+
+// degrade runs the analysis-only fallback ladder after the explicit
+// state-graph build tripped a budget limit: symbolic BDD traversal (counts
+// states without enumerating them), then stubborn-set reduced exploration
+// (deadlock-preserving), then capped explicit exploration — the guaranteed
+// floor, whose partial graph is accepted as the degraded result. Each rung
+// runs under the same (remaining) budget; cancellation aborts the ladder.
+func degrade(g *stg.STG, opts Options, ropts reach.Options, sgErr error, le budget.ErrLimit, sgDur time.Duration) (*Report, error) {
+	rep := &Report{Input: g}
+	rep.Timing.SG = sgDur
+	rep.Attempts = append(rep.Attempts, Attempt{
+		Engine: "explicit", Err: sgErr, States: le.Used, Duration: sgDur,
+	})
+
+	start := time.Now()
+	sres, err := symbolic.ReachOpts(g.Net, symbolic.Options{Budget: opts.Budget})
+	att := Attempt{Engine: "symbolic", Err: err, Duration: time.Since(start)}
+	if sres != nil {
+		att.States = int(sres.Count)
+	}
+	rep.Attempts = append(rep.Attempts, att)
+	if err == nil {
+		return rep, nil
+	}
+	if errors.Is(err, budget.ErrCanceled) {
+		return rep, err
+	}
+
+	start = time.Now()
+	rres, err := stubborn.Explore(g.Net, stubborn.Options{Budget: opts.Budget})
+	att = Attempt{Engine: "stubborn", Err: err, Duration: time.Since(start)}
+	if rres != nil {
+		att.States = rres.States
+	}
+	rep.Attempts = append(rep.Attempts, att)
+	if err == nil {
+		return rep, nil
+	}
+	if errors.Is(err, budget.ErrCanceled) {
+		return rep, err
+	}
+
+	// The floor rung reruns the explicit engine and accepts its partial
+	// graph: a state-limit trip here is the expected outcome, not a failure.
+	start = time.Now()
+	gph, err := reach.Explore(g.Net, ropts)
+	att = Attempt{Engine: "explicit-capped", Err: err, Duration: time.Since(start)}
+	if gph != nil {
+		att.States = gph.NumStates()
+	}
+	rep.Attempts = append(rep.Attempts, att)
+	var fle budget.ErrLimit
+	if err != nil && !errors.As(err, &fle) {
+		return rep, err
 	}
 	return rep, nil
 }

@@ -211,9 +211,12 @@ func rankedInsertions(g *stg.STG, name string, limit int, ctx *evalCtx) ([]*Solu
 	}
 	var all []scored
 	if ctx.workers > 1 {
-		all = evalPairsParallel(g, name, pairs, baseConflicts, ctx.workers)
+		all, err = evalPairsParallel(g, name, pairs, baseConflicts, ctx.workers, ctx.bgt)
 	} else {
-		all = evalPairsSequential(g, name, pairs, baseConflicts, ctx)
+		all, err = evalPairsSequential(g, name, pairs, baseConflicts, ctx)
+	}
+	if err != nil {
+		return nil, err
 	}
 	if len(all) == 0 {
 		return nil, fmt.Errorf("no property-preserving insertion found for %s", name)
@@ -239,10 +242,14 @@ func rankedInsertions(g *stg.STG, name string, limit int, ctx *evalCtx) ([]*Solu
 }
 
 // evalPairsSequential is the reference evaluator: one candidate at a time on
-// the solve-wide scratch arena.
-func evalPairsSequential(g *stg.STG, name string, pairs []insPair, baseConflicts int, ctx *evalCtx) []scored {
+// the solve-wide scratch arena. Budget cancellation is polled once per
+// candidate, matching the parallel evaluator's abort points.
+func evalPairsSequential(g *stg.STG, name string, pairs []insPair, baseConflicts int, ctx *evalCtx) ([]scored, error) {
 	var all []scored
 	for _, p := range pairs {
+		if err := ctx.bgt.Check("encoding.eval"); err != nil {
+			return nil, err
+		}
 		cand, err := InsertSignalAt(g, name, p.r, p.f)
 		if err != nil {
 			continue
@@ -261,7 +268,7 @@ func evalPairsSequential(g *stg.STG, name string, pairs []insPair, baseConflicts
 			key: [3]int{m.conflicts, m.lits, p.order},
 		})
 	}
-	return all
+	return all, nil
 }
 
 func less(a, b [3]int) bool {

@@ -1,12 +1,14 @@
 package encoding
 
 import (
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/budget"
 	"repro/internal/reach"
 	"repro/internal/stg"
 	"repro/internal/ts"
@@ -22,6 +24,10 @@ type Options struct {
 	// solution list is bit-identical to the sequential evaluator's at any
 	// worker count. 0 or 1 runs the sequential reference evaluator.
 	Workers int
+	// Budget adds cancellation between candidate evaluations; nil is
+	// unlimited. Each candidate builds a full state graph, so the check runs
+	// once per candidate rather than amortized.
+	Budget *budget.Budget
 }
 
 func (o Options) workers() int {
@@ -31,19 +37,20 @@ func (o Options) workers() int {
 	return 1
 }
 
-// evalCtx carries the per-solve evaluation state: the worker count and the
-// sequential path's reusable reachability arena.
+// evalCtx carries the per-solve evaluation state: the worker count, the
+// sequential path's reusable reachability arena, and the solve budget.
 type evalCtx struct {
 	workers int
 	arena   *reach.Arena
+	bgt     *budget.Budget
 }
 
 func newEvalCtx(opts Options) *evalCtx {
-	return &evalCtx{workers: opts.workers(), arena: reach.NewArena()}
+	return &evalCtx{workers: opts.workers(), arena: reach.NewArena(), bgt: opts.Budget}
 }
 
 func (c *evalCtx) buildSG(g *stg.STG) (*ts.SG, error) {
-	sg, err := reach.BuildSG(g, reach.Options{Arena: c.arena})
+	sg, err := reach.BuildSG(g, reach.Options{Arena: c.arena, Budget: c.bgt})
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +124,12 @@ type memoEntry struct {
 // assembly order — and with it the ranking — is the enumeration order, not
 // the completion order. Memo-hit survivors come back without an SG; the
 // caller rebuilds the few that survive the ranked cut.
-func evalPairsParallel(g *stg.STG, name string, pairs []insPair, baseConflicts, workers int) []scored {
+//
+// The pool is panic-safe: a panicking worker closes any memo entry it owns
+// (so no sibling blocks forever on a singleflight slot), stops the others,
+// and surfaces as budget.ErrInternal with the captured stack. Budget
+// cancellation is polled once per candidate and aborts the same way.
+func evalPairsParallel(g *stg.STG, name string, pairs []insPair, baseConflicts, workers int, bgt *budget.Budget) ([]scored, error) {
 	type result struct {
 		cand *stg.STG
 		sg   *ts.SG
@@ -127,13 +139,29 @@ func evalPairsParallel(g *stg.STG, name string, pairs []insPair, baseConflicts, 
 	memo := make(map[string]*memoEntry)
 	var mu sync.Mutex
 	var next atomic.Int64
+	var stop atomic.Bool
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = budget.Internal(r, debug.Stack())
+					stop.Store(true)
+				}
+			}()
 			ar := reach.NewArena()
 			for {
+				if stop.Load() {
+					return
+				}
+				if err := bgt.Check("encoding.eval"); err != nil {
+					errs[w] = err
+					stop.Store(true)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(pairs) {
 					return
@@ -158,16 +186,26 @@ func evalPairsParallel(g *stg.STG, name string, pairs []insPair, baseConflicts, 
 					}
 					continue
 				}
-				sg, m := evaluateCandidate(cand, baseConflicts, ar)
-				e.m = m
-				close(e.done)
-				if m.ok {
-					results[i] = result{cand: cand, sg: sg, m: m}
-				}
+				// The deferred close keeps the singleflight slot from
+				// wedging siblings if the evaluation panics; the zero
+				// metrics they then read mark the candidate failed.
+				func() {
+					defer close(e.done)
+					sg, m := evaluateCandidate(cand, baseConflicts, ar)
+					e.m = m
+					if m.ok {
+						results[i] = result{cand: cand, sg: sg, m: m}
+					}
+				}()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	var all []scored
 	for i, res := range results {
@@ -185,7 +223,7 @@ func evalPairsParallel(g *stg.STG, name string, pairs []insPair, baseConflicts, 
 			key: [3]int{res.m.conflicts, res.m.lits, p.order},
 		})
 	}
-	return all
+	return all, nil
 }
 
 // canonicalSignature renders a name-independent structural signature of an

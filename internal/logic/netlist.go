@@ -77,7 +77,9 @@ func (nl *Netlist) SignalIndex(name string) int {
 	return -1
 }
 
-// AddSignal appends a wire and returns its index.
+// AddSignal appends a wire and returns its index. Duplicate names panic:
+// netlists are built from validated state graphs whose signal names are
+// unique, so a collision is a construction bug.
 func (nl *Netlist) AddSignal(name string, kind stg.Kind) int {
 	if nl.SignalIndex(name) >= 0 {
 		panic(fmt.Sprintf("logic: duplicate netlist signal %q", name))

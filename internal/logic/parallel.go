@@ -2,10 +2,12 @@ package logic
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/boolmin"
+	"repro/internal/budget"
 	"repro/internal/stg"
 	"repro/internal/ts"
 )
@@ -21,6 +23,9 @@ type Options struct {
 	// the sequential reference path at any worker count. 0 or 1 runs the
 	// sequential per-signal reference implementation.
 	Workers int
+	// Budget adds cancellation between per-signal minimizations; nil is
+	// unlimited.
+	Budget *budget.Budget
 }
 
 func (o Options) workers() int {
@@ -186,9 +191,11 @@ func DeriveAllOpts(g *ts.SG, opts Options) ([]Function, error) {
 		}
 	}
 	out := make([]Function, len(sigs))
-	runWorkers(w, len(sigs), func(mz *boolmin.Minimizer, i int) {
+	if err := runWorkers(w, len(sigs), opts.Budget, func(mz *boolmin.Minimizer, i int) {
 		out[i] = ex.deriveShared(sigs[i], mz)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -221,9 +228,11 @@ func SynthesizeOpts(g *ts.SG, style Style, opts Options) (*Netlist, error) {
 		}
 	}
 	gates := make([]Gate, len(sigs))
-	runWorkers(w, len(sigs), func(mz *boolmin.Minimizer, i int) {
+	if err := runWorkers(w, len(sigs), opts.Budget, func(mz *boolmin.Minimizer, i int) {
 		gates[i] = ex.synthesizeShared(sigs[i], style, mz)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	nl.Gates = append(nl.Gates, gates...)
 	if err := nl.Validate(); err != nil {
 		return nil, fmt.Errorf("logic: synthesized netlist invalid: %w", err)
@@ -302,26 +311,50 @@ func minimizeOnOffPooled(on, off []uint64, n int, mz *boolmin.Minimizer) boolmin
 
 // runWorkers fans f over n indexes across w goroutines, each owning a pooled
 // minimizer. Results keyed by index stay deterministic however the indexes
-// are claimed.
-func runWorkers(w, n int, f func(mz *boolmin.Minimizer, i int)) {
+// are claimed. A panicking worker stops the others and the panic surfaces as
+// budget.ErrInternal with the captured stack; budget cancellation is polled
+// once per index and aborts the same way.
+func runWorkers(w, n int, bgt *budget.Budget, f func(mz *boolmin.Minimizer, i int)) error {
 	if w > n {
 		w = n
 	}
 	var next atomic.Int64
+	var stop atomic.Bool
+	errs := make([]error, w)
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
 		wg.Add(1)
-		go func() {
+		go func(k int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[k] = budget.Internal(r, debug.Stack())
+					stop.Store(true)
+				}
+			}()
 			var mz boolmin.Minimizer
 			for {
+				if stop.Load() {
+					return
+				}
+				if err := bgt.Check("logic.worker"); err != nil {
+					errs[k] = err
+					stop.Store(true)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				f(&mz, i)
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

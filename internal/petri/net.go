@@ -71,6 +71,8 @@ func (n *Net) AddPlace(name string, tokens int) int {
 }
 
 // AddTransition adds a transition with the given name and returns its index.
+// Duplicate names panic, like AddPlace: an invariant violation by the
+// constructing code, not a runtime condition.
 func (n *Net) AddTransition(name string) int {
 	if _, dup := n.transByName[name]; dup {
 		panic(fmt.Sprintf("petri: duplicate transition %q", name))
@@ -138,6 +140,10 @@ func (n *Net) Chain(ts ...int) {
 	}
 }
 
+// checkPlace and checkTrans guard arc construction with invariant panics:
+// indexes come from the Add* return values, so an out-of-range index is a
+// bug in the constructing code and fails loudly rather than corrupting the
+// net.
 func (n *Net) checkPlace(p int) {
 	if p < 0 || p >= len(n.Places) {
 		panic(fmt.Sprintf("petri: place index %d out of range", p))

@@ -3,6 +3,7 @@ package reach
 import (
 	"fmt"
 
+	"repro/internal/budget"
 	"repro/internal/petri"
 	"repro/internal/ts"
 )
@@ -102,7 +103,13 @@ func exploreArena(n *petri.Net, opts Options, a *Arena) (*Graph, error) {
 	a.markings = append(a.markings, a.alloc(init))
 	a.index[init.Key()] = 0
 	maxStates := opts.maxStates()
+	hooked := opts.Budget.Hooked()
 	for head := 0; head < len(a.markings); head++ {
+		if hooked || head%budget.CheckEvery == 0 {
+			if err := opts.Budget.Check("reach.explore"); err != nil {
+				return a.finish(g, head-1), err
+			}
+		}
 		m := a.markings[head]
 		steps := a.outSlot(head)
 		for t := range n.Transitions {
@@ -120,7 +127,7 @@ func exploreArena(n *petri.Net, opts Options, a *Arena) (*Graph, error) {
 			if !ok {
 				if len(a.markings) >= maxStates {
 					a.out[head] = steps
-					return a.finish(g, head), ErrStateLimit
+					return a.finish(g, head), budget.LimitStates(maxStates, len(a.markings))
 				}
 				idx = len(a.markings)
 				stable := a.alloc(next)

@@ -2,8 +2,11 @@ package reach
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/budget"
 	"repro/internal/petri"
 	"repro/internal/shardset"
 )
@@ -19,15 +22,24 @@ import (
 // explorer's for every worker count.
 //
 // MaxStates is enforced by the visited table itself: a refused insertion
-// proves the full state count exceeds the cap, so ErrStateLimit is
-// deterministic too. Unlike the sequential engine, no partial graph is
-// returned with the error (mid-level discovery order is not canonical).
+// proves the full state count exceeds the cap, so the state-limit error is
+// deterministic too. On a limit trip the canonical partial graph — exactly
+// MaxStates states, bit-identical to the sequential explorer's partial
+// result — is re-derived by a sequential pass, which the cap itself keeps
+// cheap.
+//
+// Workers are panic-safe: a panic in any worker is recovered into a
+// budget.ErrInternal carrying the stack, sibling workers stop at their next
+// frontier item, and the one error is returned instead of crashing the
+// process. Cancellation (opts.Budget) is polled at every level barrier and,
+// amortized, inside worker expansion loops.
 func exploreParallel(n *petri.Net, opts Options, workers int) (*Graph, error) {
 	init := n.InitialMarking()
 	if opts.RequireSafe && !init.Safe() {
 		return nil, fmt.Errorf("%w: initial marking %s", ErrUnsafe, init.Format(n))
 	}
-	visited := shardset.NewLimited(4*workers, opts.maxStates())
+	maxStates := opts.maxStates()
+	visited := shardset.NewLimited(4*workers, maxStates)
 	visited.Add(init.Key()) // id 0; maxStates ≥ 1 always admits it
 
 	type pstep struct {
@@ -48,7 +60,15 @@ func exploreParallel(n *petri.Net, opts Options, workers int) (*Graph, error) {
 		limit       bool
 	}
 
+	// stop makes sibling workers bail out at their next frontier item after
+	// a panic or cancellation; it carries no error itself.
+	var stop atomic.Bool
+	hooked := opts.Budget.Hooked()
+
 	for len(frontier) > 0 {
+		if err := opts.Budget.Check("reach.parallel"); err != nil {
+			return nil, err
+		}
 		results := make([]workerResult, workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -56,7 +76,23 @@ func exploreParallel(n *petri.Net, opts Options, workers int) (*Graph, error) {
 			go func(w int) {
 				defer wg.Done()
 				res := &results[w]
+				defer func() {
+					if r := recover(); r != nil {
+						res.err = budget.Internal(r, debug.Stack())
+						stop.Store(true)
+					}
+				}()
 				for i := w; i < len(frontier); i += workers {
+					if stop.Load() {
+						return
+					}
+					if hooked || i/workers%budget.CheckEvery == budget.CheckEvery-1 {
+						if err := opts.Budget.Check("reach.parallel.worker"); err != nil {
+							res.err = err
+							stop.Store(true)
+							return
+						}
+					}
 					s := frontier[i]
 					m := markings[s]
 					for t := 0; t < len(n.Transitions); t++ {
@@ -67,6 +103,7 @@ func exploreParallel(n *petri.Net, opts Options, workers int) (*Graph, error) {
 						if opts.RequireSafe && !next.Safe() {
 							res.err = fmt.Errorf("%w: firing %s from %s", ErrUnsafe,
 								n.Transitions[t].Name, m.Format(n))
+							stop.Store(true)
 							return
 						}
 						id, added := visited.Add(next.Key())
@@ -86,14 +123,30 @@ func exploreParallel(n *petri.Net, opts Options, workers int) (*Graph, error) {
 		wg.Wait()
 
 		limit := false
+		var firstErr error
 		for w := range results {
-			if results[w].err != nil {
-				return nil, results[w].err
+			if results[w].err != nil && firstErr == nil {
+				firstErr = results[w].err
 			}
 			limit = limit || results[w].limit
 		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
 		if limit {
-			return nil, ErrStateLimit
+			// The refused insertion proves the state count exceeds the cap.
+			// Re-derive the canonical partial graph sequentially: the cap
+			// bounds that pass, and the result — exactly maxStates states in
+			// sequential-BFS order plus the same typed error — is
+			// bit-identical to the sequential explorer's at any worker count.
+			seq := opts
+			seq.Workers = 0
+			seq.Arena = nil
+			g, err := Explore(n, seq)
+			if err == nil {
+				err = budget.LimitStates(maxStates, maxStates)
+			}
+			return g, err
 		}
 
 		// Barrier merge: ids handed out this level form the contiguous

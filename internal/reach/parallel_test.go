@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/budget"
 	"repro/internal/gen"
 	"repro/internal/petri"
 	"repro/internal/vme"
@@ -91,6 +92,48 @@ func TestStateLimitExactAtInsertion(t *testing.T) {
 		g, err := Explore(net, Options{MaxStates: 64, Workers: w})
 		if err != nil || g.NumStates() != 64 {
 			t.Fatalf("w=%d: exact-fit cap must succeed: %v %v", w, g, err)
+		}
+	}
+}
+
+// TestCappedParallelMatchesSequentialPartial is the budget-trip determinism
+// regression: a capped exploration at Workers=4 returns the same typed
+// budget error — same limit, same used count via errors.As — and the same
+// canonical partial graph, bit for bit, as Workers=1.
+func TestCappedParallelMatchesSequentialPartial(t *testing.T) {
+	nets := []struct {
+		name string
+		net  *petri.Net
+		cap  int
+	}{
+		{"toggles-8", gen.IndependentToggles(8), 41},
+		{"phil-5", gen.Philosophers(5), 30},
+		{"vme-read-write", vme.ReadWriteSTG().Net, 23},
+	}
+	for _, mdl := range nets {
+		seqG, seqErr := Explore(mdl.net, Options{MaxStates: mdl.cap, Workers: 1})
+		if !errors.Is(seqErr, ErrStateLimit) {
+			t.Fatalf("%s: sequential cap must trip, got %v", mdl.name, seqErr)
+		}
+		var seqLim budget.ErrLimit
+		if !errors.As(seqErr, &seqLim) {
+			t.Fatalf("%s: sequential error not an ErrLimit: %v", mdl.name, seqErr)
+		}
+		parG, parErr := Explore(mdl.net, Options{MaxStates: mdl.cap, Workers: 4})
+		var parLim budget.ErrLimit
+		if !errors.As(parErr, &parLim) {
+			t.Fatalf("%s w=4: error not an ErrLimit: %v", mdl.name, parErr)
+		}
+		if parLim != seqLim {
+			t.Fatalf("%s: typed errors differ: seq %+v, par %+v", mdl.name, seqLim, parLim)
+		}
+		if parG == nil || parG.NumStates() != seqG.NumStates() {
+			t.Fatalf("%s: partial state counts differ: seq %d, par %v",
+				mdl.name, seqG.NumStates(), parG)
+		}
+		if !reflect.DeepEqual(seqG.Markings, parG.Markings) ||
+			!reflect.DeepEqual(seqG.Out, parG.Out) {
+			t.Fatalf("%s: partial graphs differ between worker counts", mdl.name)
 		}
 	}
 }

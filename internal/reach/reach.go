@@ -5,9 +5,9 @@
 package reach
 
 import (
-	"errors"
 	"fmt"
 
+	"repro/internal/budget"
 	"repro/internal/petri"
 )
 
@@ -17,6 +17,11 @@ type Options struct {
 	// states (0 = 1<<22 default). The cap is enforced at insertion time:
 	// exactly MaxStates states are explored before ErrStateLimit fires.
 	MaxStates int
+	// Budget, when non-nil, adds cancellation and resource ceilings: the
+	// context is polled (amortized, every budget.CheckEvery expansions) and
+	// Budget.MaxStates tightens MaxStates. Aborts surface as the typed
+	// budget errors (ErrStateLimit remains errors.Is-compatible).
+	Budget *budget.Budget
 	// RequireSafe makes the exploration fail on the first marking with more
 	// than one token in a place. When false, markings up to 255 tokens per
 	// place are explored (boundedness violations beyond that still fail).
@@ -35,10 +40,11 @@ type Options struct {
 }
 
 func (o Options) maxStates() int {
-	if o.MaxStates > 0 {
-		return o.MaxStates
+	cap := o.MaxStates
+	if cap <= 0 {
+		cap = 1 << 22
 	}
-	return 1 << 22
+	return o.Budget.StateLimit(cap)
 }
 
 func (o Options) workers() int {
@@ -49,10 +55,13 @@ func (o Options) workers() int {
 }
 
 // ErrUnsafe is returned when RequireSafe is set and a 2-token place is found.
-var ErrUnsafe = errors.New("reach: net is not safe (1-bounded)")
+var ErrUnsafe = fmt.Errorf("reach: net is not safe (1-bounded)")
 
-// ErrStateLimit is returned when the exploration exceeds Options.MaxStates.
-var ErrStateLimit = errors.New("reach: state limit exceeded")
+// ErrStateLimit is the errors.Is anchor for state-limit aborts. It is an
+// alias of budget.Sentinel(budget.States): the concrete errors returned are
+// budget.ErrLimit values carrying the ceiling and usage, and they match this
+// sentinel (and stubborn.ErrStateLimit) under errors.Is.
+var ErrStateLimit = budget.Sentinel(budget.States)
 
 // Graph is the reachability graph of a net: states are markings.
 type Graph struct {
@@ -74,9 +83,11 @@ type Step struct {
 // With Options.Workers > 1 the parallel sharded explorer is used; it
 // produces a bit-identical Graph (same state numbering, edges and index).
 //
-// On ErrStateLimit the sequential explorer returns the partial graph
-// explored so far — exactly MaxStates states — alongside the error; the
-// parallel explorer returns a nil graph.
+// On a state-limit trip (errors.Is(err, ErrStateLimit)) the partial graph
+// explored so far — exactly MaxStates states, in canonical sequential-BFS
+// order — is returned alongside the typed budget.ErrLimit error at every
+// worker count. On cancellation the sequential explorer returns whatever
+// partial graph exists; the parallel explorer returns nil.
 func Explore(n *petri.Net, opts Options) (*Graph, error) {
 	if w := opts.workers(); w > 1 {
 		return exploreParallel(n, opts, w)
@@ -90,7 +101,14 @@ func Explore(n *petri.Net, opts Options) (*Graph, error) {
 		return nil, fmt.Errorf("%w: initial marking %s", ErrUnsafe, init.Format(n))
 	}
 	g.add(init)
+	maxStates := opts.maxStates()
+	hooked := opts.Budget.Hooked()
 	for head := 0; head < len(g.Markings); head++ {
+		if hooked || head%budget.CheckEvery == 0 {
+			if err := opts.Budget.Check("reach.explore"); err != nil {
+				return g, err
+			}
+		}
 		m := g.Markings[head]
 		for t := range n.Transitions {
 			if !n.Enabled(m, t) {
@@ -103,8 +121,8 @@ func Explore(n *petri.Net, opts Options) (*Graph, error) {
 			}
 			idx, ok := g.Index[next.Key()]
 			if !ok {
-				if len(g.Markings) >= opts.maxStates() {
-					return g, ErrStateLimit
+				if len(g.Markings) >= maxStates {
+					return g, budget.LimitStates(maxStates, len(g.Markings))
 				}
 				idx = g.add(next)
 			}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/budget"
 	"repro/internal/petri"
 	"repro/internal/stg"
 	"repro/internal/ts"
@@ -60,7 +61,13 @@ func BuildSG(g *stg.STG, opts Options) (*ts.SG, error) {
 	seen[0] = true
 	var initKnown, initVal ts.Code
 	queue = append(queue, 0)
+	hooked := opts.Budget.Hooked()
 	for head := 0; head < len(queue); head++ {
+		if hooked || head%budget.CheckEvery == 0 {
+			if err := opts.Budget.Check("reach.label"); err != nil {
+				return nil, err
+			}
+		}
 		s := queue[head]
 		for _, step := range rg.Out[s] {
 			l := g.Labels[step.Transition]
@@ -175,9 +182,15 @@ func buildSGToggle(g *stg.STG, opts Options) (*ts.SG, error) {
 		return nil, fmt.Errorf("%w: initial marking", ErrUnsafe)
 	}
 	if _, ok := add(init); !ok {
-		return nil, ErrStateLimit
+		return nil, budget.LimitStates(maxStates, len(nodes))
 	}
+	hooked := opts.Budget.Hooked()
 	for head := 0; head < len(nodes); head++ {
+		if hooked || head%budget.CheckEvery == 0 {
+			if err := opts.Budget.Check("reach.toggle"); err != nil {
+				return nil, err
+			}
+		}
 		cur := nodes[head]
 		for t := range g.Net.Transitions {
 			if !g.Net.Enabled(cur.m, t) {
@@ -215,7 +228,7 @@ func buildSGToggle(g *stg.STG, opts Options) (*ts.SG, error) {
 			}
 			to, ok := add(node{m: nm, code: nextCode})
 			if !ok {
-				return nil, ErrStateLimit
+				return nil, budget.LimitStates(maxStates, len(nodes))
 			}
 			sg.Out[head] = append(sg.Out[head], ts.Arc{Event: ev, To: to})
 		}

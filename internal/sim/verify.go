@@ -20,6 +20,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/budget"
 	"repro/internal/logic"
 	"repro/internal/petri"
 	"repro/internal/reach"
@@ -103,19 +104,24 @@ func (r *Result) OK() bool { return len(r.Violations) == 0 }
 
 // Options configure a verification run.
 type Options struct {
-	// MaxStates bounds the composed exploration (default 1<<20).
+	// MaxStates bounds the composed exploration (default 1<<20). Exceeding
+	// it aborts with a typed budget.ErrLimit (errors.Is-compatible with
+	// reach.ErrStateLimit) alongside the partial Result.
 	MaxStates int
 	// MaxViolations stops the search after this many failures (default 1).
 	MaxViolations int
 	// Constraints are relative timing assumptions pruning interleavings.
 	Constraints []RelativeOrder
+	// Budget adds cancellation and tightens MaxStates; nil is unlimited.
+	Budget *budget.Budget
 }
 
 func (o Options) maxStates() int {
-	if o.MaxStates > 0 {
-		return o.MaxStates
+	cap := o.MaxStates
+	if cap <= 0 {
+		cap = 1 << 20
 	}
-	return 1 << 20
+	return o.Budget.StateLimit(cap)
 }
 
 func (o Options) maxViol() int {
@@ -170,7 +176,7 @@ func Verify(nl *logic.Netlist, spec *stg.STG, opts Options) (*Result, error) {
 
 	// Initial state: the spec SG's initial code mapped into netlist space,
 	// with implementation-only wires settled to a stable assignment.
-	specSG, err := reach.BuildSG(spec, reach.Options{})
+	specSG, err := reach.BuildSG(spec, reach.Options{Budget: opts.Budget})
 	if err != nil {
 		return nil, fmt.Errorf("sim: spec rejected: %w", err)
 	}
@@ -195,7 +201,9 @@ func Verify(nl *logic.Netlist, spec *stg.STG, opts Options) (*Result, error) {
 		}
 	}
 	m0 := spec.Net.InitialMarking()
-	ver.explore(v0, m0, permits0)
+	if err := ver.explore(v0, m0, permits0); err != nil {
+		return ver.res, err
+	}
 	return ver.res, nil
 }
 
@@ -246,7 +254,10 @@ type move struct {
 	isInput  bool
 }
 
-func (ver *verifier) explore(v0 uint64, m0 petri.Marking, permits0 uint32) {
+// explore runs the composed search. A state-limit trip or cancellation
+// returns the typed budget error with the partial Result still populated;
+// violations found before the abort are preserved.
+func (ver *verifier) explore(v0 uint64, m0 petri.Marking, permits0 uint32) error {
 	type node struct {
 		v       uint64
 		m       petri.Marking
@@ -255,14 +266,20 @@ func (ver *verifier) explore(v0 uint64, m0 petri.Marking, permits0 uint32) {
 	start := node{v0, m0, permits0}
 	ver.seen[compKey{v0, m0.Key(), permits0}] = true
 	stack := []node{start}
+	maxStates := ver.opts.maxStates()
+	hooked := ver.opts.Budget.Hooked()
 	for len(stack) > 0 && len(ver.res.Violations) < ver.opts.maxViol() {
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		ver.res.States++
-		if ver.res.States > ver.opts.maxStates() {
-			ver.res.Violations = append(ver.res.Violations, Violation{
-				Kind: Deadlock, Signal: "-", Msg: "state limit exceeded (treating as inconclusive failure)"})
-			return
+		if ver.res.States > maxStates {
+			ver.res.States--
+			return budget.LimitStates(maxStates, ver.res.States)
+		}
+		if hooked || ver.res.States%budget.CheckEvery == 0 {
+			if err := ver.opts.Budget.Check("sim.explore"); err != nil {
+				return err
+			}
 		}
 
 		// Drive fights.
@@ -310,7 +327,7 @@ func (ver *verifier) explore(v0 uint64, m0 petri.Marking, permits0 uint32) {
 							ver.nl.Signals[idx], mv.name, nd.v),
 					})
 					if len(ver.res.Violations) >= ver.opts.maxViol() {
-						return
+						return nil
 					}
 				}
 			}
@@ -322,6 +339,7 @@ func (ver *verifier) explore(v0 uint64, m0 petri.Marking, permits0 uint32) {
 			}
 		}
 	}
+	return nil
 }
 
 // movesAt enumerates all moves: environment input firings and excited gate

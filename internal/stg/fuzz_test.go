@@ -1,0 +1,53 @@
+package stg
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzSTGParse drives the .g parser with arbitrary bytes. The parser must
+// never panic; and whenever it accepts an input, the canonical form must be
+// a fixed point: write → reparse → write reproduces the first rendering
+// byte for byte. The committed corpus under testdata/fuzz/FuzzSTGParse
+// seeds the interesting shapes; the repo-level testdata specs are added at
+// run time so every shipped fixture is always in the corpus.
+func FuzzSTGParse(f *testing.F) {
+	specs, _ := filepath.Glob(filepath.Join("..", "..", "testdata", "*.g"))
+	for _, path := range specs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(".model m\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a+\n.marking { <b+,a+> }\n.end\n"))
+	f.Add([]byte(".model d\n.inputs a\n.dummy eps\n.graph\na+ eps\neps a-\na- a+\n.marking { <a-,a+> }\n.end\n"))
+	f.Add([]byte(".model p\n.inputs a\n.graph\np0 a+\na+ p0\n.marking { p0=2 }\n.end\n"))
+	f.Add([]byte(".model t\n.inputs a\n.graph\na~ a~/1\na~/1 a~\n.marking { <a~/1,a~> }\n.end\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ParseG(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: only the no-panic guarantee applies
+		}
+		var first strings.Builder
+		if err := g.WriteG(&first); err != nil {
+			t.Fatalf("WriteG on accepted input: %v", err)
+		}
+		g2, err := ParseG(strings.NewReader(first.String()))
+		if err != nil {
+			t.Fatalf("own output rejected: %v\ninput:\n%s\noutput:\n%s", err, data, first.String())
+		}
+		var second strings.Builder
+		if err := g2.WriteG(&second); err != nil {
+			t.Fatalf("WriteG after round trip: %v", err)
+		}
+		if first.String() != second.String() {
+			t.Fatalf("canonical form is not a fixed point:\n--- first\n%s\n--- second\n%s",
+				first.String(), second.String())
+		}
+	})
+}

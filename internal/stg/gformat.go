@@ -316,9 +316,15 @@ func (g *STG) WriteG(w io.Writer) error {
 		for _, t := range g.Net.Places[p].Post {
 			dsts = append(dsts, g.Net.Transitions[t].Name)
 		}
-		if len(dsts) > 0 {
+		switch {
+		case len(dsts) > 0:
 			sort.Strings(dsts)
 			lines = append(lines, g.Net.Places[p].Name+" "+strings.Join(dsts, " "))
+		case len(g.Net.Places[p].Pre) == 0 && g.Net.Places[p].Initial > 0:
+			// A marked place with no arcs at all would otherwise only show
+			// up in .marking, which the parser rejects as an unknown name; a
+			// bare line declares it.
+			lines = append(lines, g.Net.Places[p].Name)
 		}
 	}
 	// Canonical form: sorted adjacency lines, so that write∘parse is stable

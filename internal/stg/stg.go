@@ -121,6 +121,8 @@ func (g *STG) SignalIndex(name string) int {
 
 // AddTransition adds a transition labeled sig/dir. Multiple transitions of
 // the same label get instance suffixes "/1", "/2", ... in their net names.
+// An out-of-range signal index panics: indexes come from AddSignal, so a bad
+// one is a construction bug.
 func (g *STG) AddTransition(sig int, dir Dir) int {
 	if sig < 0 || sig >= len(g.Signals) {
 		panic(fmt.Sprintf("stg: signal index %d out of range", sig))
@@ -149,6 +151,8 @@ func (g *STG) Rise(name string) int { return g.byName(name, Rise) }
 // Fall is shorthand for AddTransition(SignalIndex(name), Fall).
 func (g *STG) Fall(name string) int { return g.byName(name, Fall) }
 
+// byName backs the Rise/Fall construction shorthands; referencing a signal
+// that was never declared is a construction bug and panics.
 func (g *STG) byName(name string, d Dir) int {
 	s := g.SignalIndex(name)
 	if s < 0 {

@@ -5,8 +5,7 @@
 package stubborn
 
 import (
-	"errors"
-
+	"repro/internal/budget"
 	"repro/internal/petri"
 	"repro/internal/shardset"
 )
@@ -24,32 +23,49 @@ type Result struct {
 // Options bound the exploration.
 type Options struct {
 	MaxStates int // default 1<<22
+	// Budget adds cancellation and tightens MaxStates; nil is unlimited.
+	Budget *budget.Budget
 }
 
 func (o Options) maxStates() int {
-	if o.MaxStates > 0 {
-		return o.MaxStates
+	cap := o.MaxStates
+	if cap <= 0 {
+		cap = 1 << 22
 	}
-	return 1 << 22
+	return o.Budget.StateLimit(cap)
 }
 
-// ErrStateLimit is returned when the exploration exceeds MaxStates.
-var ErrStateLimit = errors.New("stubborn: state limit exceeded")
+// ErrStateLimit is the errors.Is anchor for state-limit aborts — an alias of
+// budget.Sentinel(budget.States), shared with reach.ErrStateLimit, so the
+// engines' limit errors are mutually errors.Is-compatible.
+var ErrStateLimit = budget.Sentinel(budget.States)
 
 // Explore runs deadlock-preserving reduced reachability: every deadlock of
 // the full state space is reached, typically visiting far fewer states.
+//
+// On a state-limit trip or cancellation the partial Result — states and arcs
+// visited, deadlocks found so far — is returned alongside the typed budget
+// error.
 func Explore(n *petri.Net, opts Options) (*Result, error) {
 	res := &Result{}
 	seen := shardset.New(1)
 	init := n.InitialMarking()
 	seen.Add(init.Key())
 	stack := []petri.Marking{init}
+	maxStates := opts.maxStates()
+	hooked := opts.Budget.Hooked()
 	for len(stack) > 0 {
 		m := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		res.States++
-		if res.States > opts.maxStates() {
-			return nil, ErrStateLimit
+		if res.States > maxStates {
+			res.States--
+			return res, budget.LimitStates(maxStates, res.States)
+		}
+		if hooked || res.States%budget.CheckEvery == 0 {
+			if err := opts.Budget.Check("stubborn.explore"); err != nil {
+				return res, err
+			}
 		}
 		fire := stubbornEnabled(n, m)
 		if len(fire) == 0 {

@@ -1,8 +1,10 @@
 package stubborn
 
 import (
+	"errors"
 	"testing"
 
+	"repro/internal/budget"
 	"repro/internal/gen"
 	"repro/internal/petri"
 	"repro/internal/reach"
@@ -86,8 +88,16 @@ func TestDeadlockFoundInChain(t *testing.T) {
 
 func TestStateLimit(t *testing.T) {
 	net := gen.Philosophers(5)
-	if _, err := Explore(net, Options{MaxStates: 3}); err != ErrStateLimit {
+	res, err := Explore(net, Options{MaxStates: 3})
+	if !errors.Is(err, ErrStateLimit) {
 		t.Fatalf("want ErrStateLimit, got %v", err)
+	}
+	var le budget.ErrLimit
+	if !errors.As(err, &le) || le.Resource != budget.States || le.Limit != 3 {
+		t.Fatalf("want budget.ErrLimit{States,3}, got %#v", err)
+	}
+	if res == nil || res.States != 3 {
+		t.Fatalf("want partial result with exactly 3 states, got %+v", res)
 	}
 }
 

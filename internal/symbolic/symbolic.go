@@ -11,6 +11,7 @@ import (
 	"math/big"
 
 	"repro/internal/bdd"
+	"repro/internal/budget"
 	"repro/internal/petri"
 	"repro/internal/structural"
 )
@@ -46,6 +47,12 @@ type Options struct {
 	// doubles from the surviving size. 0 uses a default of 1<<15 live
 	// nodes; a negative value disables GC.
 	GCThreshold int
+	// Budget adds cancellation and a live-BDD-node ceiling
+	// (Budget.MaxNodes), both checked between fixpoint iterations — the
+	// natural blow-up boundary of the symbolic engine. The node ceiling is
+	// enforced after the iteration's garbage collection, so only genuinely
+	// live nodes count against it.
+	Budget *budget.Budget
 }
 
 func (o Options) gcThreshold() int {
@@ -67,6 +74,9 @@ func Reach(n *petri.Net) (*Result, error) { return ReachOpts(n, Options{}) }
 
 // ReachOpts is Reach with explicit kernel options: bounded-memory garbage
 // collection of dead intermediate nodes and optional dynamic reordering.
+// On a budget trip (cancellation, deadline, node ceiling) the partial
+// Result — the under-approximate reachability set computed so far — is
+// returned alongside the typed budget error.
 func ReachOpts(n *petri.Net, opts Options) (*Result, error) {
 	if len(n.Places) > 4096 {
 		return nil, fmt.Errorf("symbolic: %d places is unreasonable", len(n.Places))
@@ -134,6 +144,10 @@ func ReachOpts(n *petri.Net, opts Options) (*Result, error) {
 	siftAt := 1 << 12
 	iters := 0
 	for frontier != bdd.False {
+		if err := opts.Budget.Check("symbolic.iter"); err != nil {
+			m.DecRef(frontier)
+			return result(m, reached, iters), err
+		}
 		iters++
 		next := bdd.False
 		for _, tr := range ts {
@@ -162,8 +176,20 @@ func ReachOpts(n *petri.Net, opts Options) (*Result, error) {
 				siftAt = m.Size() * 4
 			}
 		}
+		// Node ceiling, after collection so only live nodes count. A trip
+		// returns the partial reachability set computed so far alongside the
+		// typed error.
+		if err := opts.Budget.CheckNodes(m.Size()); err != nil {
+			m.DecRef(frontier)
+			return result(m, reached, iters), err
+		}
 	}
 	m.DecRef(frontier)
+	return result(m, reached, iters), nil
+}
+
+// result snapshots a (possibly partial) traversal into a Result.
+func result(m *bdd.Manager, reached bdd.Ref, iters int) *Result {
 	return &Result{
 		M: m, States: reached,
 		Count:      m.SatCount(reached),
@@ -171,7 +197,7 @@ func ReachOpts(n *petri.Net, opts Options) (*Result, error) {
 		Iterations: iters,
 		PeakNodes:  m.Stats().PeakLive,
 		Stats:      m.Stats(),
-	}, nil
+	}
 }
 
 // DeadStates computes the characteristic function of reachable deadlocked

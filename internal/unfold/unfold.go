@@ -10,6 +10,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"repro/internal/budget"
 	"repro/internal/petri"
 )
 
@@ -56,18 +57,30 @@ type Prefix struct {
 // Options bound the construction.
 type Options struct {
 	MaxEvents int // default 1 << 16
+	// Budget adds cancellation and tightens MaxEvents (Budget.MaxEvents);
+	// nil is unlimited.
+	Budget *budget.Budget
 }
 
 func (o Options) maxEvents() int {
-	if o.MaxEvents > 0 {
-		return o.MaxEvents
+	cap := o.MaxEvents
+	if cap <= 0 {
+		cap = 1 << 16
 	}
-	return 1 << 16
+	return o.Budget.EventLimit(cap)
 }
+
+// ErrEventLimit is the errors.Is anchor for event-ceiling aborts — an alias
+// of budget.Sentinel(budget.Events).
+var ErrEventLimit = budget.Sentinel(budget.Events)
 
 // Build computes a finite complete prefix of the net's unfolding using
 // McMillan's cutoff criterion (|[e']| < |[e]| with equal markings, or
 // Mark([e]) equal to the initial marking).
+//
+// On an event-ceiling trip or cancellation the partial prefix built so far
+// is returned alongside the typed budget error. A partial prefix is not
+// complete: it under-approximates the reachable markings.
 func Build(n *petri.Net, opts Options) (*Prefix, error) {
 	u := &Prefix{Net: n}
 	init := n.InitialMarking()
@@ -130,8 +143,16 @@ func Build(n *petri.Net, opts Options) (*Prefix, error) {
 		if u.duplicateEvent(ext.trans, ext.pre) {
 			continue
 		}
-		if len(u.Events) >= opts.maxEvents() {
-			return nil, fmt.Errorf("unfold: event limit exceeded")
+		if maxEvents := opts.maxEvents(); len(u.Events) >= maxEvents {
+			return u, budget.LimitEvents(maxEvents, len(u.Events))
+		}
+		if opts.Budget.Hooked() || len(u.Events)%64 == 0 {
+			// Event extension is heavyweight (possible-extension search is
+			// quadratic), so a tighter-than-usual cancellation cadence is
+			// still noise.
+			if err := opts.Budget.Check("unfold.event"); err != nil {
+				return u, err
+			}
 		}
 
 		eIdx := len(u.Events)

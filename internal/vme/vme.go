@@ -57,6 +57,8 @@ func ReadWaveform() stg.Waveform {
 func ReadSTG() *stg.STG {
 	g, err := stg.FromWaveform(ReadWaveform())
 	if err != nil {
+		// The waveform is a static fixture from the paper; failing to
+		// compile it is a bug in this package, hence the panic.
 		panic("vme: ReadSTG construction failed: " + err.Error())
 	}
 	return g
@@ -136,6 +138,8 @@ func ReadWriteSTG() *stg.STG {
 	n.Chain(ldsM, ldtM)
 
 	if err := g.Validate(); err != nil {
+		// Static paper fixture, same contract as ReadSTG: invalid means
+		// this package is broken.
 		panic("vme: ReadWriteSTG construction failed: " + err.Error())
 	}
 	return g

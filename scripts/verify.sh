@@ -13,15 +13,23 @@ fi
 
 go vet ./...
 go build ./...
-go test ./...
-go test -race ./internal/reach/... ./internal/stubborn/... ./internal/shardset/...
+# -timeout 30s per test binary: a hang in a budget/cancellation path must
+# fail the gate, not wedge it.
+go test -timeout 30s ./...
+go test -timeout 30s -race ./internal/reach/... ./internal/stubborn/... ./internal/shardset/...
+# Fault-injection harness under the race detector: cancel/limit/panic
+# faults at every named check site must produce typed errors with no
+# hangs, crashes or goroutine leaks.
+go test -timeout 60s -race ./internal/faultinject/
 # Cross-engine differential suite under the race detector, then a short
 # fuzz smoke of the BDD kernel against its truth-table oracle.
-go test -run Conformance -race ./internal/conformance/
+go test -timeout 60s -run Conformance -race ./internal/conformance/
 go test -fuzz=FuzzBDDOps -fuzztime=5s -run '^$' ./internal/bdd/
+# .g parser fuzz smoke: no panics, canonical form is a fixed point.
+go test -fuzz=FuzzSTGParse -fuzztime=5s -run '^$' ./internal/stg/
 # Parallel synthesis determinism under the race detector: identical
 # solutions, functions and netlists at every worker count.
-go test -race -run 'Deterministic|MatchesSequential|TieBreak|CSCError' ./internal/encoding/ ./internal/logic/
+go test -timeout 60s -race -run 'Deterministic|MatchesSequential|TieBreak|CSCError' ./internal/encoding/ ./internal/logic/
 # Benchmark trajectory harness smoke: one iteration of the suite, parsed
 # through cmd/report -bench-json into a validated throwaway record.
 scripts/bench.sh -smoke
