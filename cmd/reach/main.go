@@ -6,7 +6,8 @@
 // Usage:
 //
 //	reach [-engine all|explicit|symbolic|unfold|stubborn] [-workers N]
-//	      [-sift] [-timeout D] file.g
+//	      [-sift] [-timeout D] [-metrics FILE] [-trace-json FILE]
+//	      [-cpuprofile FILE] [-memprofile FILE] file.g
 //
 // -workers N runs the explicit engine with N parallel workers in addition
 // to the sequential run and reports the speedup (0, the default, uses
@@ -21,6 +22,10 @@
 // -timeout D aborts the analysis after the given wall-clock duration
 // (e.g. 500ms, 10s). Engines report the partial statistics they reached
 // before the abort, and the command exits nonzero.
+//
+// -metrics and -trace-json export per-engine counters and the span tree
+// as a JSON snapshot and as Chrome trace_event JSON ("-" for stdout);
+// -cpuprofile and -memprofile write pprof profiles.
 //
 // Usage and flag errors go to stderr and exit with status 2; runtime and
 // budget-abort errors exit with status 1.
@@ -50,13 +55,15 @@ func main() {
 	cli.Exit("reach", run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("reach", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	engine := fs.String("engine", "all", "engine: all, explicit, symbolic, unfold, stubborn")
 	workers := fs.Int("workers", 0, "parallel workers for the explicit engine (0 = GOMAXPROCS, 1 = sequential only)")
 	sift := fs.Bool("sift", false, "dynamic variable reordering (Rudell sifting) in the symbolic engine")
 	timeout := fs.Duration("timeout", 0, "abort the analysis after this wall-clock duration (0 = none)")
+	var ins cli.Instrumentation
+	ins.AddFlags(fs)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -75,6 +82,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		defer cancel()
 		bgt = &budget.Budget{Ctx: ctx}
 	}
+	if err := ins.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := ins.Finish(stdout); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+	// Every engine parents under one flow:reach → phase:analysis chain so
+	// exported traces validate against the span hierarchy.
+	flow := ins.Registry.Root("flow:reach")
+	phase := flow.Child("phase:analysis")
+	defer func() {
+		phase.End()
+		flow.End()
+	}()
 
 	// Stats table: engine, result, wall time, speedup (parallel rows only).
 	// A budget abort prints the partial statistics the engine reached and
@@ -104,7 +127,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	seq := run("explicit", func() (string, error) {
-		rg, err := reach.Explore(n, reach.Options{Budget: bgt})
+		rg, err := reach.Explore(n, reach.Options{Budget: bgt, Obs: phase})
 		if err != nil {
 			return partialGraph(rg), err
 		}
@@ -113,7 +136,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	})
 	if w > 1 && (*engine == "all" || *engine == "explicit") {
 		start := time.Now()
-		rg, err := reach.Explore(n, reach.Options{Workers: w, Budget: bgt})
+		rg, err := reach.Explore(n, reach.Options{Workers: w, Budget: bgt, Obs: phase})
 		elapsed := time.Since(start)
 		name := fmt.Sprintf("explicit(w%d)", w)
 		if err != nil {
@@ -134,7 +157,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	var symStats *bdd.Stats
 	run("symbolic", func() (string, error) {
-		res, err := symbolic.ReachOpts(n, symbolic.Options{Sift: *sift, Budget: bgt})
+		res, err := symbolic.ReachOpts(n, symbolic.Options{Sift: *sift, Budget: bgt, Obs: phase})
 		if err != nil {
 			if res != nil {
 				return fmt.Sprintf("partial: %.0f states after %d iterations",
@@ -154,7 +177,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			symStats.GCRuns, symStats.GCFreed, symStats.Reorders, symStats.Swaps)
 	}
 	run("unfold", func() (string, error) {
-		u, err := unfold.Build(n, unfold.Options{Budget: bgt})
+		u, err := unfold.Build(n, unfold.Options{Budget: bgt, Obs: phase})
 		if err != nil {
 			if u != nil {
 				c, e, k := u.Stats()
@@ -166,7 +189,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return fmt.Sprintf("%d conditions, %d events, %d cutoffs", c, e, k), nil
 	})
 	run("stubborn", func() (string, error) {
-		res, err := stubborn.Explore(n, stubborn.Options{Budget: bgt})
+		res, err := stubborn.Explore(n, stubborn.Options{Budget: bgt, Obs: phase})
 		if err != nil {
 			if res != nil {
 				return fmt.Sprintf("partial: %d states, %d arcs", res.States, res.Arcs), err

@@ -3,11 +3,13 @@ package main
 import (
 	"bytes"
 	"errors"
+	"os"
 	"strings"
 	"testing"
 
 	"repro/internal/budget"
 	"repro/internal/cli"
+	"repro/internal/obs"
 )
 
 const muller2 = `
@@ -115,5 +117,45 @@ func TestReachTimeoutAbort(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "aborted") && !strings.Contains(out.String(), "error") {
 		t.Fatalf("abort rows expected in output:\n%s", out.String())
+	}
+}
+
+// TestReachMetricsExport validates the instrumented engine comparison: one
+// flow:reach → phase:analysis chain over all engine spans, with non-zero
+// counters for each engine and the BDD kernel.
+func TestReachMetricsExport(t *testing.T) {
+	dir := t.TempDir()
+	mpath, tpath := dir+"/m.json", dir+"/t.json"
+	var out, errOut bytes.Buffer
+	err := run([]string{"-metrics", mpath, "-trace-json", tpath},
+		strings.NewReader(muller2), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.ValidateHierarchy(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{
+		"reach.states", "symbolic.iterations", "bdd.cache_lookups",
+		"unfold.events", "stubborn.states",
+	} {
+		if snap.Counters[c] == 0 {
+			t.Fatalf("counter %s is zero; counters: %v", c, snap.Counters)
+		}
+	}
+	trace, err := os.ReadFile(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTraceJSON(trace); err != nil {
+		t.Fatal(err)
 	}
 }

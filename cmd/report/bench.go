@@ -5,9 +5,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // benchResult is one parsed benchmark line.
@@ -31,12 +35,18 @@ type benchFile struct {
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	CPU        string        `json:"cpu,omitempty"`
 	Benchmarks []benchResult `json:"benchmarks"`
+	// Snapshots are metrics exports from instrumented runs (-metrics),
+	// keyed by snapshot name, merged in via -merge-metrics so the committed
+	// trajectory carries engine counters next to the timing numbers.
+	Snapshots map[string]*obs.Snapshot `json:"metrics_snapshots,omitempty"`
 }
 
 // writeBenchJSON converts `go test -bench` plain-text output on r into the
 // benchmark trajectory JSON on w. Lines that are not benchmark results (the
 // goos/goarch/pkg/cpu header, PASS, ok) contribute metadata or are skipped.
-func writeBenchJSON(r io.Reader, w io.Writer) error {
+// merge names metrics-snapshot JSON files (comma-separated) whose validated
+// contents are embedded under "metrics_snapshots".
+func writeBenchJSON(r io.Reader, w io.Writer, merge string) error {
 	out := benchFile{
 		Suite:      "synth",
 		GoVersion:  runtime.Version(),
@@ -65,9 +75,40 @@ func writeBenchJSON(r io.Reader, w io.Writer) error {
 	if err := sc.Err(); err != nil {
 		return err
 	}
+	if err := mergeSnapshots(&out, merge); err != nil {
+		return err
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// mergeSnapshots loads each comma-separated metrics snapshot file, validates
+// it, and stores it in the bench file keyed by base name (extension
+// stripped).
+func mergeSnapshots(out *benchFile, merge string) error {
+	if merge == "" {
+		return nil
+	}
+	out.Snapshots = map[string]*obs.Snapshot{}
+	for _, path := range strings.Split(merge, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("merge-metrics: %w", err)
+		}
+		snap, err := obs.ParseSnapshot(data)
+		if err != nil {
+			return fmt.Errorf("merge-metrics %s: %w", path, err)
+		}
+		key := filepath.Base(path)
+		key = strings.TrimSuffix(key, filepath.Ext(key))
+		out.Snapshots[key] = snap
+	}
+	return nil
 }
 
 // parseBenchLine parses one result line:

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -20,7 +21,7 @@ ok  	repro	12.345s
 
 func TestWriteBenchJSON(t *testing.T) {
 	var out bytes.Buffer
-	if err := writeBenchJSON(strings.NewReader(sampleBenchOutput), &out); err != nil {
+	if err := writeBenchJSON(strings.NewReader(sampleBenchOutput), &out, ""); err != nil {
 		t.Fatal(err)
 	}
 	var f benchFile
@@ -52,8 +53,52 @@ func TestWriteBenchJSON(t *testing.T) {
 
 func TestWriteBenchJSONRejectsGarbage(t *testing.T) {
 	var out bytes.Buffer
-	err := writeBenchJSON(strings.NewReader("BenchmarkBroken notanumber ns/op\n"), &out)
+	err := writeBenchJSON(strings.NewReader("BenchmarkBroken notanumber ns/op\n"), &out, "")
 	if err == nil {
 		t.Fatal("malformed benchmark line must error")
+	}
+}
+
+func TestWriteBenchJSONMergesMetrics(t *testing.T) {
+	snap := `{
+  "counters": {"reach.states": 24, "logic.signals": 5},
+  "gauges": {"symbolic.peak_nodes": 37},
+  "spans": [
+    {"id": 0, "parent": -1, "name": "flow:synthesize", "cat": "flow", "start_us": 0, "dur_us": 100},
+    {"id": 1, "parent": 0, "name": "phase:sg", "cat": "phase", "start_us": 1, "dur_us": 40}
+  ]
+}`
+	dir := t.TempDir()
+	path := dir + "/vme-read.metrics.json"
+	if err := os.WriteFile(path, []byte(snap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := writeBenchJSON(strings.NewReader(sampleBenchOutput), &out, path); err != nil {
+		t.Fatal(err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(out.Bytes(), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	got, ok := f.Snapshots["vme-read.metrics"]
+	if !ok {
+		t.Fatalf("snapshot not merged; keys: %v", f.Snapshots)
+	}
+	if got.Counters["reach.states"] != 24 || got.Gauges["symbolic.peak_nodes"] != 37 {
+		t.Fatalf("snapshot content lost: %+v", got)
+	}
+}
+
+func TestWriteBenchJSONRejectsBadSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/bad.json"
+	if err := os.WriteFile(path, []byte(`{"counters": {"x": 1}, "spans": [{"name": "no-category"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := writeBenchJSON(strings.NewReader(sampleBenchOutput), &out, path)
+	if err == nil {
+		t.Fatal("invalid snapshot must be rejected")
 	}
 }

@@ -6,6 +6,10 @@
 //
 //	go run ./cmd/report                    # experiment tables
 //	go test -bench ... | go run ./cmd/report -bench-json > BENCH_synth.json
+//
+// -merge-metrics file1,file2 embeds validated metrics snapshots (from
+// cmd/synth/cmd/reach -metrics runs) into the bench JSON under
+// "metrics_snapshots", keyed by base filename.
 package main
 
 import (
@@ -36,9 +40,11 @@ import (
 func main() {
 	benchJSON := flag.Bool("bench-json", false,
 		"parse 'go test -bench' output on stdin into the benchmark trajectory JSON on stdout")
+	mergeMetrics := flag.String("merge-metrics", "",
+		"comma-separated metrics snapshot files (from -metrics runs) to embed in the bench JSON")
 	flag.Parse()
 	if *benchJSON {
-		if err := writeBenchJSON(os.Stdin, os.Stdout); err != nil {
+		if err := writeBenchJSON(os.Stdin, os.Stdout, *mergeMetrics); err != nil {
 			log.Fatal(err)
 		}
 		return

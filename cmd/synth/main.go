@@ -6,34 +6,45 @@
 // Usage:
 //
 //	synth [-style complex|gc|rs] [-maxfanin N] [-method insert|reduce]
-//	      [-workers N] [-timeout D] [-maxstates N] [-fallback]
+//	      [-workers N] [-timeout D] [-maxstates N] [-maxnodes N] [-fallback]
+//	      [-metrics FILE] [-trace-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 //	      [-quiet] [-spec out.g] file.g
 //
 // With -spec the final specification (including inserted state signals) is
 // written in .g format to the given file ("-" for stdout).
 //
-// -timeout and -maxstates bound the run by wall clock and explored states.
-// On a budget trip the command prints whatever partial analysis it reached
-// and exits 1 — unless -fallback is set, in which case synthesis degrades
-// through the engine ladder (symbolic, then stubborn-set, then capped
-// explicit analysis) and reports the analysis trace instead of a netlist.
+// -timeout, -maxstates and -maxnodes bound the run by wall clock, explored
+// states and live BDD nodes; the spend against configured ceilings is
+// reported on a "budget:" line. On a budget trip the command prints whatever
+// partial analysis it reached and exits 1 — unless -fallback is set, in
+// which case synthesis degrades through the engine ladder (symbolic, then
+// stubborn-set, then capped explicit analysis) and reports the analysis
+// trace instead of a netlist.
+//
+// -metrics and -trace-json export the run's engine counters and span tree
+// as a JSON snapshot and as Chrome trace_event JSON ("-" for stdout);
+// -cpuprofile and -memprofile write pprof profiles. All artifacts are
+// written even when the run aborts.
 //
 // Usage and flag errors go to stderr and exit with status 2.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"repro/internal/budget"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/reach"
 	"repro/internal/sim"
 	"repro/internal/stg"
@@ -43,7 +54,7 @@ func main() {
 	cli.Exit("synth", run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("synth", flag.ContinueOnError)
 	// Usage and flag errors are diagnostics: they belong on stderr, not
 	// mixed into the tool's parseable output.
@@ -57,7 +68,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	eqnOut := fs.String("out", "", "write the netlist (.eqn, verify-compatible) to this file, '-' for stdout")
 	timeout := fs.Duration("timeout", 0, "abort the flow after this wall-clock duration (0 = none)")
 	maxStates := fs.Int("maxstates", 0, "abort explicit analysis past this many states (0 = none)")
+	maxNodes := fs.Int("maxnodes", 0, "abort symbolic analysis past this many live BDD nodes (0 = none)")
 	fallback := fs.Bool("fallback", false, "degrade to cheaper analysis engines instead of failing on a budget trip")
+	var ins cli.Instrumentation
+	ins.AddFlags(fs)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -79,20 +93,30 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	bgt := &budget.Budget{MaxStates: *maxStates}
+	bgt := &budget.Budget{MaxStates: *maxStates, MaxNodes: *maxNodes}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
 		bgt.Ctx = ctx
 	}
+	if err := ins.Start(); err != nil {
+		return err
+	}
+	// Export on every exit path: a budget-aborted run still dumps its
+	// metrics, trace and profiles.
+	defer func() {
+		if ferr := ins.Finish(stdout); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	var rep *core.Report
 	if *method == "reduce" {
-		rep, err = synthesizeByReduction(g, style, *workers, bgt)
+		rep, err = synthesizeByReduction(g, style, *workers, bgt, ins.Registry)
 	} else {
 		rep, err = core.Synthesize(g, core.Options{
 			Style: style, MaxFanIn: *maxFanIn, Workers: *workers,
-			Budget: bgt, Fallback: *fallback,
+			Budget: bgt, Fallback: *fallback, Obs: ins.Registry,
 		})
 	}
 	if err != nil {
@@ -100,6 +124,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		// nonzero exit comes with the stats reached before the abort.
 		if rep != nil {
 			fmt.Fprint(stdout, rep.Summary())
+			printBudget(stdout, bgt, err, rep)
 		}
 		return err
 	}
@@ -107,6 +132,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		// Degraded run: analysis completed on a cheaper engine, nothing to
 		// synthesize. -spec/-out have no artifact to write.
 		fmt.Fprint(stdout, rep.Summary())
+		printBudget(stdout, bgt, nil, rep)
 		return nil
 	}
 	if *specOut != "" {
@@ -146,28 +172,50 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 }
 
 // synthesizeByReduction runs the flow with the concurrency-reduction CSC
-// method instead of signal insertion.
-func synthesizeByReduction(g *stg.STG, style logic.Style, workers int, bgt *budget.Budget) (*core.Report, error) {
-	sg, err := reach.BuildSG(g, reach.Options{Budget: bgt})
+// method instead of signal insertion. Like core.Synthesize it opens a
+// flow:synthesize root span with one phase child per stage, so both CSC
+// methods export the same trace shape.
+func synthesizeByReduction(g *stg.STG, style logic.Style, workers int, bgt *budget.Budget, reg *obs.Registry) (rep *core.Report, err error) {
+	flow := reg.Root("flow:synthesize")
+	defer func() {
+		if flow != nil {
+			if err != nil {
+				flow.Attr("error", err.Error())
+			}
+			flow.End()
+			if rep != nil {
+				rep.Metrics = reg.Snapshot()
+			}
+		}
+	}()
+	sgSpan := flow.Child("phase:sg")
+	sg, err := reach.BuildSG(g, reach.Options{Budget: bgt, Obs: sgSpan})
+	sgSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	rep := &core.Report{Input: g, Spec: g, SG: sg, Properties: sg.CheckImplementability()}
+	rep = &core.Report{Input: g, Spec: g, SG: sg, Properties: sg.CheckImplementability()}
 	if !rep.Properties.Persistent {
 		return nil, fmt.Errorf("specification is not persistent (arbitration needed)")
 	}
 	if !rep.Properties.CSC {
+		encSpan := flow.Child("phase:encoding")
 		sol, err := encoding.SolveByReduction(g, 0)
+		encSpan.End()
 		if err != nil {
 			return nil, err
 		}
 		rep.Spec, rep.SG, rep.CSC = sol.STG, sol.SG, sol.Description
 	}
-	rep.Netlist, err = logic.SynthesizeOpts(rep.SG, style, logic.Options{Workers: workers, Budget: bgt})
+	logicSpan := flow.Child("phase:logic")
+	rep.Netlist, err = logic.SynthesizeOpts(rep.SG, style, logic.Options{Workers: workers, Budget: bgt, Obs: logicSpan})
+	logicSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	verifySpan := flow.Child("phase:verify")
 	rep.Verification, err = sim.Verify(rep.Netlist, rep.Spec, sim.Options{Budget: bgt})
+	verifySpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -175,6 +223,49 @@ func synthesizeByReduction(g *stg.STG, style logic.Style, workers int, bgt *budg
 		return rep, fmt.Errorf("implementation fails verification: %v", rep.Verification.Violations)
 	}
 	return rep, nil
+}
+
+// printBudget reports budget spend — states and BDD nodes used against their
+// ceilings — so budget behaviour is visible without -metrics. Silent when no
+// ceiling was configured.
+func printBudget(w io.Writer, bgt *budget.Budget, runErr error, rep *core.Report) {
+	if bgt == nil || (bgt.MaxStates <= 0 && bgt.MaxNodes <= 0) {
+		return
+	}
+	states, nodes := 0, 0
+	if rep != nil {
+		if rep.SG != nil {
+			states = rep.SG.NumStates()
+		}
+		// Only explicit-engine attempts spend the states budget; symbolic
+		// attempts count reachable states without enumerating them.
+		for _, a := range rep.Attempts {
+			if strings.HasPrefix(a.Engine, "explicit") && a.States > states {
+				states = a.States
+			}
+		}
+	}
+	var le budget.ErrLimit
+	if errors.As(runErr, &le) {
+		switch le.Resource {
+		case budget.States:
+			if le.Used > states {
+				states = le.Used
+			}
+		case budget.Nodes:
+			nodes = le.Used
+		}
+	}
+	fmt.Fprintf(w, "budget:        states %s, nodes %s\n",
+		spend(states, bgt.MaxStates), spend(nodes, bgt.MaxNodes))
+}
+
+// spend renders used/ceiling, with "unlimited" for an absent ceiling.
+func spend(used, limit int) string {
+	if limit <= 0 {
+		return fmt.Sprintf("%d/unlimited", used)
+	}
+	return fmt.Sprintf("%d/%d", used, limit)
 }
 
 func load(path string, stdin io.Reader) (*stg.STG, error) {

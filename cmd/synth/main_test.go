@@ -3,11 +3,13 @@ package main
 import (
 	"bytes"
 	"errors"
+	"os"
 	"strings"
 	"testing"
 
 	"repro/internal/budget"
 	"repro/internal/cli"
+	"repro/internal/obs"
 )
 
 const vmeRead = `
@@ -181,4 +183,100 @@ func stripTiming(s string) string {
 		keep = append(keep, line)
 	}
 	return strings.Join(keep, "\n")
+}
+
+// TestSynthMetricsExport runs an instrumented flow and validates the
+// exported snapshot: engine counters non-zero, hierarchy well-formed, and
+// the trace file loadable as trace_event JSON.
+func TestSynthMetricsExport(t *testing.T) {
+	dir := t.TempDir()
+	mpath, tpath := dir+"/m.json", dir+"/t.json"
+	var out, errOut bytes.Buffer
+	err := run([]string{"-metrics", mpath, "-trace-json", tpath},
+		strings.NewReader(vmeRead), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.ValidateHierarchy(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"reach.states", "encoding.candidates", "logic.signals"} {
+		if snap.Counters[c] == 0 {
+			t.Fatalf("counter %s is zero; counters: %v", c, snap.Counters)
+		}
+	}
+	trace, err := os.ReadFile(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTraceJSON(trace); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSynthReduceMetricsExport pins the trace shape of the -method reduce
+// path: same flow:synthesize root and phase spans as the insertion flow.
+func TestSynthReduceMetricsExport(t *testing.T) {
+	dir := t.TempDir()
+	mpath := dir + "/m.json"
+	var out, errOut bytes.Buffer
+	err := run([]string{"-method", "reduce", "-metrics", mpath},
+		strings.NewReader(vmeRead), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.ValidateHierarchy(); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, sp := range snap.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"flow:synthesize", "phase:sg", "phase:logic", "phase:verify"} {
+		if !names[want] {
+			t.Fatalf("span %s missing from reduce flow; spans: %v", want, names)
+		}
+	}
+}
+
+// TestSynthBudgetLine pins the budget-spend satellite: runs with a ceiling
+// report "budget: states used/limit" on both the degraded and abort paths,
+// and the degraded symbolic attempt carries its kernel stats detail.
+func TestSynthBudgetLine(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-maxstates", "4", "-fallback"}, strings.NewReader(vmeRead), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "budget:        states 4/4") {
+		t.Fatalf("missing budget spend line:\n%s", s)
+	}
+	if !strings.Contains(s, "iters=") || !strings.Contains(s, "peak-nodes=") {
+		t.Fatalf("symbolic attempt missing kernel stats detail:\n%s", s)
+	}
+
+	out.Reset()
+	err := run([]string{"-maxstates", "4"}, strings.NewReader(vmeRead), &out, &errOut)
+	if err == nil {
+		t.Fatal("capped run without -fallback must fail")
+	}
+	if !strings.Contains(out.String(), "budget:        states 4/4") {
+		t.Fatalf("abort path missing budget spend line:\n%s", out.String())
+	}
 }

@@ -1,0 +1,117 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"repro/internal/obs"
+)
+
+// Instrumentation owns the observability and profiling flags shared by the
+// command-line tools: -metrics and -trace-json export an obs.Registry as the
+// JSON metrics snapshot and as Chrome trace_event JSON, -cpuprofile and
+// -memprofile write pprof profiles.
+//
+// Usage: AddFlags before parsing, Start after, and Finish on every exit path
+// — including error exits, so budget-aborted runs still dump their metrics
+// and traces. Registry is nil unless -metrics or -trace-json was given, so
+// passing it straight into engine options keeps disabled runs at zero cost.
+type Instrumentation struct {
+	metricsPath string
+	tracePath   string
+	cpuPath     string
+	memPath     string
+
+	// Registry collects the run's metrics and spans; nil when neither
+	// -metrics nor -trace-json was given.
+	Registry *obs.Registry
+
+	cpuFile *os.File
+}
+
+// AddFlags registers -metrics, -trace-json, -cpuprofile and -memprofile.
+func (ins *Instrumentation) AddFlags(fs *flag.FlagSet) {
+	fs.StringVar(&ins.metricsPath, "metrics", "", "write the metrics snapshot (JSON) to this file, '-' for stdout")
+	fs.StringVar(&ins.tracePath, "trace-json", "", "write a Chrome trace_event trace to this file, '-' for stdout")
+	fs.StringVar(&ins.cpuPath, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&ins.memPath, "memprofile", "", "write a pprof heap profile to this file")
+}
+
+// Start creates the registry when an export was requested and begins CPU
+// profiling when -cpuprofile was given.
+func (ins *Instrumentation) Start() error {
+	if ins.metricsPath != "" || ins.tracePath != "" {
+		ins.Registry = obs.NewRegistry()
+	}
+	if ins.cpuPath != "" {
+		f, err := os.Create(ins.cpuPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		ins.cpuFile = f
+	}
+	return nil
+}
+
+// Finish stops profiling and writes every requested artifact. stdout is the
+// destination for '-' paths. The first failure is returned, but every
+// artifact is still attempted — a bad metrics path must not lose the CPU
+// profile.
+func (ins *Instrumentation) Finish(stdout io.Writer) error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if ins.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(ins.cpuFile.Close())
+		ins.cpuFile = nil
+	}
+	if ins.memPath != "" {
+		f, err := os.Create(ins.memPath)
+		if err != nil {
+			keep(err)
+		} else {
+			runtime.GC() // materialize up-to-date heap statistics
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+		ins.memPath = ""
+	}
+	if ins.Registry != nil {
+		if ins.metricsPath != "" {
+			keep(ins.export(ins.metricsPath, stdout, ins.Registry.WriteJSON))
+			ins.metricsPath = ""
+		}
+		if ins.tracePath != "" {
+			keep(ins.export(ins.tracePath, stdout, ins.Registry.WriteTrace))
+			ins.tracePath = ""
+		}
+	}
+	return first
+}
+
+func (ins *Instrumentation) export(path string, stdout io.Writer, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

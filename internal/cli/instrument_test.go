@@ -1,0 +1,131 @@
+package cli
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestInstrumentationDisabledByDefault(t *testing.T) {
+	var ins Instrumentation
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	ins.AddFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if ins.Registry != nil {
+		t.Fatal("registry must stay nil with no export flags")
+	}
+	var out bytes.Buffer
+	if err := ins.Finish(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("disabled run wrote output: %q", out.String())
+	}
+}
+
+func TestInstrumentationExportsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var ins Instrumentation
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	ins.AddFlags(fs)
+	err := fs.Parse([]string{
+		"-metrics", dir + "/m.json", "-trace-json", dir + "/t.json",
+		"-cpuprofile", dir + "/cpu.pprof", "-memprofile", dir + "/mem.pprof",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if ins.Registry == nil {
+		t.Fatal("registry must be created for -metrics")
+	}
+	sp := ins.Registry.Root("flow:test")
+	ins.Registry.Counter("test.count").Add(3)
+	sp.End()
+	var out bytes.Buffer
+	if err := ins.Finish(&out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dir + "/m.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["test.count"] != 3 {
+		t.Fatalf("counter lost in export: %v", snap.Counters)
+	}
+	trace, err := os.ReadFile(dir + "/t.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTraceJSON(trace); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{dir + "/cpu.pprof", dir + "/mem.pprof"} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Fatalf("profile %s missing or empty: %v", p, err)
+		}
+	}
+	// Finish is idempotent: a second call must not rewrite or fail.
+	if err := ins.Finish(&out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstrumentationStdoutExport(t *testing.T) {
+	var ins Instrumentation
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	ins.AddFlags(fs)
+	if err := fs.Parse([]string{"-metrics", "-"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ins.Registry.Counter("x").Inc()
+	var out bytes.Buffer
+	if err := ins.Finish(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"x": 1`) {
+		t.Fatalf("stdout export missing counter: %s", out.String())
+	}
+}
+
+func TestInstrumentationBadPathStillWritesRest(t *testing.T) {
+	dir := t.TempDir()
+	var ins Instrumentation
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	ins.AddFlags(fs)
+	err := fs.Parse([]string{
+		"-metrics", dir + "/no/such/dir/m.json", "-trace-json", dir + "/t.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ins.Registry.Root("flow:test").End()
+	var out bytes.Buffer
+	if err := ins.Finish(&out); err == nil {
+		t.Fatal("bad metrics path must surface an error")
+	}
+	if _, err := os.Stat(dir + "/t.json"); err != nil {
+		t.Fatalf("trace must still be written after metrics failure: %v", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/encoding"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/reach"
 	"repro/internal/sim"
 	"repro/internal/stg"
@@ -54,6 +55,12 @@ type Options struct {
 	// each under the remaining budget. A degraded run returns a Report with
 	// Netlist == nil and the engines tried in Attempts.
 	Fallback bool
+	// Obs enables observability: the flow opens a "flow:synthesize" root
+	// span with one "phase:*" child per phase, every engine records its
+	// spans and counters into the registry, and the final Report carries a
+	// structured Metrics snapshot. nil — the default — disables all of it at
+	// zero cost.
+	Obs *obs.Registry
 }
 
 // Attempt records one analysis engine tried by the degradation ladder.
@@ -68,10 +75,17 @@ type Attempt struct {
 	States int
 	// Duration is the rung's wall-clock time.
 	Duration time.Duration
+	// Detail carries engine-specific diagnostics — BDD kernel stats on the
+	// symbolic rung — so degraded runs are explainable without rerunning
+	// under -metrics. "" when the engine has none.
+	Detail string
 }
 
 func (a Attempt) String() string {
 	out := fmt.Sprintf("%s: %d states in %v", a.Engine, a.States, a.Duration.Round(time.Millisecond))
+	if a.Detail != "" {
+		out += fmt.Sprintf(" [%s]", a.Detail)
+	}
 	if a.Err != nil {
 		out += fmt.Sprintf(" (%v)", a.Err)
 	}
@@ -120,6 +134,10 @@ type Report struct {
 	Attempts []Attempt
 	// Timing is the phase breakdown of this run.
 	Timing Timing
+	// Metrics is the observability snapshot of this run — every engine
+	// counter plus the flow → phase → engine span tree. nil unless
+	// Options.Obs was set.
+	Metrics *obs.Snapshot
 }
 
 // Equations renders the implementation equations ("" on degraded runs).
@@ -151,9 +169,7 @@ func (r *Report) Summary() string {
 		for _, a := range r.Attempts {
 			fmt.Fprintf(&b, "  %s\n", a)
 		}
-		if r.Timing != (Timing{}) {
-			fmt.Fprintf(&b, "timing:        %s\n", r.Timing)
-		}
+		r.timingLine(&b)
 		return b.String()
 	}
 	fmt.Fprintf(&b, "implementation (%d gates, %d literals, max fan-in %d):\n",
@@ -169,10 +185,16 @@ func (r *Report) Summary() string {
 			fmt.Fprintf(&b, "verification:  FAILED: %v\n", r.Verification.Violations)
 		}
 	}
-	if r.Timing != (Timing{}) {
-		fmt.Fprintf(&b, "timing:        %s\n", r.Timing)
-	}
+	r.timingLine(&b)
 	return b.String()
+}
+
+// timingLine appends the phase-breakdown line when any phase was timed — the
+// one exit line both the degraded and the synthesized summary share.
+func (r *Report) timingLine(b *strings.Builder) {
+	if r.Timing != (Timing{}) {
+		fmt.Fprintf(b, "timing:        %s\n", r.Timing)
+	}
 }
 
 // Synthesize runs the complete flow on an STG specification.
@@ -183,6 +205,21 @@ func (r *Report) Summary() string {
 // set, a budget *limit* during state-graph construction degrades to cheaper
 // analysis engines instead of failing; see Options.Fallback.
 func Synthesize(g *stg.STG, opts Options) (*Report, error) {
+	flow := opts.Obs.Root("flow:synthesize")
+	rep, err := synthesize(g, opts, flow)
+	if flow != nil {
+		if err != nil {
+			flow.Attr("error", err.Error())
+		}
+		flow.End()
+		if rep != nil {
+			rep.Metrics = opts.Obs.Snapshot()
+		}
+	}
+	return rep, err
+}
+
+func synthesize(g *stg.STG, opts Options, flow *obs.Span) (*Report, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -190,14 +227,19 @@ func Synthesize(g *stg.STG, opts Options) (*Report, error) {
 	if ropts.Budget == nil {
 		ropts.Budget = opts.Budget
 	}
+	sgSpan := flow.Child("phase:sg")
+	if ropts.Obs == nil {
+		ropts.Obs = sgSpan
+	}
 	phase := time.Now()
 	baseSG, err := reach.BuildSG(g, ropts)
 	if err != nil {
+		sgSpan.End()
 		sgDur := time.Since(phase)
 		var le budget.ErrLimit
 		isLimit := errors.As(err, &le)
 		if opts.Fallback && isLimit {
-			return degrade(g, opts, ropts, err, le, sgDur)
+			return degrade(g, opts, ropts, err, le, sgDur, flow)
 		}
 		wrapped := fmt.Errorf("core: state graph: %w", err)
 		if budgetErr(err) {
@@ -214,6 +256,7 @@ func Synthesize(g *stg.STG, opts Options) (*Report, error) {
 	// Dummy (λ) events are contracted for synthesis: regions are defined on
 	// signal-edge arcs; the verifier still handles the dummies in the spec.
 	baseSG, err = ts.ContractDummies(baseSG)
+	sgSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: dummy contraction: %w", err)
 	}
@@ -241,8 +284,10 @@ func Synthesize(g *stg.STG, opts Options) (*Report, error) {
 		return rep, err
 	}
 	phase = time.Now()
+	encSpan := flow.Child("phase:encoding")
 	sols, err := encoding.SolutionsOpts(g, opts.MaxCSCSignals, 5,
-		encoding.Options{Workers: opts.Workers, Budget: opts.Budget})
+		encoding.Options{Workers: opts.Workers, Budget: opts.Budget, Obs: encSpan})
+	encSpan.End()
 	if err != nil {
 		if budgetErr(err) {
 			return rep, err
@@ -254,14 +299,16 @@ func Synthesize(g *stg.STG, opts Options) (*Report, error) {
 		return rep, err
 	}
 	var lastErr error
+	logicSpan := flow.Child("phase:logic")
 	for _, sol := range sols {
 		rep.Spec, rep.SG, rep.CSC = sol.STG, sol.SG, sol.Description
 		phase = time.Now()
 		rep.Netlist, err = logic.SynthesizeOpts(rep.SG, opts.Style,
-			logic.Options{Workers: opts.Workers, Budget: opts.Budget})
+			logic.Options{Workers: opts.Workers, Budget: opts.Budget, Obs: logicSpan})
 		rep.Timing.Logic += time.Since(phase)
 		if err != nil {
 			if budgetErr(err) {
+				logicSpan.End()
 				return rep, err
 			}
 			lastErr = fmt.Errorf("core: logic synthesis: %w", err)
@@ -269,10 +316,13 @@ func Synthesize(g *stg.STG, opts Options) (*Report, error) {
 		}
 		if opts.MaxFanIn > 0 {
 			if err := opts.Budget.Check("core.map"); err != nil {
+				logicSpan.End()
 				return rep, err
 			}
 			phase = time.Now()
+			mapSpan := flow.Child("phase:map")
 			rep.Netlist, err = techmap.Map(rep.Netlist, rep.Spec, techmap.Options{MaxFanIn: opts.MaxFanIn})
+			mapSpan.End()
 			rep.Timing.Mapping += time.Since(phase)
 			if err != nil {
 				lastErr = fmt.Errorf("core: technology mapping: %w", err)
@@ -282,6 +332,7 @@ func Synthesize(g *stg.STG, opts Options) (*Report, error) {
 		lastErr = nil
 		break
 	}
+	logicSpan.End()
 	if lastErr != nil {
 		return nil, lastErr
 	}
@@ -290,8 +341,10 @@ func Synthesize(g *stg.STG, opts Options) (*Report, error) {
 			return rep, err
 		}
 		phase = time.Now()
+		verifySpan := flow.Child("phase:verify")
 		rep.Verification, err = sim.Verify(rep.Netlist, rep.Spec,
 			sim.Options{Constraints: opts.Constraints, Budget: opts.Budget})
+		verifySpan.End()
 		rep.Timing.Verify = time.Since(phase)
 		if err != nil {
 			if budgetErr(err) {
@@ -323,18 +376,26 @@ func budgetErr(err error) bool {
 // (deadlock-preserving), then capped explicit exploration — the guaranteed
 // floor, whose partial graph is accepted as the degraded result. Each rung
 // runs under the same (remaining) budget; cancellation aborts the ladder.
-func degrade(g *stg.STG, opts Options, ropts reach.Options, sgErr error, le budget.ErrLimit, sgDur time.Duration) (*Report, error) {
+func degrade(g *stg.STG, opts Options, ropts reach.Options, sgErr error, le budget.ErrLimit, sgDur time.Duration, flow *obs.Span) (*Report, error) {
+	fb := flow.Child("phase:fallback")
+	defer fb.End()
+	transitions := fb.Registry().Counter("core.fallback_transitions")
+
 	rep := &Report{Input: g}
 	rep.Timing.SG = sgDur
 	rep.Attempts = append(rep.Attempts, Attempt{
 		Engine: "explicit", Err: sgErr, States: le.Used, Duration: sgDur,
 	})
 
+	transitions.Inc()
+	fb.Event("degrade", "to", "symbolic")
 	start := time.Now()
-	sres, err := symbolic.ReachOpts(g.Net, symbolic.Options{Budget: opts.Budget})
+	sres, err := symbolic.ReachOpts(g.Net, symbolic.Options{Budget: opts.Budget, Obs: fb})
 	att := Attempt{Engine: "symbolic", Err: err, Duration: time.Since(start)}
 	if sres != nil {
 		att.States = int(sres.Count)
+		att.Detail = fmt.Sprintf("iters=%d peak-nodes=%d cache-hit=%.0f%%",
+			sres.Iterations, sres.PeakNodes, 100*sres.Stats.CacheHitRate())
 	}
 	rep.Attempts = append(rep.Attempts, att)
 	if err == nil {
@@ -344,8 +405,10 @@ func degrade(g *stg.STG, opts Options, ropts reach.Options, sgErr error, le budg
 		return rep, err
 	}
 
+	transitions.Inc()
+	fb.Event("degrade", "to", "stubborn")
 	start = time.Now()
-	rres, err := stubborn.Explore(g.Net, stubborn.Options{Budget: opts.Budget})
+	rres, err := stubborn.Explore(g.Net, stubborn.Options{Budget: opts.Budget, Obs: fb})
 	att = Attempt{Engine: "stubborn", Err: err, Duration: time.Since(start)}
 	if rres != nil {
 		att.States = rres.States
@@ -360,7 +423,10 @@ func degrade(g *stg.STG, opts Options, ropts reach.Options, sgErr error, le budg
 
 	// The floor rung reruns the explicit engine and accepts its partial
 	// graph: a state-limit trip here is the expected outcome, not a failure.
+	transitions.Inc()
+	fb.Event("degrade", "to", "explicit-capped")
 	start = time.Now()
+	ropts.Obs = fb
 	gph, err := reach.Explore(g.Net, ropts)
 	att = Attempt{Engine: "explicit-capped", Err: err, Duration: time.Since(start)}
 	if gph != nil {

@@ -1,0 +1,94 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/vme"
+)
+
+// TestFlowMetricsSnapshot runs the full flow with observability enabled and
+// checks that the report carries a snapshot with the counters of every phase
+// engine and a valid flow → phase → engine span hierarchy.
+func TestFlowMetricsSnapshot(t *testing.T) {
+	reg := obs.NewRegistry()
+	rep, err := core.Synthesize(vme.ReadSTG(), core.Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics == nil {
+		t.Fatal("report carries no metrics snapshot")
+	}
+	if err := rep.Metrics.ValidateHierarchy(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"reach.states", "reach.arcs",
+		"encoding.candidates",
+		"logic.signals", "logic.cover_literals",
+	} {
+		if rep.Metrics.Counters[name] == 0 {
+			t.Fatalf("counter %s is zero; counters: %v", name, rep.Metrics.Counters)
+		}
+	}
+	for _, name := range []string{"flow:synthesize", "phase:sg", "phase:encoding", "phase:logic", "phase:verify"} {
+		if !hasSpan(rep.Metrics, name) {
+			t.Fatalf("span %s missing; spans: %+v", name, rep.Metrics.Spans)
+		}
+	}
+	h, ok := rep.Metrics.Histograms["logic.cover_size"]
+	if !ok || h.Count == 0 {
+		t.Fatalf("logic.cover_size histogram missing or empty: %+v", h)
+	}
+}
+
+// TestFlowFallbackMetrics trips the state budget with the fallback ladder on
+// and checks the degradation is visible in the snapshot: a phase:fallback
+// span, the transition counter, and the engines tried on the way down.
+func TestFlowFallbackMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	rep, err := core.Synthesize(vme.ReadSTG(), core.Options{
+		Obs: reg, Fallback: true, Budget: &budget.Budget{MaxStates: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics == nil {
+		t.Fatal("degraded report carries no metrics snapshot")
+	}
+	if err := rep.Metrics.ValidateHierarchy(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics.Counters["core.fallback_transitions"] == 0 {
+		t.Fatalf("core.fallback_transitions is zero; counters: %v", rep.Metrics.Counters)
+	}
+	if !hasSpan(rep.Metrics, "phase:fallback") {
+		t.Fatalf("no phase:fallback span; spans: %+v", rep.Metrics.Spans)
+	}
+	if !hasSpan(rep.Metrics, "engine:symbolic") {
+		t.Fatalf("no engine:symbolic span under the ladder; spans: %+v", rep.Metrics.Spans)
+	}
+}
+
+// TestFlowNilRegistryNoSnapshot keeps the disabled path disabled: without a
+// registry the report must not grow a snapshot.
+func TestFlowNilRegistryNoSnapshot(t *testing.T) {
+	rep, err := core.Synthesize(vme.ReadSTG(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics != nil {
+		t.Fatal("nil registry must not produce a snapshot")
+	}
+}
+
+func hasSpan(snap *obs.Snapshot, name string) bool {
+	for _, sp := range snap.Spans {
+		if sp.Name == name {
+			return true
+		}
+	}
+	return false
+}

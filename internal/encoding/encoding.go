@@ -211,7 +211,7 @@ func rankedInsertions(g *stg.STG, name string, limit int, ctx *evalCtx) ([]*Solu
 	}
 	var all []scored
 	if ctx.workers > 1 {
-		all, err = evalPairsParallel(g, name, pairs, baseConflicts, ctx.workers, ctx.bgt)
+		all, err = evalPairsParallel(g, name, pairs, baseConflicts, ctx)
 	} else {
 		all, err = evalPairsSequential(g, name, pairs, baseConflicts, ctx)
 	}
@@ -247,6 +247,7 @@ func rankedInsertions(g *stg.STG, name string, limit int, ctx *evalCtx) ([]*Solu
 func evalPairsSequential(g *stg.STG, name string, pairs []insPair, baseConflicts int, ctx *evalCtx) ([]scored, error) {
 	var all []scored
 	for _, p := range pairs {
+		ctx.checks.Inc()
 		if err := ctx.bgt.Check("encoding.eval"); err != nil {
 			return nil, err
 		}
@@ -254,6 +255,7 @@ func evalPairsSequential(g *stg.STG, name string, pairs []insPair, baseConflicts
 		if err != nil {
 			continue
 		}
+		ctx.candidates.Inc()
 		sg, m := evaluateCandidate(cand, baseConflicts, ctx.arena)
 		if !m.ok {
 			continue
@@ -295,7 +297,9 @@ func SolutionsOpts(g *stg.STG, maxSignals, limit int, opts Options) ([]*Solution
 	if limit <= 0 {
 		limit = 5
 	}
-	out, err := firstRound(g, maxSignals, limit, newEvalCtx(opts))
+	ctx := newEvalCtx(opts)
+	out, err := firstRound(g, maxSignals, limit, ctx)
+	ctx.finish(err)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/budget"
+	"repro/internal/obs"
 	"repro/internal/reach"
 	"repro/internal/stg"
 	"repro/internal/ts"
@@ -28,6 +29,12 @@ type Options struct {
 	// unlimited. Each candidate builds a full state graph, so the check runs
 	// once per candidate rather than amortized.
 	Budget *budget.Budget
+	// Obs is the parent observability span: the solve records an
+	// "engine:encoding" child span, per-worker spans, and the encoding.*
+	// counters (candidates, memo hits/misses, budget checks) into its
+	// registry. Per-candidate state-graph builds stay uninstrumented — a
+	// solve evaluates thousands of them. nil disables observability.
+	Obs *obs.Span
 }
 
 func (o Options) workers() int {
@@ -38,15 +45,47 @@ func (o Options) workers() int {
 }
 
 // evalCtx carries the per-solve evaluation state: the worker count, the
-// sequential path's reusable reachability arena, and the solve budget.
+// sequential path's reusable reachability arena, the solve budget and the
+// observability handles (engine span plus the encoding.* counters, all nil
+// no-ops when observability is off).
 type evalCtx struct {
 	workers int
 	arena   *reach.Arena
 	bgt     *budget.Budget
+
+	sp         *obs.Span
+	candidates *obs.Counter
+	memoHits   *obs.Counter
+	memoMisses *obs.Counter
+	checks     *obs.Counter
 }
 
 func newEvalCtx(opts Options) *evalCtx {
-	return &evalCtx{workers: opts.workers(), arena: reach.NewArena(), bgt: opts.Budget}
+	sp := opts.Obs.Child("engine:encoding")
+	reg := sp.Registry()
+	return &evalCtx{
+		workers:    opts.workers(),
+		arena:      reach.NewArena(),
+		bgt:        opts.Budget,
+		sp:         sp,
+		candidates: reg.Counter("encoding.candidates"),
+		memoHits:   reg.Counter("encoding.memo_hits"),
+		memoMisses: reg.Counter("encoding.memo_misses"),
+		checks:     reg.Counter("encoding.budget_checks"),
+	}
+}
+
+// finish closes the engine span with the registry's evaluation totals.
+func (c *evalCtx) finish(err error) {
+	if c.sp == nil {
+		return
+	}
+	c.sp.Attr("candidates", strconv.FormatInt(c.candidates.Value(), 10))
+	c.sp.Attr("memo_hits", strconv.FormatInt(c.memoHits.Value(), 10))
+	if err != nil {
+		c.sp.Attr("error", err.Error())
+	}
+	c.sp.End()
 }
 
 func (c *evalCtx) buildSG(g *stg.STG) (*ts.SG, error) {
@@ -129,7 +168,8 @@ type memoEntry struct {
 // (so no sibling blocks forever on a singleflight slot), stops the others,
 // and surfaces as budget.ErrInternal with the captured stack. Budget
 // cancellation is polled once per candidate and aborts the same way.
-func evalPairsParallel(g *stg.STG, name string, pairs []insPair, baseConflicts, workers int, bgt *budget.Budget) ([]scored, error) {
+func evalPairsParallel(g *stg.STG, name string, pairs []insPair, baseConflicts int, ctx *evalCtx) ([]scored, error) {
+	workers, bgt := ctx.workers, ctx.bgt
 	type result struct {
 		cand *stg.STG
 		sg   *ts.SG
@@ -146,6 +186,8 @@ func evalPairsParallel(g *stg.STG, name string, pairs []insPair, baseConflicts, 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			wsp := ctx.sp.ChildLane("worker:"+strconv.Itoa(w+1), w+1)
+			defer wsp.End()
 			defer func() {
 				if r := recover(); r != nil {
 					errs[w] = budget.Internal(r, debug.Stack())
@@ -157,6 +199,7 @@ func evalPairsParallel(g *stg.STG, name string, pairs []insPair, baseConflicts, 
 				if stop.Load() {
 					return
 				}
+				ctx.checks.Inc()
 				if err := bgt.Check("encoding.eval"); err != nil {
 					errs[w] = err
 					stop.Store(true)
@@ -180,12 +223,15 @@ func evalPairsParallel(g *stg.STG, name string, pairs []insPair, baseConflicts, 
 				}
 				mu.Unlock()
 				if hit {
+					ctx.memoHits.Inc()
 					<-e.done
 					if e.m.ok {
 						results[i] = result{cand: cand, m: e.m}
 					}
 					continue
 				}
+				ctx.memoMisses.Inc()
+				ctx.candidates.Inc()
 				// The deferred close keeps the singleflight slot from
 				// wedging siblings if the evaluation panics; the zero
 				// metrics they then read mark the candidate failed.

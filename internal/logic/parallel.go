@@ -3,11 +3,13 @@ package logic
 import (
 	"fmt"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/boolmin"
 	"repro/internal/budget"
+	"repro/internal/obs"
 	"repro/internal/stg"
 	"repro/internal/ts"
 )
@@ -26,6 +28,11 @@ type Options struct {
 	// Budget adds cancellation between per-signal minimizations; nil is
 	// unlimited.
 	Budget *budget.Budget
+	// Obs is the parent observability span: derivation/synthesis records an
+	// "engine:logic" child span, per-worker spans, and the logic.* counters
+	// (signals, cover literals, minimizer calls, budget checks) into its
+	// registry. nil disables observability.
+	Obs *obs.Span
 }
 
 func (o Options) workers() int {
@@ -55,6 +62,9 @@ type extraction struct {
 	// dc is the shared don't-care set: the unreachable codes, in increasing
 	// minterm order, as MinimizeOnOff enumerates them. Nil when n > 14.
 	dc []uint64
+	// minCalls counts cover minimizations (nil no-op when observability is
+	// off).
+	minCalls *obs.Counter
 }
 
 // extract runs the shared pass. Cost: one sweep of states and arcs plus one
@@ -148,6 +158,7 @@ func (ex *extraction) onOff(sig int) (on, off []uint64) {
 // deriveShared produces sig's Function from the shared extraction, with the
 // cover minimized through the worker's pooled scratch.
 func (ex *extraction) deriveShared(sig int, mz *boolmin.Minimizer) Function {
+	ex.minCalls.Inc()
 	on, off := ex.onOff(sig)
 	f := Function{Signal: sig, Name: ex.names[sig], N: ex.n, Names: ex.names, On: on, Off: off}
 	if ex.n <= 14 {
@@ -174,12 +185,43 @@ func nonInputs(signals []stg.Signal) []int {
 // pass and the cover minimizations fan out across the pool. The returned
 // functions — minterm order, covers, errors — are identical to DeriveAll's.
 func DeriveAllOpts(g *ts.SG, opts Options) ([]Function, error) {
+	sp := opts.Obs.Child("engine:logic")
+	fs, err := deriveAllOpts(g, opts, sp)
+	if sp != nil {
+		lits := 0
+		h := sp.Registry().Histogram("logic.cover_size")
+		for _, f := range fs {
+			l := f.Cover.Literals()
+			lits += l
+			h.Observe(int64(l))
+		}
+		recordLogic(sp, len(fs), lits, err)
+	}
+	return fs, err
+}
+
+// recordLogic writes the synthesis totals into the engine span's registry
+// and closes the span. literals is the summed cover literal count.
+func recordLogic(sp *obs.Span, signals, literals int, err error) {
+	reg := sp.Registry()
+	reg.Counter("logic.signals").Add(int64(signals))
+	reg.Counter("logic.cover_literals").Add(int64(literals))
+	sp.Attr("signals", strconv.Itoa(signals))
+	sp.Attr("cover_literals", strconv.Itoa(literals))
+	if err != nil {
+		sp.Attr("error", err.Error())
+	}
+	sp.End()
+}
+
+func deriveAllOpts(g *ts.SG, opts Options, sp *obs.Span) ([]Function, error) {
 	w := opts.workers()
 	if w <= 1 {
 		return DeriveAll(g)
 	}
 	sigs := nonInputs(g.Signals)
 	ex := extract(g)
+	ex.minCalls = sp.Registry().Counter("logic.minimizer_calls")
 	// Conflicts are found on the cheap aggregate first; the reference
 	// deriver then reproduces the exact witness error, in signal order.
 	for _, sig := range sigs {
@@ -191,7 +233,7 @@ func DeriveAllOpts(g *ts.SG, opts Options) ([]Function, error) {
 		}
 	}
 	out := make([]Function, len(sigs))
-	if err := runWorkers(w, len(sigs), opts.Budget, func(mz *boolmin.Minimizer, i int) {
+	if err := runWorkers(w, len(sigs), opts.Budget, sp, func(mz *boolmin.Minimizer, i int) {
 		out[i] = ex.deriveShared(sigs[i], mz)
 	}); err != nil {
 		return nil, err
@@ -202,6 +244,25 @@ func DeriveAllOpts(g *ts.SG, opts Options) ([]Function, error) {
 // SynthesizeOpts is Synthesize with explicit options; see DeriveAllOpts for
 // the Workers > 1 path. Netlists are identical at any worker count.
 func SynthesizeOpts(g *ts.SG, style Style, opts Options) (*Netlist, error) {
+	sp := opts.Obs.Child("engine:logic")
+	nl, err := synthesizeOpts(g, style, opts, sp)
+	if sp != nil {
+		signals, lits := 0, 0
+		if nl != nil {
+			signals = len(nl.Gates)
+			h := sp.Registry().Histogram("logic.cover_size")
+			for _, gt := range nl.Gates {
+				l := gt.F.Literals() + gt.Set.Literals() + gt.Reset.Literals()
+				lits += l
+				h.Observe(int64(l))
+			}
+		}
+		recordLogic(sp, signals, lits, err)
+	}
+	return nl, err
+}
+
+func synthesizeOpts(g *ts.SG, style Style, opts Options, sp *obs.Span) (*Netlist, error) {
 	w := opts.workers()
 	if w <= 1 {
 		return Synthesize(g, style)
@@ -212,6 +273,7 @@ func SynthesizeOpts(g *ts.SG, style Style, opts Options) (*Netlist, error) {
 	}
 	sigs := nonInputs(g.Signals)
 	ex := extract(g)
+	ex.minCalls = sp.Registry().Counter("logic.minimizer_calls")
 	// CSC conflicts surface before the fan-out, in signal order, so the
 	// workers run an error-free pure computation. For complex gates the
 	// reference deriver reproduces the exact witness error.
@@ -228,7 +290,7 @@ func SynthesizeOpts(g *ts.SG, style Style, opts Options) (*Netlist, error) {
 		}
 	}
 	gates := make([]Gate, len(sigs))
-	if err := runWorkers(w, len(sigs), opts.Budget, func(mz *boolmin.Minimizer, i int) {
+	if err := runWorkers(w, len(sigs), opts.Budget, sp, func(mz *boolmin.Minimizer, i int) {
 		gates[i] = ex.synthesizeShared(sigs[i], style, mz)
 	}); err != nil {
 		return nil, err
@@ -295,6 +357,7 @@ func (ex *extraction) setResetCovers(sig int, mz *boolmin.Minimizer) (set, reset
 			}
 		}
 	}
+	ex.minCalls.Add(2)
 	set = minimizeOnOffPooled(setOn, setOff, ex.n, mz)
 	reset = minimizeOnOffPooled(resetOn, resetOff, ex.n, mz)
 	return set, reset
@@ -314,10 +377,11 @@ func minimizeOnOffPooled(on, off []uint64, n int, mz *boolmin.Minimizer) boolmin
 // are claimed. A panicking worker stops the others and the panic surfaces as
 // budget.ErrInternal with the captured stack; budget cancellation is polled
 // once per index and aborts the same way.
-func runWorkers(w, n int, bgt *budget.Budget, f func(mz *boolmin.Minimizer, i int)) error {
+func runWorkers(w, n int, bgt *budget.Budget, sp *obs.Span, f func(mz *boolmin.Minimizer, i int)) error {
 	if w > n {
 		w = n
 	}
+	checks := sp.Registry().Counter("logic.budget_checks")
 	var next atomic.Int64
 	var stop atomic.Bool
 	errs := make([]error, w)
@@ -326,6 +390,8 @@ func runWorkers(w, n int, bgt *budget.Budget, f func(mz *boolmin.Minimizer, i in
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
+			wsp := sp.ChildLane("worker:"+strconv.Itoa(k+1), k+1)
+			defer wsp.End()
 			defer func() {
 				if r := recover(); r != nil {
 					errs[k] = budget.Internal(r, debug.Stack())
@@ -337,6 +403,7 @@ func runWorkers(w, n int, bgt *budget.Budget, f func(mz *boolmin.Minimizer, i in
 				if stop.Load() {
 					return
 				}
+				checks.Inc()
 				if err := bgt.Check("logic.worker"); err != nil {
 					errs[k] = err
 					stop.Store(true)

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// buildSample constructs a registry shaped like a real synthesis run:
+// flow → phase → engine → worker spans plus a few instruments.
+func buildSample() *Registry {
+	r := NewRegistry()
+	r.Counter("reach.states").Add(14)
+	r.Gauge("symbolic.peak_nodes").Max(512)
+	r.Histogram("reach.frontier", 1, 2, 4).Observe(3)
+	flow := r.Root("flow:synthesize")
+	sg := flow.Child("phase:sg")
+	eng := sg.Child("engine:explicit")
+	w := eng.ChildLane("worker:1", 1)
+	w.Event("level", "frontier", "3")
+	w.End()
+	eng.Attr("states", "14")
+	eng.End()
+	sg.End()
+	flow.End()
+	return r
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := buildSample()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParseSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["reach.states"] != 14 {
+		t.Fatalf("counter lost in round trip: %+v", snap.Counters)
+	}
+	if len(snap.Spans) != 4 {
+		t.Fatalf("span count = %d, want 4", len(snap.Spans))
+	}
+	if err := snap.ValidateHierarchy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceEventExport(t *testing.T) {
+	r := buildSample()
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	// 4 spans + 1 instant event.
+	if len(tf.TraceEvents) != 5 {
+		t.Fatalf("traceEvents = %d, want 5", len(tf.TraceEvents))
+	}
+	cats := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		cats[ev.Cat] = true
+		if ev.Name == "worker:1" && ev.TID != 2 {
+			t.Fatalf("worker lane not mapped to tid: %+v", ev)
+		}
+		if ev.Name == "engine:explicit" && ev.Args["states"] != "14" {
+			t.Fatalf("span attrs not exported: %+v", ev)
+		}
+	}
+	for _, want := range []string{"flow", "phase", "engine", "worker"} {
+		if !cats[want] {
+			t.Fatalf("category %q missing from trace (got %v)", want, cats)
+		}
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	if err := ValidateTraceJSON([]byte(`{"not":"a trace"}`)); err == nil {
+		t.Fatal("trace without traceEvents validated")
+	}
+	if err := ValidateTraceJSON([]byte(`{"traceEvents":[{"ph":"X"}]}`)); err == nil {
+		t.Fatal("event without name/ts validated")
+	}
+	if err := ValidateTraceJSON([]byte(`not json`)); err == nil {
+		t.Fatal("non-JSON validated")
+	}
+	if _, err := ParseSnapshot([]byte(`{"spans":[{"id":0,"parent":5,"name":"engine:x","cat":"engine"}]}`)); err == nil {
+		t.Fatal("snapshot without counters maps / with dangling parent validated")
+	}
+
+	// Orphan engine span: structurally fine, hierarchy-invalid.
+	r := NewRegistry()
+	r.Root("engine:orphan").End()
+	snap := r.Snapshot()
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.ValidateHierarchy(); err == nil {
+		t.Fatal("engine span without flow ancestor passed hierarchy validation")
+	}
+}
+
+// TestExternalArtifacts is the verify.sh observability gate: when the
+// OBS_METRICS_FILE / OBS_TRACE_FILE environment variables point at files
+// produced by a -metrics / -trace-json CLI run, they are validated against
+// the snapshot schema and the trace_event format. OBS_REQUIRE_COUNTERS
+// (comma-separated names) additionally asserts those counters are non-zero,
+// and OBS_REQUIRE_HIERARCHY=1 enforces the flow → phase → engine span tree.
+// Without the environment variables the test is a no-op, so the gate costs
+// nothing in plain `go test` runs.
+func TestExternalArtifacts(t *testing.T) {
+	metricsFile := os.Getenv("OBS_METRICS_FILE")
+	traceFile := os.Getenv("OBS_TRACE_FILE")
+	if metricsFile == "" && traceFile == "" {
+		t.Skip("OBS_METRICS_FILE / OBS_TRACE_FILE not set")
+	}
+	if metricsFile != "" {
+		data, err := os.ReadFile(metricsFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := ParseSnapshot(data)
+		if err != nil {
+			t.Fatalf("metrics snapshot %s: %v", metricsFile, err)
+		}
+		if os.Getenv("OBS_REQUIRE_HIERARCHY") == "1" {
+			if err := snap.ValidateHierarchy(); err != nil {
+				t.Fatalf("metrics snapshot %s: %v", metricsFile, err)
+			}
+		}
+		if req := os.Getenv("OBS_REQUIRE_COUNTERS"); req != "" {
+			for _, name := range strings.Split(req, ",") {
+				name = strings.TrimSpace(name)
+				if name == "" {
+					continue
+				}
+				if snap.Counters[name] <= 0 {
+					t.Errorf("counter %q is zero in %s (counters: %v)", name, metricsFile, snap.Counters)
+				}
+			}
+		}
+	}
+	if traceFile != "" {
+		data, err := os.ReadFile(traceFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateTraceJSON(data); err != nil {
+			t.Fatalf("trace file %s: %v", traceFile, err)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+)
+
+// Span is one node of the hierarchical trace: flow → phase → engine → worker.
+// A span's category is the prefix of its name before the first ':' ("flow",
+// "phase", "engine", "worker"); the exporters group and validate on it.
+// Spans are created by Registry.Root and Span.Child, closed with End, and
+// may record timestamped key/value events and span-level attributes.
+//
+// The nil *Span is the disabled sink: Child returns nil, every other method
+// is a no-op, and Registry returns nil — so a whole instrumented call tree
+// collapses to nil-checks when observability is off.
+type Span struct {
+	reg    *Registry
+	id     int
+	parent int // span id, -1 for roots
+	name   string
+	lane   int // trace_event tid; workers get their own lanes
+	start  int64
+
+	mu     sync.Mutex
+	end    int64 // 0 = still open
+	attrs  []KV
+	events []spanEvent
+}
+
+// KV is one key/value pair of a span attribute or event.
+type KV struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+type spanEvent struct {
+	name string
+	ts   int64
+	kv   []KV
+}
+
+// Root opens a top-level span. Returns nil on a nil registry.
+func (r *Registry) Root(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.newSpan(name, -1, 0)
+}
+
+func (r *Registry) newSpan(name string, parent, lane int) *Span {
+	s := &Span{reg: r, parent: parent, name: name, lane: lane, start: r.since()}
+	r.mu.Lock()
+	s.id = len(r.spans)
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+	return s
+}
+
+// Child opens a sub-span on the same lane. Returns nil on a nil span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.reg.newSpan(name, s.id, s.lane)
+}
+
+// ChildLane opens a sub-span on its own lane (trace_event tid) — used for
+// worker spans so parallel work renders as parallel tracks. Lane 0 is the
+// main flow; workers conventionally use 1-based worker indexes.
+func (s *Span) ChildLane(name string, lane int) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.reg.newSpan(name, s.id, lane)
+}
+
+// End closes the span. Ending twice keeps the first end time; exporting an
+// unended span uses the export time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.reg.since()
+	s.mu.Lock()
+	if s.end == 0 {
+		s.end = now
+	}
+	s.mu.Unlock()
+}
+
+// Attr records a span-level key/value attribute (exported under trace_event
+// "args").
+func (s *Span) Attr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, KV{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Event records a timestamped instant event with optional key/value pairs
+// (kv is consumed as key1, value1, key2, value2, ...).
+func (s *Span) Event(name string, kv ...string) {
+	if s == nil {
+		return
+	}
+	ev := spanEvent{name: name, ts: s.reg.since()}
+	for i := 0; i+1 < len(kv); i += 2 {
+		ev.kv = append(ev.kv, KV{Key: kv[i], Value: kv[i+1]})
+	}
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Registry returns the registry the span records into (nil on a nil span) —
+// the handle engines use to look up their counters.
+func (s *Span) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Category returns the span-name prefix before the first ':' ("flow",
+// "phase", "engine", "worker"), or the whole name when there is no colon.
+func Category(name string) string {
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}

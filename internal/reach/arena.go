@@ -104,8 +104,10 @@ func exploreArena(n *petri.Net, opts Options, a *Arena) (*Graph, error) {
 	a.index[init.Key()] = 0
 	maxStates := opts.maxStates()
 	hooked := opts.Budget.Hooked()
+	checks := opts.Obs.Registry().Counter("reach.budget_checks")
 	for head := 0; head < len(a.markings); head++ {
 		if hooked || head%budget.CheckEvery == 0 {
+			checks.Inc()
 			if err := opts.Budget.Check("reach.explore"); err != nil {
 				return a.finish(g, head-1), err
 			}

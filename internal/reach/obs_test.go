@@ -1,0 +1,102 @@
+package reach
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+// TestObsCountersSequential checks that an enabled registry sees the explicit
+// engine's counters and an engine span after a sequential exploration.
+func TestObsCountersSequential(t *testing.T) {
+	reg := obs.NewRegistry()
+	root := reg.Root("flow:test")
+	g, err := Explore(gen.IndependentToggles(6), Options{Obs: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	snap := reg.Snapshot()
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["reach.states"]; got != int64(g.NumStates()) {
+		t.Fatalf("reach.states = %d, want %d", got, g.NumStates())
+	}
+	if got := snap.Counters["reach.arcs"]; got != int64(g.NumArcs()) {
+		t.Fatalf("reach.arcs = %d, want %d", got, g.NumArcs())
+	}
+	if snap.Counters["reach.budget_checks"] == 0 {
+		t.Fatal("reach.budget_checks must be non-zero")
+	}
+	if !hasSpan(snap, "engine:explicit") {
+		t.Fatalf("no engine:explicit span in %+v", snap.Spans)
+	}
+}
+
+// TestObsCountersParallel checks the parallel engine's level counter,
+// frontier histogram, worker gauge and per-level events.
+func TestObsCountersParallel(t *testing.T) {
+	reg := obs.NewRegistry()
+	root := reg.Root("flow:test")
+	g, err := Explore(gen.IndependentToggles(6), Options{Workers: 4, Obs: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	snap := reg.Snapshot()
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["reach.states"]; got != int64(g.NumStates()) {
+		t.Fatalf("reach.states = %d, want %d", got, g.NumStates())
+	}
+	if snap.Counters["reach.levels"] == 0 {
+		t.Fatal("reach.levels must be non-zero")
+	}
+	if snap.Gauges["reach.workers"] != 4 {
+		t.Fatalf("reach.workers = %d, want 4", snap.Gauges["reach.workers"])
+	}
+	h, ok := snap.Histograms["reach.frontier"]
+	if !ok || h.Count == 0 {
+		t.Fatalf("reach.frontier histogram missing or empty: %+v", h)
+	}
+	for _, sp := range snap.Spans {
+		if sp.Name == "engine:explicit-parallel" {
+			if len(sp.Events) == 0 {
+				t.Fatal("parallel engine span has no level events")
+			}
+			return
+		}
+	}
+	t.Fatalf("no engine:explicit-parallel span in %+v", snap.Spans)
+}
+
+// TestObsNilIsInert makes sure exploration with no span behaves identically.
+func TestObsNilIsInert(t *testing.T) {
+	net := gen.IndependentToggles(5)
+	plain, err := Explore(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	root := reg.Root("flow:test")
+	observed, err := Explore(net, Options{Obs: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.NumStates() != observed.NumStates() || plain.NumArcs() != observed.NumArcs() {
+		t.Fatalf("observation changed the result: %d/%d vs %d/%d",
+			plain.NumStates(), plain.NumArcs(), observed.NumStates(), observed.NumArcs())
+	}
+}
+
+func hasSpan(snap *obs.Snapshot, name string) bool {
+	for _, sp := range snap.Spans {
+		if sp.Name == name {
+			return true
+		}
+	}
+	return false
+}

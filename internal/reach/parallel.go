@@ -3,10 +3,12 @@ package reach
 import (
 	"fmt"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/budget"
+	"repro/internal/obs"
 	"repro/internal/petri"
 	"repro/internal/shardset"
 )
@@ -33,7 +35,7 @@ import (
 // frontier item, and the one error is returned instead of crashing the
 // process. Cancellation (opts.Budget) is polled at every level barrier and,
 // amortized, inside worker expansion loops.
-func exploreParallel(n *petri.Net, opts Options, workers int) (*Graph, error) {
+func exploreParallel(n *petri.Net, opts Options, workers int, sp *obs.Span) (*Graph, error) {
 	init := n.InitialMarking()
 	if opts.RequireSafe && !init.Safe() {
 		return nil, fmt.Errorf("%w: initial marking %s", ErrUnsafe, init.Format(n))
@@ -64,10 +66,20 @@ func exploreParallel(n *petri.Net, opts Options, workers int) (*Graph, error) {
 	// a panic or cancellation; it carries no error itself.
 	var stop atomic.Bool
 	hooked := opts.Budget.Hooked()
+	reg := sp.Registry()
+	levels := reg.Counter("reach.levels")
+	checks := reg.Counter("reach.budget_checks")
+	frontierHist := reg.Histogram("reach.frontier")
 
 	for len(frontier) > 0 {
+		checks.Inc()
 		if err := opts.Budget.Check("reach.parallel"); err != nil {
 			return nil, err
+		}
+		levels.Inc()
+		frontierHist.Observe(int64(len(frontier)))
+		if sp != nil {
+			sp.Event("level", "frontier", strconv.Itoa(len(frontier)))
 		}
 		results := make([]workerResult, workers)
 		var wg sync.WaitGroup
@@ -87,6 +99,7 @@ func exploreParallel(n *petri.Net, opts Options, workers int) (*Graph, error) {
 						return
 					}
 					if hooked || i/workers%budget.CheckEvery == budget.CheckEvery-1 {
+						checks.Inc()
 						if err := opts.Budget.Check("reach.parallel.worker"); err != nil {
 							res.err = err
 							stop.Store(true)

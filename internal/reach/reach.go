@@ -6,8 +6,11 @@ package reach
 
 import (
 	"fmt"
+	"strconv"
+	"time"
 
 	"repro/internal/budget"
+	"repro/internal/obs"
 	"repro/internal/petri"
 )
 
@@ -37,6 +40,11 @@ type Options struct {
 	// stays valid only until the arena's next use. Ignored when Workers > 1
 	// (the sharded explorer has its own per-worker storage).
 	Arena *Arena
+	// Obs is the parent observability span (usually a phase of the synthesis
+	// flow): the explorer records an "engine:explicit" child span and the
+	// reach.* counters into its registry. nil — the default — disables
+	// observability at zero cost on the hot paths.
+	Obs *obs.Span
 }
 
 func (o Options) maxStates() int {
@@ -90,11 +98,65 @@ type Step struct {
 // partial graph exists; the parallel explorer returns nil.
 func Explore(n *petri.Net, opts Options) (*Graph, error) {
 	if w := opts.workers(); w > 1 {
-		return exploreParallel(n, opts, w)
+		sp, start := openEngineSpan(opts.Obs, "engine:explicit-parallel")
+		if sp != nil {
+			sp.Attr("workers", strconv.Itoa(w))
+			sp.Registry().Gauge("reach.workers").Max(int64(w))
+		}
+		g, err := exploreParallel(n, opts, w, sp)
+		closeEngineSpan(sp, start, g, err)
+		return g, err
 	}
+	sp, start := openEngineSpan(opts.Obs, "engine:explicit")
+	var g *Graph
+	var err error
 	if opts.Arena != nil {
-		return exploreArena(n, opts, opts.Arena)
+		g, err = exploreArena(n, opts, opts.Arena)
+	} else {
+		g, err = exploreSeq(n, opts)
 	}
+	closeEngineSpan(sp, start, g, err)
+	return g, err
+}
+
+// openEngineSpan opens the explorer's engine span under the parent phase
+// span. The wall-clock start is sampled only when observability is on, so
+// the disabled path stays a nil check.
+func openEngineSpan(parent *obs.Span, name string) (*obs.Span, time.Time) {
+	sp := parent.Child(name)
+	if sp == nil {
+		return nil, time.Time{}
+	}
+	return sp, time.Now()
+}
+
+// closeEngineSpan records the exploration totals (reach.states, reach.arcs,
+// reach.states_per_sec) into the span's registry and ends the span. Partial
+// graphs from budget trips still report their explored totals.
+func closeEngineSpan(sp *obs.Span, start time.Time, g *Graph, err error) {
+	if sp == nil {
+		return
+	}
+	states, arcs := 0, 0
+	if g != nil {
+		states, arcs = g.NumStates(), g.NumArcs()
+	}
+	reg := sp.Registry()
+	reg.Counter("reach.states").Add(int64(states))
+	reg.Counter("reach.arcs").Add(int64(arcs))
+	sp.Attr("states", strconv.Itoa(states))
+	sp.Attr("arcs", strconv.Itoa(arcs))
+	if err != nil {
+		sp.Attr("error", err.Error())
+	}
+	if sec := time.Since(start).Seconds(); sec > 0 && states > 0 {
+		reg.Gauge("reach.states_per_sec").Set(int64(float64(states) / sec))
+	}
+	sp.End()
+}
+
+// exploreSeq is the plain sequential explorer (no arena, no workers).
+func exploreSeq(n *petri.Net, opts Options) (*Graph, error) {
 	g := &Graph{Net: n, Index: make(map[string]int)}
 	init := n.InitialMarking()
 	if opts.RequireSafe && !init.Safe() {
@@ -103,8 +165,10 @@ func Explore(n *petri.Net, opts Options) (*Graph, error) {
 	g.add(init)
 	maxStates := opts.maxStates()
 	hooked := opts.Budget.Hooked()
+	checks := opts.Obs.Registry().Counter("reach.budget_checks")
 	for head := 0; head < len(g.Markings); head++ {
 		if hooked || head%budget.CheckEvery == 0 {
+			checks.Inc()
 			if err := opts.Budget.Check("reach.explore"); err != nil {
 				return g, err
 			}

@@ -1,0 +1,33 @@
+package stubborn
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+// TestObsCounters checks that an instrumented stubborn-set exploration
+// exports its state, arc and deadlock totals.
+func TestObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	root := reg.Root("flow:test")
+	res, err := Explore(gen.Philosophers(3), Options{Obs: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	snap := reg.Snapshot()
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["stubborn.states"]; got != int64(res.States) {
+		t.Fatalf("stubborn.states = %d, want %d", got, res.States)
+	}
+	if got := snap.Counters["stubborn.arcs"]; got != int64(res.Arcs) {
+		t.Fatalf("stubborn.arcs = %d, want %d", got, res.Arcs)
+	}
+	if got := snap.Counters["stubborn.deadlocks"]; got != int64(len(res.Deadlocks)) {
+		t.Fatalf("stubborn.deadlocks = %d, want %d", got, len(res.Deadlocks))
+	}
+}

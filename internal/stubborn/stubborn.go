@@ -5,7 +5,10 @@
 package stubborn
 
 import (
+	"strconv"
+
 	"repro/internal/budget"
+	"repro/internal/obs"
 	"repro/internal/petri"
 	"repro/internal/shardset"
 )
@@ -25,6 +28,11 @@ type Options struct {
 	MaxStates int // default 1<<22
 	// Budget adds cancellation and tightens MaxStates; nil is unlimited.
 	Budget *budget.Budget
+	// Obs is the parent observability span: the exploration records an
+	// "engine:stubborn" child span and the stubborn.* counters (states,
+	// arcs, deadlocks, budget checks) into its registry. nil disables
+	// observability.
+	Obs *obs.Span
 }
 
 func (o Options) maxStates() int {
@@ -47,6 +55,27 @@ var ErrStateLimit = budget.Sentinel(budget.States)
 // visited, deadlocks found so far — is returned alongside the typed budget
 // error.
 func Explore(n *petri.Net, opts Options) (*Result, error) {
+	sp := opts.Obs.Child("engine:stubborn")
+	res, err := explore(n, opts, sp)
+	if sp != nil {
+		if res != nil {
+			reg := sp.Registry()
+			reg.Counter("stubborn.states").Add(int64(res.States))
+			reg.Counter("stubborn.arcs").Add(int64(res.Arcs))
+			reg.Counter("stubborn.deadlocks").Add(int64(len(res.Deadlocks)))
+			sp.Attr("states", strconv.Itoa(res.States))
+			sp.Attr("arcs", strconv.Itoa(res.Arcs))
+			sp.Attr("deadlocks", strconv.Itoa(len(res.Deadlocks)))
+		}
+		if err != nil {
+			sp.Attr("error", err.Error())
+		}
+		sp.End()
+	}
+	return res, err
+}
+
+func explore(n *petri.Net, opts Options, sp *obs.Span) (*Result, error) {
 	res := &Result{}
 	seen := shardset.New(1)
 	init := n.InitialMarking()
@@ -54,6 +83,7 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 	stack := []petri.Marking{init}
 	maxStates := opts.maxStates()
 	hooked := opts.Budget.Hooked()
+	checks := sp.Registry().Counter("stubborn.budget_checks")
 	for len(stack) > 0 {
 		m := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -63,6 +93,7 @@ func Explore(n *petri.Net, opts Options) (*Result, error) {
 			return res, budget.LimitStates(maxStates, res.States)
 		}
 		if hooked || res.States%budget.CheckEvery == 0 {
+			checks.Inc()
 			if err := opts.Budget.Check("stubborn.explore"); err != nil {
 				return res, err
 			}

@@ -1,0 +1,47 @@
+package symbolic
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+// TestObsCounters checks that an instrumented symbolic traversal exports its
+// iteration count, peak-node gauge and the BDD kernel counters.
+func TestObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	root := reg.Root("flow:test")
+	res, err := ReachOpts(gen.IndependentToggles(8), Options{Obs: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	snap := reg.Snapshot()
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["symbolic.iterations"]; got != int64(res.Iterations) {
+		t.Fatalf("symbolic.iterations = %d, want %d", got, res.Iterations)
+	}
+	if snap.Counters["symbolic.budget_checks"] == 0 {
+		t.Fatal("symbolic.budget_checks must be non-zero")
+	}
+	if got := snap.Gauges["symbolic.peak_nodes"]; got != int64(res.PeakNodes) {
+		t.Fatalf("symbolic.peak_nodes = %d, want %d", got, res.PeakNodes)
+	}
+	for _, name := range []string{"bdd.cache_lookups", "bdd.unique_lookups"} {
+		if snap.Counters[name] == 0 {
+			t.Fatalf("%s must be non-zero; counters: %v", name, snap.Counters)
+		}
+	}
+	found := false
+	for _, sp := range snap.Spans {
+		if sp.Name == "engine:symbolic" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no engine:symbolic span in %+v", snap.Spans)
+	}
+}

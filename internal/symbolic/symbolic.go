@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"strconv"
 
 	"repro/internal/bdd"
 	"repro/internal/budget"
+	"repro/internal/obs"
 	"repro/internal/petri"
 	"repro/internal/structural"
 )
@@ -53,6 +55,10 @@ type Options struct {
 	// enforced after the iteration's garbage collection, so only genuinely
 	// live nodes count against it.
 	Budget *budget.Budget
+	// Obs is the parent observability span: the traversal records an
+	// "engine:symbolic" child span, the symbolic.* counters and the bdd.*
+	// kernel-stat counters into its registry. nil disables observability.
+	Obs *obs.Span
 }
 
 func (o Options) gcThreshold() int {
@@ -78,6 +84,43 @@ func Reach(n *petri.Net) (*Result, error) { return ReachOpts(n, Options{}) }
 // Result — the under-approximate reachability set computed so far — is
 // returned alongside the typed budget error.
 func ReachOpts(n *petri.Net, opts Options) (*Result, error) {
+	sp := opts.Obs.Child("engine:symbolic")
+	res, err := reachOpts(n, opts, sp)
+	recordSymbolic(sp, res, err)
+	return res, err
+}
+
+// recordSymbolic writes the traversal totals and the BDD kernel counter
+// snapshot into the engine span's registry and closes the span. Partial
+// results from budget trips still report what was computed.
+func recordSymbolic(sp *obs.Span, res *Result, err error) {
+	if sp == nil {
+		return
+	}
+	reg := sp.Registry()
+	if res != nil {
+		reg.Counter("symbolic.iterations").Add(int64(res.Iterations))
+		reg.Gauge("symbolic.peak_nodes").Max(int64(res.PeakNodes))
+		st := res.Stats
+		reg.Counter("bdd.cache_lookups").Add(int64(st.CacheLookups))
+		reg.Counter("bdd.cache_hits").Add(int64(st.CacheHits))
+		reg.Counter("bdd.unique_lookups").Add(int64(st.UniqueLookups))
+		reg.Counter("bdd.unique_hits").Add(int64(st.UniqueHits))
+		reg.Counter("bdd.gc_runs").Add(int64(st.GCRuns))
+		reg.Counter("bdd.gc_freed").Add(int64(st.GCFreed))
+		reg.Counter("bdd.reorders").Add(int64(st.Reorders))
+		reg.Counter("bdd.swaps").Add(int64(st.Swaps))
+		sp.Attr("iterations", strconv.Itoa(res.Iterations))
+		sp.Attr("peak_nodes", strconv.Itoa(res.PeakNodes))
+		sp.Attr("cache_hit_rate", strconv.FormatFloat(st.CacheHitRate(), 'f', 3, 64))
+	}
+	if err != nil {
+		sp.Attr("error", err.Error())
+	}
+	sp.End()
+}
+
+func reachOpts(n *petri.Net, opts Options, sp *obs.Span) (*Result, error) {
 	if len(n.Places) > 4096 {
 		return nil, fmt.Errorf("symbolic: %d places is unreasonable", len(n.Places))
 	}
@@ -143,7 +186,9 @@ func ReachOpts(n *petri.Net, opts Options) (*Result, error) {
 	gcAt := opts.gcThreshold()
 	siftAt := 1 << 12
 	iters := 0
+	checks := sp.Registry().Counter("symbolic.budget_checks")
 	for frontier != bdd.False {
+		checks.Inc()
 		if err := opts.Budget.Check("symbolic.iter"); err != nil {
 			m.DecRef(frontier)
 			return result(m, reached, iters), err
@@ -166,6 +211,9 @@ func ReachOpts(n *petri.Net, opts Options) (*Result, error) {
 		reached = m.IncRef(m.Or(reached, next))
 		if live := m.Size(); live > gcAt {
 			m.GC()
+			if sp != nil {
+				sp.Event("gc", "live", strconv.Itoa(m.Size()))
+			}
 			if s := m.Size() * 2; s > gcAt {
 				gcAt = s
 			}
@@ -173,12 +221,16 @@ func ReachOpts(n *petri.Net, opts Options) (*Result, error) {
 		if opts.Sift {
 			if live := m.Size(); live > siftAt {
 				m.Sift()
+				if sp != nil {
+					sp.Event("sift", "live", strconv.Itoa(m.Size()))
+				}
 				siftAt = m.Size() * 4
 			}
 		}
 		// Node ceiling, after collection so only live nodes count. A trip
 		// returns the partial reachability set computed so far alongside the
 		// typed error.
+		checks.Inc()
 		if err := opts.Budget.CheckNodes(m.Size()); err != nil {
 			m.DecRef(frontier)
 			return result(m, reached, iters), err

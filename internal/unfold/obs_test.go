@@ -1,0 +1,37 @@
+package unfold
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/vme"
+)
+
+// TestObsCounters checks that an instrumented unfolding exports its event,
+// condition and cutoff totals.
+func TestObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	root := reg.Root("flow:test")
+	u, err := Build(vme.ReadSTG().Net, Options{Obs: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	conds, events, cutoffs := u.Stats()
+	snap := reg.Snapshot()
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["unfold.events"]; got != int64(events) {
+		t.Fatalf("unfold.events = %d, want %d", got, events)
+	}
+	if got := snap.Counters["unfold.conditions"]; got != int64(conds) {
+		t.Fatalf("unfold.conditions = %d, want %d", got, conds)
+	}
+	if got := snap.Counters["unfold.cutoffs"]; got != int64(cutoffs) {
+		t.Fatalf("unfold.cutoffs = %d, want %d", got, cutoffs)
+	}
+	if snap.Counters["unfold.budget_checks"] == 0 {
+		t.Fatal("unfold.budget_checks must be non-zero")
+	}
+}

@@ -9,8 +9,10 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"strconv"
 
 	"repro/internal/budget"
+	"repro/internal/obs"
 	"repro/internal/petri"
 )
 
@@ -60,6 +62,11 @@ type Options struct {
 	// Budget adds cancellation and tightens MaxEvents (Budget.MaxEvents);
 	// nil is unlimited.
 	Budget *budget.Budget
+	// Obs is the parent observability span: the construction records an
+	// "engine:unfold" child span and the unfold.* counters (events,
+	// conditions, cutoffs, budget checks) into its registry. nil disables
+	// observability.
+	Obs *obs.Span
 }
 
 func (o Options) maxEvents() int {
@@ -82,6 +89,27 @@ var ErrEventLimit = budget.Sentinel(budget.Events)
 // is returned alongside the typed budget error. A partial prefix is not
 // complete: it under-approximates the reachable markings.
 func Build(n *petri.Net, opts Options) (*Prefix, error) {
+	sp := opts.Obs.Child("engine:unfold")
+	u, err := build(n, opts, sp)
+	if sp != nil {
+		if u != nil {
+			reg := sp.Registry()
+			reg.Counter("unfold.events").Add(int64(len(u.Events)))
+			reg.Counter("unfold.conditions").Add(int64(len(u.Conditions)))
+			reg.Counter("unfold.cutoffs").Add(int64(u.NumCutoffs))
+			sp.Attr("events", strconv.Itoa(len(u.Events)))
+			sp.Attr("conditions", strconv.Itoa(len(u.Conditions)))
+			sp.Attr("cutoffs", strconv.Itoa(u.NumCutoffs))
+		}
+		if err != nil {
+			sp.Attr("error", err.Error())
+		}
+		sp.End()
+	}
+	return u, err
+}
+
+func build(n *petri.Net, opts Options, sp *obs.Span) (*Prefix, error) {
 	u := &Prefix{Net: n}
 	init := n.InitialMarking()
 	if !init.Safe() {
@@ -112,6 +140,7 @@ func Build(n *petri.Net, opts Options) (*Prefix, error) {
 		pre       []int
 		localSize int
 	}
+	checks := sp.Registry().Counter("unfold.budget_checks")
 	var queue []pe
 	addExtensions := func(newCond int) {
 		// Any transition consuming the new condition's place may extend.
@@ -150,6 +179,7 @@ func Build(n *petri.Net, opts Options) (*Prefix, error) {
 			// Event extension is heavyweight (possible-extension search is
 			// quadratic), so a tighter-than-usual cancellation cadence is
 			// still noise.
+			checks.Inc()
 			if err := opts.Budget.Check("unfold.event"); err != nil {
 				return u, err
 			}

@@ -16,10 +16,18 @@ cd "$(dirname "$0")/.."
 
 BENCHES='^(BenchmarkSolveCSC|BenchmarkEquationDerivation|BenchmarkFullFlow|BenchmarkSymbolicVsExplicit|BenchmarkParallelExplore)$'
 
+# Instrumented flow run: the metrics snapshot from cmd/synth -metrics on the
+# VME example is merged into the bench record so the trajectory carries the
+# engine counters (states, candidates, cover literals, ...) next to timings.
+snapdir=$(mktemp -d /tmp/bench_metrics.XXXXXX)
+trap 'rm -rf "$snapdir"' EXIT
+snap="$snapdir/vme-read.json"
+go run ./cmd/synth -metrics "$snap" testdata/vme-read.g > /dev/null
+
 if [ "${1:-}" = "-smoke" ]; then
-    out=$(mktemp /tmp/bench_synth.XXXXXX.json)
-    trap 'rm -f "$out"' EXIT
-    go test -run '^$' -bench "$BENCHES" -benchtime=1x . | go run ./cmd/report -bench-json > "$out"
+    out=$(mktemp "$snapdir/bench_synth.XXXXXX.json")
+    go test -run '^$' -bench "$BENCHES" -benchtime=1x . \
+        | go run ./cmd/report -bench-json -merge-metrics "$snap" > "$out"
     # The record must be well-formed JSON with a non-empty benchmark list.
     go run ./cmd/report -bench-json < /dev/null > /dev/null # exercises the empty path
     python3 - "$out" <<'EOF'
@@ -32,12 +40,16 @@ names = {b["name"] for b in rec["benchmarks"]}
 for want in ("SolveCSC/cscring-3/w1", "SolveCSC/cscring-3/w4",
              "EquationDerivation/cscring-2/w1", "EquationDerivation/cscring-2/w4"):
     assert want in names, f"{want} missing from {sorted(names)}"
-print(f"bench smoke: {len(rec['benchmarks'])} benchmarks parsed OK")
+snap = rec["metrics_snapshots"]["vme-read"]
+for counter in ("reach.states", "encoding.candidates", "logic.signals"):
+    assert snap["counters"].get(counter, 0) > 0, f"{counter} zero in snapshot"
+print(f"bench smoke: {len(rec['benchmarks'])} benchmarks parsed OK, "
+      f"{len(snap['counters'])} counters merged")
 EOF
     exit 0
 fi
 
 out=${OUT:-BENCH_synth.json}
 go test -run '^$' -bench "$BENCHES" -benchtime="${BENCHTIME:-1s}" -benchmem . \
-    | go run ./cmd/report -bench-json > "$out"
+    | go run ./cmd/report -bench-json -merge-metrics "$snap" > "$out"
 echo "wrote $out"

@@ -16,7 +16,7 @@ go build ./...
 # -timeout 30s per test binary: a hang in a budget/cancellation path must
 # fail the gate, not wedge it.
 go test -timeout 30s ./...
-go test -timeout 30s -race ./internal/reach/... ./internal/stubborn/... ./internal/shardset/...
+go test -timeout 30s -race ./internal/reach/... ./internal/stubborn/... ./internal/shardset/... ./internal/obs/...
 # Fault-injection harness under the race detector: cancel/limit/panic
 # faults at every named check site must produce typed errors with no
 # hangs, crashes or goroutine leaks.
@@ -30,6 +30,28 @@ go test -fuzz=FuzzSTGParse -fuzztime=5s -run '^$' ./internal/stg/
 # Parallel synthesis determinism under the race detector: identical
 # solutions, functions and netlists at every worker count.
 go test -timeout 60s -race -run 'Deterministic|MatchesSequential|TieBreak|CSCError' ./internal/encoding/ ./internal/logic/
+# Observability gate: instrumented runs of cmd/synth and cmd/reach on the
+# VME example must export a metrics snapshot with non-zero counters for the
+# instrumented engines and a well-formed flow → phase → engine trace. The
+# artifacts are validated by the TestExternalArtifacts hook in internal/obs.
+obsdir=$(mktemp -d /tmp/obs_gate.XXXXXX)
+trap 'rm -rf "$obsdir"' EXIT
+go run ./cmd/synth -metrics "$obsdir/synth.metrics.json" \
+    -trace-json "$obsdir/synth.trace.json" testdata/vme-read.g > /dev/null
+OBS_METRICS_FILE="$obsdir/synth.metrics.json" \
+OBS_TRACE_FILE="$obsdir/synth.trace.json" \
+OBS_REQUIRE_HIERARCHY=1 \
+OBS_REQUIRE_COUNTERS=reach.states,reach.arcs,encoding.candidates,logic.signals,logic.cover_literals \
+    go test -timeout 30s -run TestExternalArtifacts -count=1 ./internal/obs/
+# cmd/reach covers the engines a successful synthesis flow never runs
+# (symbolic, unfolding, stubborn sets) plus the BDD kernel counters.
+go run ./cmd/reach -metrics "$obsdir/reach.metrics.json" \
+    -trace-json "$obsdir/reach.trace.json" testdata/vme-read-write.g > /dev/null
+OBS_METRICS_FILE="$obsdir/reach.metrics.json" \
+OBS_TRACE_FILE="$obsdir/reach.trace.json" \
+OBS_REQUIRE_HIERARCHY=1 \
+OBS_REQUIRE_COUNTERS=reach.states,symbolic.iterations,bdd.cache_lookups,unfold.events,stubborn.states \
+    go test -timeout 30s -run TestExternalArtifacts -count=1 ./internal/obs/
 # Benchmark trajectory harness smoke: one iteration of the suite, parsed
 # through cmd/report -bench-json into a validated throwaway record.
 scripts/bench.sh -smoke
