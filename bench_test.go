@@ -11,7 +11,12 @@ package repro
 // engines stay polynomial.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
 	"testing"
 
 	"repro/internal/boolmin"
@@ -23,6 +28,7 @@ import (
 	"repro/internal/petri"
 	"repro/internal/reach"
 	"repro/internal/regions"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stg"
 	"repro/internal/structural"
@@ -474,6 +480,55 @@ func BenchmarkFullFlow(b *testing.B) {
 			})
 		}
 	}
+}
+
+// E-SERVE — service-layer latency through the full HTTP/JSON path: a cold
+// synthesize runs the engines on every request (cache disabled), a cached
+// one replays the content-addressed result. The gap is the price of the
+// flow itself versus the daemon overhead (routing, JSON, cache lookup).
+func BenchmarkServeSynthesize(b *testing.B) {
+	spec, err := os.ReadFile("testdata/vme-read.g")
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{"spec": string(spec)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func(b *testing.B, url string, wantCached bool) {
+		resp, err := http.Post(url+"/v1/synthesize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out serve.Response
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK || out.Status != "done" {
+			b.Fatalf("synthesize: %d %q %q (%v)", resp.StatusCode, out.Status, out.Error, err)
+		}
+		if out.Cached != wantCached {
+			b.Fatalf("cached = %v, want %v", out.Cached, wantCached)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		srv := serve.New(serve.Config{CacheEntries: -1}) // cache disabled
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.URL, false)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		srv := serve.New(serve.Config{})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		post(b, ts.URL, false) // prime the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.URL, true)
+		}
+	})
 }
 
 // E-CONF — STG-level trace conformance (implementation verification, §2.1).

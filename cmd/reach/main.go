@@ -85,11 +85,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (err error) {
 	if err := ins.Start(); err != nil {
 		return err
 	}
-	defer func() {
-		if ferr := ins.Finish(stdout); ferr != nil && err == nil {
-			err = ferr
-		}
-	}()
+	// Export on every exit path — budget aborts AND panics; see cmd/synth
+	// for the defer-ordering contract with cli.Recover.
+	defer cli.Recover(&err)
+	defer ins.FinishTo(stdout, stderr, &err)
 	// Every engine parents under one flow:reach → phase:analysis chain so
 	// exported traces validate against the span hierarchy.
 	flow := ins.Registry.Root("flow:reach")

@@ -1,0 +1,126 @@
+// Command serve runs the synthesis flow as an HTTP/JSON daemon: parse,
+// analysis, synthesis and verification as bounded, cancellable jobs behind
+// a content-addressed result cache.
+//
+// Usage:
+//
+//	serve [-addr HOST:PORT] [-workers N] [-queue N]
+//	      [-cache-entries N] [-cache-bytes N] [-async-threshold N]
+//	      [-job-timeout D] [-drain D]
+//	      [-metrics FILE] [-trace-json FILE] [-cpuprofile FILE] [-memprofile FILE]
+//
+// Endpoints (see internal/serve): POST /v1/parse, /v1/analyze,
+// /v1/synthesize, /v1/verify; GET /v1/jobs/{id}; DELETE /v1/jobs/{id};
+// GET /metrics.
+//
+// The daemon prints "serve: listening on http://ADDR" once ready (use
+// -addr 127.0.0.1:0 to pick a free port) and drains gracefully on SIGINT
+// or SIGTERM: new requests are rejected, in-flight jobs get -drain time to
+// finish, then outstanding jobs are canceled through their budgets.
+//
+// -metrics and -trace-json export the aggregated server registry on exit;
+// usage errors exit 2, runtime errors exit 1 (shared cli conventions).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/serve"
+)
+
+func main() {
+	cli.Exit("serve", run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run starts the daemon and blocks until a signal or a server error. ready,
+// when non-nil, receives the bound listen address once the daemon accepts
+// connections (used by the e2e tests; main passes nil and watches stdout).
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) (err error) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8372", "listen address (use :0 for a free port)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "job worker-pool size")
+	queue := fs.Int("queue", 64, "job queue depth; a full queue rejects with 503")
+	cacheEntries := fs.Int("cache-entries", 256, "result-cache entry bound (negative disables the cache)")
+	cacheBytes := fs.Int64("cache-bytes", 64<<20, "result-cache byte bound")
+	asyncThreshold := fs.Int("async-threshold", 256, "transition count above which requests default to async job handles")
+	jobTimeout := fs.Duration("job-timeout", 0, "wall-clock ceiling per job (0 = none)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+	var ins cli.Instrumentation
+	ins.AddFlags(fs)
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintln(stderr, "serve: unexpected argument", fs.Arg(0))
+		return cli.Usage{Err: errors.New("unexpected argument")}
+	}
+	if err := ins.Start(); err != nil {
+		return err
+	}
+	// Same exit-path contract as the batch tools: artifacts export on every
+	// exit, panics become typed runtime errors (status 1), see cmd/synth.
+	defer cli.Recover(&err)
+	defer ins.FinishTo(stdout, stderr, &err)
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		Queue:          *queue,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		AsyncThreshold: *asyncThreshold,
+		JobTimeout:     *jobTimeout,
+		Registry:       ins.Registry, // nil without -metrics/-trace-json: serve makes its own
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "serve: listening on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-errc:
+		return err
+	case got := <-sig:
+		fmt.Fprintf(stdout, "serve: %v, draining (deadline %v)\n", got, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		// Stop accepting and finish in-flight handlers first (they block on
+		// their jobs, which the still-running worker pool completes), then
+		// drain the queued async jobs.
+		herr := hs.Shutdown(ctx)
+		serr := srv.Shutdown(ctx)
+		if herr != nil {
+			return herr
+		}
+		if serr != nil {
+			return fmt.Errorf("serve: drain deadline exceeded, outstanding jobs canceled: %w", serr)
+		}
+		fmt.Fprintln(stdout, "serve: drained")
+		return nil
+	}
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// syncBuffer serializes writes from the daemon goroutine against reads
+// from the test.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestDaemonSmokeAndGracefulShutdown is the cmd-level gate verify.sh runs:
+// boot the daemon on a free port, synthesize the VME spec cold and cached,
+// validate /metrics through the obs snapshot schema, then SIGINT and
+// assert a clean drain with exit status 0 (err == nil).
+func TestDaemonSmokeAndGracefulShutdown(t *testing.T) {
+	spec, err := os.ReadFile("../../testdata/vme-read.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := &syncBuffer{}
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-drain", "30s"}, out, out, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited before listening: %v\n%s", err, out)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+	if !strings.Contains(out.String(), "serve: listening on http://") {
+		t.Fatalf("missing listen banner:\n%s", out)
+	}
+
+	body, err := json.Marshal(map[string]any{"spec": string(spec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() (int, map[string]any) {
+		resp, err := http.Post(base+"/v1/synthesize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var decoded map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, decoded
+	}
+	code, cold := post()
+	if code != http.StatusOK || cold["status"] != "done" {
+		t.Fatalf("cold synthesize: %d %v", code, cold)
+	}
+	code, warm := post()
+	if code != http.StatusOK || warm["cached"] != true {
+		t.Fatalf("warm synthesize not cached: %d %v", code, warm)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.ParseSnapshot(data)
+	if err != nil {
+		t.Fatalf("/metrics does not parse as an obs snapshot: %v", err)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("/metrics snapshot invalid: %v", err)
+	}
+	for _, c := range []string{"serve.requests", "serve.engine_runs", "serve.cache_hits", "reach.states"} {
+		if snap.Counters[c] <= 0 {
+			t.Fatalf("counter %q missing or zero: %v", c, snap.Counters)
+		}
+	}
+	if snap.Counters["serve.engine_runs"] != 1 {
+		t.Fatalf("engine_runs = %d, want 1 (cache hit must skip the engines)", snap.Counters["serve.engine_runs"])
+	}
+
+	// The daemon installed its own SIGINT handler, so signaling our own
+	// process exercises the real drain path.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain exit: %v\n%s", err, out)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never drained after SIGINT")
+	}
+	if !strings.Contains(out.String(), "serve: drained") {
+		t.Fatalf("missing drain confirmation:\n%s", out)
+	}
+}

@@ -102,13 +102,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (err error) {
 	if err := ins.Start(); err != nil {
 		return err
 	}
-	// Export on every exit path: a budget-aborted run still dumps its
-	// metrics, trace and profiles.
-	defer func() {
-		if ferr := ins.Finish(stdout); ferr != nil && err == nil {
-			err = ferr
-		}
-	}()
+	// Export on every exit path — budget aborts AND panics: Recover runs
+	// after the deferred export (defers are LIFO), so artifacts flush while
+	// the panic unwinds and the panic then surfaces as a typed runtime error
+	// (exit 1) instead of crashing the process. Export failures fold into
+	// the exit code, or onto stderr when the run already failed.
+	defer cli.Recover(&err)
+	defer ins.FinishTo(stdout, stderr, &err)
 
 	var rep *core.Report
 	if *method == "reduce" {

@@ -8,6 +8,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
+
+	"repro/internal/budget"
 )
 
 // Usage marks a flag-parse or usage error so Exit maps it to status 2. The
@@ -27,6 +30,19 @@ func Parse(fs *flag.FlagSet, args []string) error {
 		return Usage{Err: err}
 	}
 	return nil
+}
+
+// Recover converts a panic on the calling goroutine into a typed
+// *budget.ErrInternal stored in *errp, so a panicking run exits through the
+// normal runtime-error path (status 1, artifacts exported) instead of
+// crashing the process with Go's panic status. Use as `defer cli.Recover(&err)`
+// and register it BEFORE the instrumentation-export defer: defers run in
+// LIFO order, so the export flushes while the panic unwinds and the recovery
+// runs last — catching export panics too.
+func Recover(errp *error) {
+	if v := recover(); v != nil {
+		*errp = budget.Internal(v, debug.Stack())
+	}
 }
 
 // Exit terminates the process with the conventional status for err: 0 for

@@ -101,6 +101,24 @@ func (ins *Instrumentation) Finish(stdout io.Writer) error {
 	return first
 }
 
+// FinishTo writes every artifact like Finish and folds the outcome into
+// *errp: the export error becomes the run's error when the run itself
+// succeeded, and is reported on stderr when the run already failed — a bad
+// -metrics path or a failed flush is never silently dropped. Designed for
+// `defer ins.FinishTo(stdout, stderr, &err)` on a named return, paired with
+// cli.Recover so panic exits still export.
+func (ins *Instrumentation) FinishTo(stdout, stderr io.Writer, errp *error) {
+	ferr := ins.Finish(stdout)
+	if ferr == nil {
+		return
+	}
+	if *errp == nil {
+		*errp = ferr
+		return
+	}
+	fmt.Fprintln(stderr, "instrumentation export:", ferr)
+}
+
 func (ins *Instrumentation) export(path string, stdout io.Writer, write func(io.Writer) error) error {
 	if path == "-" {
 		return write(stdout)

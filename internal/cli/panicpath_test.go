@@ -1,0 +1,136 @@
+package cli
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/stg"
+)
+
+func loadVME(t *testing.T) *stg.STG {
+	t.Helper()
+	f, err := os.Open("../../testdata/vme-read.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := stg.ParseG(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestArtifactsOnPanicExit is the faultinject panic-site regression test for
+// the CLI artifact-export exit paths (cmd/synth, cmd/reach, and the per-job
+// runner of cmd/serve use the same Recover + FinishTo pairing): a panic at a
+// coordinator budget-check site must still export -metrics and -trace-json,
+// and must surface as a typed *budget.ErrInternal — the runtime-error exit —
+// instead of crashing the process with Go's panic status.
+func TestArtifactsOnPanicExit(t *testing.T) {
+	dir := t.TempDir()
+	var ins Instrumentation
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	ins.AddFlags(fs)
+	if err := fs.Parse([]string{"-metrics", dir + "/m.json", "-trace-json", dir + "/t.json"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "core.encoding" is checked on the coordinator goroutine, so the
+	// injected panic propagates to the caller by design (worker sites
+	// recover into ErrInternal inside the pools instead).
+	inj, bgt := faultinject.New(faultinject.Plan{Mode: faultinject.Panic, N: 1, Site: "core.encoding"})
+	defer inj.Release()
+
+	g := loadVME(t)
+	var out, errOut bytes.Buffer
+	run := func() (err error) {
+		defer Recover(&err)
+		defer ins.FinishTo(&out, &errOut, &err)
+		_, err = core.Synthesize(g, core.Options{Budget: bgt, Obs: ins.Registry})
+		return err
+	}
+	err := run()
+	if !inj.Fired() {
+		t.Fatal("injection never fired: the panic site was not reached")
+	}
+	var ie *budget.ErrInternal
+	if !errors.As(err, &ie) {
+		t.Fatalf("panic exit returned %v (%T), want *budget.ErrInternal", err, err)
+	}
+	if !strings.Contains(ie.Error(), "faultinject: injected panic") {
+		t.Fatalf("recovered panic value lost: %v", ie)
+	}
+	if len(ie.Stack) == 0 {
+		t.Fatal("recovered panic carries no stack")
+	}
+
+	// Both artifacts must exist and validate despite the panic exit.
+	data, err := os.ReadFile(dir + "/m.json")
+	if err != nil {
+		t.Fatalf("metrics artifact lost on panic exit: %v", err)
+	}
+	snap, err := obs.ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["reach.states"] <= 0 {
+		t.Fatalf("pre-panic engine counters lost: %v", snap.Counters)
+	}
+	trace, err := os.ReadFile(dir + "/t.json")
+	if err != nil {
+		t.Fatalf("trace artifact lost on panic exit: %v", err)
+	}
+	if err := obs.ValidateTraceJSON(trace); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFinishToNeverDropsExportErrors: when the run already failed, an export
+// failure must land on stderr rather than vanish; when the run succeeded, it
+// must become the run's error.
+func TestFinishToNeverDropsExportErrors(t *testing.T) {
+	newIns := func(t *testing.T) *Instrumentation {
+		var ins Instrumentation
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		ins.AddFlags(fs)
+		if err := fs.Parse([]string{"-metrics", t.TempDir() + "/no/such/dir/m.json"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ins.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return &ins
+	}
+
+	ins := newIns(t)
+	var out, errOut bytes.Buffer
+	var err error
+	ins.FinishTo(&out, &errOut, &err)
+	if err == nil {
+		t.Fatal("export failure on a successful run must become the run error")
+	}
+
+	ins = newIns(t)
+	errOut.Reset()
+	runErr := errors.New("the run failed first")
+	err = runErr
+	ins.FinishTo(&out, &errOut, &err)
+	if err != runErr {
+		t.Fatalf("run error was replaced by export error: %v", err)
+	}
+	if !strings.Contains(errOut.String(), "instrumentation export:") {
+		t.Fatalf("export failure silently dropped, stderr: %q", errOut.String())
+	}
+}

@@ -72,11 +72,16 @@ func (r *Registry) Snapshot() *Snapshot {
 			hs := HistogramSnapshot{
 				Buckets: append([]int64(nil), h.bounds...),
 				Counts:  make([]int64, len(h.counts)),
-				Count:   h.n.Load(),
 				Sum:     h.sum.Load(),
 			}
+			// Observe bumps each bucket and the total as independent atomics,
+			// so a snapshot racing with writers could load a total that
+			// disagrees with the buckets. Deriving Count from the loaded
+			// buckets keeps every snapshot internally consistent
+			// (count == sum of bucket counts) by construction.
 			for i := range h.counts {
 				hs.Counts[i] = h.counts[i].Load()
+				hs.Count += hs.Counts[i]
 			}
 			snap.Histograms[name] = hs
 		}
@@ -126,6 +131,51 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		return nil
 	}
 	return r.Snapshot().WriteJSON(w)
+}
+
+// Merge folds a snapshot's instruments into the registry: counters are
+// added, gauges raised to the snapshot value when larger, and histograms
+// merged bucket-for-bucket when the bounds agree (shape mismatches skip that
+// histogram rather than corrupt the aggregate). Spans are not merged, so
+// short-lived per-request registries can fold into a long-running aggregate
+// registry without unbounded span growth. Nil receiver or snapshot is a
+// no-op.
+func (r *Registry) Merge(s *Snapshot) {
+	if r == nil || s == nil {
+		return
+	}
+	for name, v := range s.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Max(v)
+	}
+	for name, hs := range s.Histograms {
+		if len(hs.Counts) != len(hs.Buckets)+1 {
+			continue
+		}
+		h := r.Histogram(name, hs.Buckets...)
+		if !sameBounds(h.bounds, hs.Buckets) {
+			continue
+		}
+		for i, c := range hs.Counts {
+			h.counts[i].Add(c)
+		}
+		h.sum.Add(hs.Sum)
+		h.n.Add(hs.Count)
+	}
+}
+
+func sameBounds(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // traceEvent is one Chrome trace_event entry.
@@ -233,6 +283,19 @@ func (s *Snapshot) Validate() error {
 		}
 		if !sort.SliceIsSorted(h.Buckets, func(i, j int) bool { return h.Buckets[i] < h.Buckets[j] }) {
 			return fmt.Errorf("obs: histogram %q buckets not ascending", name)
+		}
+		var total int64
+		for _, c := range h.Counts {
+			if c < 0 {
+				return fmt.Errorf("obs: histogram %q has a negative bucket count", name)
+			}
+			total += c
+		}
+		// Registry.Snapshot derives Count from the bucket counts it loaded,
+		// so a healthy export satisfies this exactly, even when the snapshot
+		// raced with concurrent Observe calls.
+		if h.Count != total {
+			return fmt.Errorf("obs: histogram %q count %d != bucket sum %d", name, h.Count, total)
 		}
 	}
 	return nil

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is the content-addressed result store: key → serialized result
+// bytes, evicted least-recently-used when either the entry count or the
+// total byte size exceeds its bounds. Values are immutable once inserted
+// (callers must not mutate the returned slice), which is what makes cache
+// hits byte-identical replays of the cold result.
+type cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front = most recently used
+	index      map[string]*list.Element
+	evictions  int64
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// newCache returns a cache bounded by maxEntries and maxBytes. Either
+// bound ≤ 0 disables the cache entirely (every get misses, puts drop).
+func newCache(maxEntries int, maxBytes int64) *cache {
+	return &cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		index:      make(map[string]*list.Element),
+	}
+}
+
+func (c *cache) enabled() bool { return c.maxEntries > 0 && c.maxBytes > 0 }
+
+// get returns the stored bytes for key and marks the entry most recently
+// used.
+func (c *cache) get(key string) ([]byte, bool) {
+	if !c.enabled() {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// put inserts data under key, evicting from the LRU end until both bounds
+// hold. An entry larger than maxBytes on its own is not stored.
+func (c *cache) put(key string, data []byte) {
+	if !c.enabled() || int64(len(data)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		// Same content address ⇒ same bytes; just refresh recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.index[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+	c.bytes += int64(len(data))
+	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		last := c.ll.Back()
+		if last == nil {
+			break
+		}
+		e := last.Value.(*cacheEntry)
+		c.ll.Remove(last)
+		delete(c.index, e.key)
+		c.bytes -= int64(len(e.data))
+		c.evictions++
+	}
+}
+
+// stats reports the current entry count, byte size and lifetime evictions.
+func (c *cache) stats() (entries int, bytes, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.bytes, c.evictions
+}

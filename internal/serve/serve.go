@@ -1,0 +1,481 @@
+// Package serve is the synthesis-as-a-service layer behind cmd/serve: an
+// HTTP/JSON daemon that runs the paper's flow (parse → analysis → encoding
+// → logic → verification) as bounded, cancellable, panic-contained jobs.
+//
+// Endpoints:
+//
+//	POST   /v1/parse       parse a .g spec, report structure + content hash
+//	POST   /v1/analyze     state graph + implementability suite
+//	POST   /v1/synthesize  full synthesis flow (core.Synthesize)
+//	POST   /v1/verify      compose an .eqn netlist against the spec mirror
+//	GET    /v1/jobs/{id}   poll an async job
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /metrics        aggregated obs snapshot (JSON)
+//
+// Requests are deduplicated by content address — SHA-256 over the
+// canonical .g form (stg.CanonicalHash) plus a canonical encoding of the
+// result-shaping options — through an LRU result cache and a singleflight
+// table: concurrent identical requests share one engine run, repeated ones
+// replay the stored bytes without touching the engines at all.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/logic"
+	"repro/internal/obs"
+	"repro/internal/stg"
+)
+
+// Config sizes the daemon. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the job worker-pool size (default GOMAXPROCS).
+	Workers int
+	// Queue is the job queue depth; a full queue rejects with 503
+	// (default 64).
+	Queue int
+	// CacheEntries and CacheBytes bound the result cache (defaults 256
+	// entries, 64 MiB). Setting either negative disables caching.
+	CacheEntries int
+	CacheBytes   int64
+	// AsyncThreshold is the transition count above which a request with no
+	// explicit "async" field returns a job handle instead of blocking
+	// (default 256).
+	AsyncThreshold int
+	// JobTimeout is a wall-clock ceiling applied to every job on top of
+	// the per-request timeout_ms (default none).
+	JobTimeout time.Duration
+	// JobHistory bounds how many finished jobs stay pollable (default 1024).
+	JobHistory int
+	// Registry receives the aggregated server metrics; a fresh registry is
+	// created when nil.
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.AsyncThreshold <= 0 {
+		c.AsyncThreshold = 256
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 1024
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is the daemon state: worker pool, job table, result cache and
+// metrics registry. Create with New, serve via Handler, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	cache *cache
+	mux   *http.ServeMux
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // job creation order, for history eviction
+	flight map[string]*job
+	queue  chan *job
+	closed bool
+	seq    int
+
+	wg    sync.WaitGroup
+	depth atomic.Int64
+
+	requests, cacheHits, cacheMisses, cacheEvictions *obs.Counter
+	engineRuns, sharedFlights                        *obs.Counter
+	jobsDone, jobsFailed, jobsCanceled               *obs.Counter
+	queueDepth, cacheEntries, cacheBytes             *obs.Gauge
+	latency                                          *obs.Histogram
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		reg:    cfg.Registry,
+		cache:  newCache(cfg.CacheEntries, cfg.CacheBytes),
+		jobs:   make(map[string]*job),
+		flight: make(map[string]*job),
+		queue:  make(chan *job, cfg.Queue),
+	}
+	s.requests = s.reg.Counter("serve.requests")
+	s.cacheHits = s.reg.Counter("serve.cache_hits")
+	s.cacheMisses = s.reg.Counter("serve.cache_misses")
+	s.cacheEvictions = s.reg.Counter("serve.cache_evictions")
+	s.engineRuns = s.reg.Counter("serve.engine_runs")
+	s.sharedFlights = s.reg.Counter("serve.singleflight_shared")
+	s.jobsDone = s.reg.Counter("serve.jobs_done")
+	s.jobsFailed = s.reg.Counter("serve.jobs_failed")
+	s.jobsCanceled = s.reg.Counter("serve.jobs_canceled")
+	s.queueDepth = s.reg.Gauge("serve.queue_depth")
+	s.cacheEntries = s.reg.Gauge("serve.cache_entries")
+	s.cacheBytes = s.reg.Gauge("serve.cache_bytes")
+	s.latency = s.reg.Histogram("serve.latency_us", obs.Pow2Buckets(30)...)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/parse", s.handleParse)
+	s.mux.HandleFunc("POST /v1/analyze", s.handleRun("analyze"))
+	s.mux.HandleFunc("POST /v1/synthesize", s.handleRun("synthesize"))
+	s.mux.HandleFunc("POST /v1/verify", s.handleRun("verify"))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the daemon: new jobs are rejected with 503, queued and
+// running jobs finish normally. When ctx expires first, every live job is
+// canceled (it finishes through the normal budget-cancellation path) and
+// Shutdown still waits for the workers before returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.cancel()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// cacheKey is the content address of a request: the kind, the canonical
+// spec hash, and only the options that shape the result. Budget bounds,
+// timeouts, worker counts and the fallback switch are excluded — parallel
+// runs are bit-identical by construction, and only complete (non-degraded)
+// results are ever stored, so any budget that produces a cacheable result
+// produces this one.
+func cacheKey(kind, specHash, implHash string, o ReqOptions) string {
+	style := o.Style
+	if style == "" {
+		style = "complex"
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|v1|%s|%s|style=%s|fanin=%d|verify=%t",
+		kind, specHash, implHash, style, o.MaxFanIn, !o.SkipVerify)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// implHash is the content address of a parsed .eqn netlist: its canonical
+// equations rendering.
+func implHash(nl *logic.Netlist) string {
+	sum := sha256.Sum256([]byte(nl.Equations()))
+	return hex.EncodeToString(sum[:])
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // the response is already committed; nothing to do on error
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, &Response{Status: "failed", Error: fmt.Sprintf(format, args...)})
+}
+
+// decode parses and validates the request body far enough to reject
+// malformed input with 400 before any job is created.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, kind string) (*Request, *stg.STG, *logic.Netlist, bool) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return nil, nil, nil, false
+	}
+	if strings.TrimSpace(req.Spec) == "" {
+		writeError(w, http.StatusBadRequest, "bad request: empty spec")
+		return nil, nil, nil, false
+	}
+	if _, err := req.Options.style(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return nil, nil, nil, false
+	}
+	g, err := stg.ParseG(strings.NewReader(req.Spec))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return nil, nil, nil, false
+	}
+	var nl *logic.Netlist
+	if kind == "verify" {
+		if strings.TrimSpace(req.Impl) == "" {
+			writeError(w, http.StatusBadRequest, "bad request: verify needs an impl (.eqn) field")
+			return nil, nil, nil, false
+		}
+		if nl, err = logic.ParseEquations(strings.NewReader(req.Impl)); err != nil {
+			writeError(w, http.StatusBadRequest, "bad impl: %v", err)
+			return nil, nil, nil, false
+		}
+	}
+	return &req, g, nl, true
+}
+
+// handleParse answers inline — parsing is too cheap to queue.
+func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	_, g, _, ok := s.decode(w, r, "parse")
+	if !ok {
+		return
+	}
+	hash, err := g.CanonicalHash()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	var canon strings.Builder
+	if err := g.WriteG(&canon); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	counts := map[string]int{}
+	for _, sig := range g.Signals {
+		counts[strings.ToLower(sig.Kind.String())]++
+	}
+	raw, err := json.Marshal(&ParseResult{
+		Kind:        "parse",
+		Name:        g.Name(),
+		Hash:        hash,
+		Signals:     counts,
+		Transitions: len(g.Net.Transitions),
+		Places:      len(g.Net.Places),
+		Canonical:   canon.String(),
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &Response{Status: "done", Result: raw})
+}
+
+// handleRun is the shared front end of /v1/analyze, /v1/synthesize and
+// /v1/verify: decode, cache lookup, singleflight attach, enqueue, then
+// either block (sync) or hand back a job handle (async).
+func (s *Server) handleRun(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Inc()
+		s.reg.Counter("serve.requests_" + kind).Inc()
+		req, g, nl, ok := s.decode(w, r, kind)
+		if !ok {
+			return
+		}
+		specHash, err := g.CanonicalHash()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+			return
+		}
+		ih := ""
+		if nl != nil {
+			ih = implHash(nl)
+		}
+		key := cacheKey(kind, specHash, ih, req.Options)
+		if data, ok := s.cache.get(key); ok {
+			s.cacheHits.Inc()
+			writeJSON(w, http.StatusOK, &Response{
+				Status: "done", Cached: true, Key: key, Result: data,
+			})
+			return
+		}
+		s.cacheMisses.Inc()
+
+		async := len(g.Net.Transitions) > s.cfg.AsyncThreshold
+		if req.Async != nil {
+			async = *req.Async
+		}
+
+		j, shared, err := s.admit(kind, key, req, g, nl)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		if shared {
+			s.sharedFlights.Inc()
+		}
+		if async {
+			writeJSON(w, http.StatusAccepted, j.snapshot())
+			return
+		}
+		select {
+		case <-j.done:
+			resp := j.snapshot()
+			writeJSON(w, resp.code, resp)
+		case <-r.Context().Done():
+			// Client gone; the job keeps running (other requests may share
+			// it, and its result is still cacheable).
+		}
+	}
+}
+
+// admit finds a running job with the same content address or creates and
+// enqueues a new one. It fails when the daemon is draining or the queue is
+// full.
+func (s *Server) admit(kind, key string, req *Request, g *stg.STG, nl *logic.Netlist) (*job, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, fmt.Errorf("serve: shutting down")
+	}
+	if f := s.flight[key]; f != nil {
+		return f, true, nil
+	}
+	s.seq++
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if t := s.jobTimeout(req.Options); t > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), t)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	j := &job{
+		id:     fmt.Sprintf("j%d", s.seq),
+		kind:   kind,
+		key:    key,
+		req:    req,
+		g:      g,
+		nl:     nl,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		status: "queued",
+	}
+	select {
+	case s.queue <- j:
+	default:
+		cancel()
+		return nil, false, fmt.Errorf("serve: queue full (%d jobs)", s.cfg.Queue)
+	}
+	s.queueDepth.Set(s.depth.Add(1))
+	s.jobs[j.id] = j
+	s.flight[key] = j
+	s.order = append(s.order, j.id)
+	s.evictHistoryLocked()
+	return j, false, nil
+}
+
+// jobTimeout combines the per-request timeout with the server ceiling.
+func (s *Server) jobTimeout(o ReqOptions) time.Duration {
+	t := time.Duration(o.TimeoutMS) * time.Millisecond
+	if s.cfg.JobTimeout > 0 && (t == 0 || s.cfg.JobTimeout < t) {
+		t = s.cfg.JobTimeout
+	}
+	return t
+}
+
+// evictHistoryLocked drops the oldest finished jobs beyond the history
+// bound. Live jobs are never dropped.
+func (s *Server) evictHistoryLocked() {
+	finished := func(j *job) bool {
+		select {
+		case <-j.done:
+			return true
+		default:
+			return false
+		}
+	}
+	for len(s.order) > s.cfg.JobHistory {
+		idx := -1
+		for i, id := range s.order {
+			if j := s.jobs[id]; j == nil || finished(j) {
+				delete(s.jobs, id)
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return // everything is still live; the queue bound caps this
+		}
+		s.order = append(s.order[:idx], s.order[idx+1:]...)
+	}
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	resp := j.snapshot()
+	code := http.StatusOK
+	if resp.Status == "failed" || resp.Status == "canceled" {
+		code = resp.code
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) syncCacheGauges() {
+	entries, bytes, evictions := s.cache.stats()
+	s.cacheEntries.Set(int64(entries))
+	s.cacheBytes.Set(bytes)
+	if d := evictions - s.cacheEvictions.Value(); d > 0 {
+		s.cacheEvictions.Add(d)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.syncCacheGauges()
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.WriteJSON(w)
+}

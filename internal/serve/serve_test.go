@@ -1,0 +1,473 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func vmeSpec(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile("../../testdata/vme-read.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// bigSpec builds n independent output toggles: 2^n reachable states, so a
+// job on it stays running long enough to cancel deterministically.
+func bigSpec(n int) string {
+	var b strings.Builder
+	b.WriteString(".model big\n.outputs")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, " s%d", i)
+	}
+	b.WriteString("\n.graph\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "s%d+ s%d-\ns%d- s%d+\n", i, i, i, i)
+	}
+	b.WriteString(".marking {")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, " <s%d-,s%d+>", i, i)
+	}
+	b.WriteString(" }\n.end\n")
+	return b.String()
+}
+
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	srv := serve.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (int, *serve.Response) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out serve.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, &out
+}
+
+func getJSON(t *testing.T, url string) (int, *serve.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out serve.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, &out
+}
+
+func doDelete(t *testing.T, url string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func metrics(t *testing.T, base string) *obs.Snapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.ParseSnapshot(data)
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	// The server registry is span-free by design (Registry.Merge folds only
+	// scalar instruments), so Validate — not ValidateHierarchy — applies.
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("/metrics snapshot invalid: %v", err)
+	}
+	if len(snap.Spans) != 0 {
+		t.Fatalf("server registry grew %d spans; per-job spans must not accumulate", len(snap.Spans))
+	}
+	return snap
+}
+
+// pollJob polls GET /v1/jobs/{id} until the job leaves queued/running.
+func pollJob(t *testing.T, base, id string) (int, *serve.Response) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		code, resp := getJSON(t, base+"/v1/jobs/"+id)
+		if resp.Status != "queued" && resp.Status != "running" {
+			return code, resp
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return 0, nil
+}
+
+type synthResult struct {
+	Kind         string `json:"kind"`
+	Hash         string `json:"hash"`
+	States       int    `json:"states"`
+	Equations    string `json:"equations"`
+	Gates        int    `json:"gates"`
+	Degraded     bool   `json:"degraded"`
+	Verification *struct {
+		OK bool `json:"ok"`
+	} `json:"verification"`
+}
+
+func decodeSynth(t *testing.T, resp *serve.Response) *synthResult {
+	t.Helper()
+	var res synthResult
+	if err := json.Unmarshal(resp.Result, &res); err != nil {
+		t.Fatalf("result payload: %v", err)
+	}
+	return &res
+}
+
+// TestSynthesizeSyncAndCacheHit is the core service round trip: a cold VME
+// synthesize runs the engines once; the identical request replays the
+// byte-identical result from the content-addressed cache without charging
+// another engine run.
+func TestSynthesizeSyncAndCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	body := map[string]any{"spec": vmeSpec(t)}
+
+	code, cold := postJSON(t, ts.URL+"/v1/synthesize", body)
+	if code != http.StatusOK || cold.Status != "done" {
+		t.Fatalf("cold: code %d status %q error %q", code, cold.Status, cold.Error)
+	}
+	if cold.Cached {
+		t.Fatal("cold run reported cached")
+	}
+	res := decodeSynth(t, cold)
+	if res.Equations == "" || res.Gates == 0 {
+		t.Fatalf("no netlist in result: %+v", res)
+	}
+	if res.Verification == nil || !res.Verification.OK {
+		t.Fatalf("verification missing or failed: %+v", res.Verification)
+	}
+	before := metrics(t, ts.URL)
+	if got := before.Counters["serve.engine_runs"]; got != 1 {
+		t.Fatalf("engine_runs after cold = %d, want 1", got)
+	}
+	// reach engine counters folded from the per-job registry prove the obs
+	// plumbing reaches /metrics.
+	if before.Counters["reach.states"] <= 0 {
+		t.Fatalf("per-job engine counters not merged: %v", before.Counters)
+	}
+
+	code, warm := postJSON(t, ts.URL+"/v1/synthesize", body)
+	if code != http.StatusOK || warm.Status != "done" || !warm.Cached {
+		t.Fatalf("warm: code %d status %q cached %v", code, warm.Status, warm.Cached)
+	}
+	if warm.Key != cold.Key {
+		t.Fatalf("content address changed: %q vs %q", warm.Key, cold.Key)
+	}
+	if !bytes.Equal(warm.Result, cold.Result) {
+		t.Fatalf("cache replay not byte-identical:\n%s\nvs\n%s", warm.Result, cold.Result)
+	}
+	after := metrics(t, ts.URL)
+	if got := after.Counters["serve.engine_runs"]; got != 1 {
+		t.Fatalf("cache hit charged an engine run: %d", got)
+	}
+	if after.Counters["reach.states"] != before.Counters["reach.states"] {
+		t.Fatal("cache hit advanced engine counters")
+	}
+	if after.Counters["serve.cache_hits"] != 1 || after.Counters["serve.cache_misses"] != 1 {
+		t.Fatalf("cache counters: %v", after.Counters)
+	}
+}
+
+// TestAsyncJobLifecycle drives the job-handle path: 202 with an id, polling
+// to completion, and a result identical to what the sync path returns.
+func TestAsyncJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	body := map[string]any{"spec": vmeSpec(t), "async": true}
+	code, acc := postJSON(t, ts.URL+"/v1/synthesize", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("async accept code = %d, want 202", code)
+	}
+	if acc.JobID == "" || (acc.Status != "queued" && acc.Status != "running") {
+		t.Fatalf("bad handle: %+v", acc)
+	}
+	code, final := pollJob(t, ts.URL, acc.JobID)
+	if code != http.StatusOK || final.Status != "done" {
+		t.Fatalf("final: code %d status %q error %q", code, final.Status, final.Error)
+	}
+	if res := decodeSynth(t, final); res.Equations == "" {
+		t.Fatal("async result has no equations")
+	}
+
+	if code, _ := getJSON(t, ts.URL+"/v1/jobs/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown job code = %d, want 404", code)
+	}
+}
+
+// TestBudgetExceeded: a sync run whose state budget trips fails with HTTP
+// 422 and carries the partial degradation-ladder attempts.
+func TestBudgetExceeded(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	body := map[string]any{"spec": vmeSpec(t), "options": map[string]any{"max_states": 4}}
+	code, resp := postJSON(t, ts.URL+"/v1/synthesize", body)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("code = %d, want 422 (resp %+v)", code, resp)
+	}
+	if resp.Status != "failed" || resp.ErrorKind != "budget" {
+		t.Fatalf("status %q kind %q", resp.Status, resp.ErrorKind)
+	}
+	if len(resp.Attempts) == 0 || !strings.Contains(resp.Attempts[0], "explicit") {
+		t.Fatalf("partial attempts missing: %v", resp.Attempts)
+	}
+
+	// With the fallback ladder the same budget yields a degraded-but-done
+	// analysis — which must NOT enter the content-addressed cache.
+	body["options"] = map[string]any{"max_states": 4, "fallback": true}
+	code, resp = postJSON(t, ts.URL+"/v1/synthesize", body)
+	if code != http.StatusOK || resp.Status != "done" {
+		t.Fatalf("fallback: code %d status %q error %q", code, resp.Status, resp.Error)
+	}
+	if res := decodeSynth(t, resp); !res.Degraded {
+		t.Fatalf("expected degraded result: %s", resp.Result)
+	}
+	code, again := postJSON(t, ts.URL+"/v1/synthesize", body)
+	if code != http.StatusOK || again.Cached {
+		t.Fatalf("degraded result was cached: code %d cached %v", code, again.Cached)
+	}
+}
+
+// TestCancellation covers both cancel paths: a queued job canceled before a
+// worker picks it up, and a running job canceled mid-analysis through its
+// budget context.
+func TestCancellation(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 1, Queue: 8})
+
+	// Occupy the single worker, then cancel a job that is still queued.
+	code, blocker := postJSON(t, ts.URL+"/v1/analyze",
+		map[string]any{"spec": bigSpec(20), "async": true})
+	if code != http.StatusAccepted {
+		t.Fatalf("blocker accept = %d", code)
+	}
+	code, queued := postJSON(t, ts.URL+"/v1/synthesize",
+		map[string]any{"spec": vmeSpec(t), "async": true})
+	if code != http.StatusAccepted {
+		t.Fatalf("queued accept = %d", code)
+	}
+	if code := doDelete(t, ts.URL+"/v1/jobs/"+queued.JobID); code != http.StatusOK {
+		t.Fatalf("cancel = %d", code)
+	}
+	// Cancel the running blocker mid-exploration (2^20 states is far more
+	// than it can reach before the DELETE lands).
+	if code := doDelete(t, ts.URL+"/v1/jobs/"+blocker.JobID); code != http.StatusOK {
+		t.Fatalf("cancel blocker = %d", code)
+	}
+	for _, id := range []string{queued.JobID, blocker.JobID} {
+		code, final := pollJob(t, ts.URL, id)
+		if final.Status != "canceled" || code != http.StatusConflict {
+			t.Fatalf("job %s: status %q code %d (error %q)", id, final.Status, code, final.Error)
+		}
+	}
+	snap := metrics(t, ts.URL)
+	if snap.Counters["serve.jobs_canceled"] != 2 {
+		t.Fatalf("jobs_canceled = %d, want 2", snap.Counters["serve.jobs_canceled"])
+	}
+}
+
+// TestSingleflight: concurrent identical requests share one engine run and
+// one job id.
+func TestSingleflight(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 1, Queue: 8})
+
+	// Hold the only worker so the shared job stays queued while both
+	// requests attach to it.
+	code, blocker := postJSON(t, ts.URL+"/v1/analyze",
+		map[string]any{"spec": bigSpec(20), "async": true})
+	if code != http.StatusAccepted {
+		t.Fatal("blocker not accepted")
+	}
+	body := map[string]any{"spec": vmeSpec(t), "async": true}
+	code, first := postJSON(t, ts.URL+"/v1/synthesize", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("first = %d", code)
+	}
+	var wg sync.WaitGroup
+	var second *serve.Response
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, second = postJSON(t, ts.URL+"/v1/synthesize", map[string]any{"spec": vmeSpec(t)})
+	}()
+	time.Sleep(100 * time.Millisecond) // let the sync request attach
+	doDelete(t, ts.URL+"/v1/jobs/"+blocker.JobID)
+	wg.Wait()
+	if second.Status != "done" || second.JobID != first.JobID {
+		t.Fatalf("concurrent request did not share the flight: first %q second %q (%s)",
+			first.JobID, second.JobID, second.Status)
+	}
+	snap := metrics(t, ts.URL)
+	if snap.Counters["serve.singleflight_shared"] < 1 {
+		t.Fatalf("singleflight never shared: %v", snap.Counters)
+	}
+	// blocker (1 run, canceled mid-flight) + shared vme job (1 run).
+	if got := snap.Counters["serve.engine_runs"]; got != 2 {
+		t.Fatalf("engine_runs = %d, want 2 (one shared run)", got)
+	}
+}
+
+// TestParseAnalyzeVerify covers the remaining endpoints end to end:
+// parse structure, analyze properties, and verify of a synthesized netlist
+// against its own spec.
+func TestParseAnalyzeVerify(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	spec := vmeSpec(t)
+
+	code, parsed := postJSON(t, ts.URL+"/v1/parse", map[string]any{"spec": spec})
+	if code != http.StatusOK || parsed.Status != "done" {
+		t.Fatalf("parse: %d %q", code, parsed.Status)
+	}
+	var pres struct {
+		Hash        string `json:"hash"`
+		Transitions int    `json:"transitions"`
+		Canonical   string `json:"canonical"`
+	}
+	if err := json.Unmarshal(parsed.Result, &pres); err != nil {
+		t.Fatal(err)
+	}
+	if len(pres.Hash) != 64 || pres.Transitions == 0 || pres.Canonical == "" {
+		t.Fatalf("parse result: %+v", pres)
+	}
+
+	code, analyzed := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"spec": spec})
+	if code != http.StatusOK || analyzed.Status != "done" {
+		t.Fatalf("analyze: %d %q %q", code, analyzed.Status, analyzed.Error)
+	}
+	var ares struct {
+		States     int `json:"states"`
+		Properties struct {
+			Consistent bool `json:"consistent"`
+			CSC        bool `json:"csc"`
+		} `json:"properties"`
+	}
+	if err := json.Unmarshal(analyzed.Result, &ares); err != nil {
+		t.Fatal(err)
+	}
+	if ares.States == 0 || !ares.Properties.Consistent {
+		t.Fatalf("analyze result: %+v", ares)
+	}
+
+	code, synth := postJSON(t, ts.URL+"/v1/synthesize", map[string]any{"spec": spec})
+	if code != http.StatusOK {
+		t.Fatalf("synthesize: %d", code)
+	}
+	eqs := decodeSynth(t, synth).Equations
+	code, verified := postJSON(t, ts.URL+"/v1/verify",
+		map[string]any{"spec": spec, "impl": eqs})
+	if code != http.StatusOK || verified.Status != "done" {
+		t.Fatalf("verify: %d %q %q", code, verified.Status, verified.Error)
+	}
+	var vres struct {
+		Verification struct {
+			OK     bool `json:"ok"`
+			States int  `json:"states"`
+		} `json:"verification"`
+	}
+	if err := json.Unmarshal(verified.Result, &vres); err != nil {
+		t.Fatal(err)
+	}
+	if !vres.Verification.OK || vres.Verification.States == 0 {
+		t.Fatalf("verify result: %+v", vres)
+	}
+
+	// Bad inputs are 400s, not jobs.
+	if code, _ := postJSON(t, ts.URL+"/v1/synthesize", map[string]any{"spec": "not a spec"}); code != http.StatusBadRequest {
+		t.Fatalf("bad spec = %d, want 400", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/verify", map[string]any{"spec": spec}); code != http.StatusBadRequest {
+		t.Fatalf("verify without impl = %d, want 400", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/synthesize",
+		map[string]any{"spec": spec, "options": map[string]any{"style": "bogus"}}); code != http.StatusBadRequest {
+		t.Fatalf("bad style = %d, want 400", code)
+	}
+}
+
+// TestQueueFullAndShutdown: a saturated queue rejects with 503; Shutdown
+// drains queued jobs and then rejects new work with 503.
+func TestQueueFullAndShutdown(t *testing.T) {
+	srv, ts := newTestServer(t, serve.Config{Workers: 1, Queue: 1})
+
+	code, blocker := postJSON(t, ts.URL+"/v1/analyze",
+		map[string]any{"spec": bigSpec(20), "async": true})
+	if code != http.StatusAccepted {
+		t.Fatal("blocker not accepted")
+	}
+	// Worker busy; one slot in the queue, then 503. Distinct specs dodge
+	// the singleflight table.
+	code, queued := postJSON(t, ts.URL+"/v1/synthesize", map[string]any{"spec": vmeSpec(t), "async": true})
+	if code != http.StatusAccepted {
+		t.Fatalf("queued = %d", code)
+	}
+	code, full := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"spec": bigSpec(3), "async": true})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("full queue = %d (%+v), want 503", code, full)
+	}
+
+	doDelete(t, ts.URL+"/v1/jobs/"+blocker.JobID)
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(t.Context()) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("shutdown never drained")
+	}
+	// The queued job was drained, not dropped.
+	if _, final := pollJob(t, ts.URL, queued.JobID); final.Status != "done" {
+		t.Fatalf("queued job after drain: %q (%q)", final.Status, final.Error)
+	}
+	// An uncached request after shutdown must be rejected (a cached one may
+	// still replay — the store stays valid while the HTTP server drains).
+	code, _ = postJSON(t, ts.URL+"/v1/analyze", map[string]any{"spec": bigSpec(5)})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown admit = %d, want 503", code)
+	}
+}

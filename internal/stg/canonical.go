@@ -1,0 +1,22 @@
+package stg
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// CanonicalHash returns the hex SHA-256 of the STG's canonical .g rendering
+// (WriteG). Two STGs whose canonical forms are byte-identical — in particular
+// any two parses of the same canonical output, regardless of line order or
+// textual noise in the original source — hash equally, which makes the hash
+// usable as a content-addressed cache key: the synthesis daemon keys memoized
+// results on it. Signal declaration order is semantically meaningful (it
+// fixes state-vector positions and synthesis tie-breaks) and therefore
+// contributes to the hash.
+func (g *STG) CanonicalHash() (string, error) {
+	h := sha256.New()
+	if err := g.WriteG(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

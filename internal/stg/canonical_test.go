@@ -1,0 +1,133 @@
+package stg
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustFixedPoint parses in, writes the canonical form, reparses and rewrites,
+// and requires the two renderings (and canonical hashes) to agree — the
+// cache-key contract of CanonicalHash.
+func mustFixedPoint(t *testing.T, in string) (*STG, string) {
+	t.Helper()
+	g, err := ParseG(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var first strings.Builder
+	if err := g.WriteG(&first); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	g2, err := ParseG(strings.NewReader(first.String()))
+	if err != nil {
+		t.Fatalf("own output rejected: %v\noutput:\n%s", err, first.String())
+	}
+	var second strings.Builder
+	if err := g2.WriteG(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("canonical form is not a fixed point:\n--- first\n%s--- second\n%s",
+			first.String(), second.String())
+	}
+	h1, err := g.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := g2.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("canonical hashes differ across a parse cycle: %s vs %s", h1, h2)
+	}
+	return g, h1
+}
+
+// The .dummy line used to be emitted in transition-creation order, which a
+// reparse of the (line-sorted) canonical form permutes — two parses of the
+// same net hashed differently.
+func TestCanonicalDummyOrder(t *testing.T) {
+	mustFixedPoint(t, ".model d\n.inputs a\n.dummy x y\n.graph\ny x\nx y\n.marking { <x,y> }\n.end\n")
+	// Same net with the graph lines (and thus transition creation order)
+	// reversed must hash identically.
+	_, h1 := mustFixedPoint(t, ".model d\n.inputs a\n.dummy x y\n.graph\ny x\nx y\n.marking { <x,y> }\n.end\n")
+	_, h2 := mustFixedPoint(t, ".model d\n.inputs a\n.dummy x y\n.graph\nx y\ny x\n.marking { <x,y> }\n.end\n")
+	if h1 != h2 {
+		t.Fatalf("transition order leaked into the canonical hash: %s vs %s", h1, h2)
+	}
+}
+
+// A multiply-marked implicit place renders as "<a,b>=2" in .marking; the
+// parser used to reject the count suffix on "<"-prefixed names, so WriteG
+// output was unparseable.
+func TestCanonicalImplicitMarkingCount(t *testing.T) {
+	g := New("m")
+	g.AddSignal("a", Input)
+	g.AddSignal("b", Output)
+	t1 := g.Rise("a")
+	t2 := g.Rise("b")
+	g.Net.Implicit(t1, t2, 2)
+	g.Net.Implicit(t2, t1, 0)
+	var b strings.Builder
+	if err := g.WriteG(&b); err != nil {
+		t.Fatal(err)
+	}
+	mustFixedPoint(t, b.String())
+}
+
+// A non-canonically-named implicit place (here "<x") between a+ and b+ is
+// written as a bare "a+ b+" arc, which reparses under the canonical name
+// "<a+,b+>". When a *different* place already bears that name, the reparse
+// used to merge the two places into one, silently changing the net.
+func TestCanonicalNameCollision(t *testing.T) {
+	in := ".model m\n.inputs a b c d e\n.graph\n" +
+		"a+ <x\n<x b+\n" +
+		"c+ <a+,b+>\ne+ <a+,b+>\n<a+,b+> d+\n" +
+		"b+ a+\nd+ c+\nd+ e+\n" +
+		".marking { <b+,a+> <d+,c+> <d+,e+> }\n.end\n"
+	g, _ := mustFixedPoint(t, in)
+	// The collision must not merge places: the net has the "<x" pair place,
+	// the 2-in/1-out "<a+,b+>" place, and the three marked implicit places.
+	np := len(g.Net.Places)
+	var first strings.Builder
+	if err := g.WriteG(&first); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseG(strings.NewReader(first.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Net.Places) != np {
+		t.Fatalf("reparse changed place count: %d -> %d\ncanonical:\n%s",
+			np, len(g2.Net.Places), first.String())
+	}
+}
+
+// CanonicalHash must be insensitive to textual noise (comments, blank lines,
+// line order) and sensitive to structural change (marking moved).
+func TestCanonicalHashStability(t *testing.T) {
+	a := ".model m\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a+\n.marking { <b+,a+> }\n.end\n"
+	b := "# a comment\n.model m\n.inputs a\n.outputs b\n\n.graph\nb+ a+\na+ b+\n.marking { <b+,a+> }\n.end\n"
+	c := ".model m\n.inputs a\n.outputs b\n.graph\na+ b+\nb+ a+\n.marking { <a+,b+> }\n.end\n"
+	hash := func(in string) string {
+		g, err := ParseG(strings.NewReader(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := g.CanonicalHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	if hash(a) != hash(b) {
+		t.Fatal("textual noise changed the canonical hash")
+	}
+	if hash(a) == hash(c) {
+		t.Fatal("moving the marking did not change the canonical hash")
+	}
+	if len(hash(a)) != 64 {
+		t.Fatalf("hash %q is not hex SHA-256", hash(a))
+	}
+}

@@ -215,7 +215,10 @@ func parseMarking(g *STG, placeIdx map[string]int, line string) error {
 	}
 	for _, tok := range toks {
 		count := 1
-		if i := strings.IndexByte(tok, '='); i >= 0 && !strings.HasPrefix(tok, "<") {
+		// A "=k" token-count suffix follows the place name, which may itself
+		// be an implicit "<a,b>" name — so only an '=' after the closing '>'
+		// (or any '=' in a bracketless name) is a count.
+		if i := strings.LastIndexByte(tok, '='); i >= 0 && i > strings.LastIndexByte(tok, '>') {
 			n, err := strconv.Atoi(tok[i+1:])
 			if err != nil {
 				return fmt.Errorf("stg: bad marking count in %q", tok)
@@ -258,6 +261,10 @@ func (g *STG) WriteG(w io.Writer) error {
 		}
 	}
 	if len(dummies) > 0 {
+		// Transition creation order is parse-order dependent (a reparse of
+		// the line-sorted canonical form permutes it), so the .dummy line
+		// must be sorted for the rendering to be canonical.
+		sort.Strings(dummies)
 		fmt.Fprintf(&b, ".dummy %s\n", strings.Join(dummies, " "))
 	}
 	b.WriteString(".graph\n")
@@ -286,13 +293,43 @@ func (g *STG) WriteG(w io.Writer) error {
 			firstOfPair[key] = p
 		}
 	}
-	implicit := func(p int) bool {
-		pl := g.Net.Places[p]
-		if len(pl.Pre) != 1 || len(pl.Post) != 1 || !strings.HasPrefix(pl.Name, "<") {
-			return false
+	winner := map[int]bool{}
+	for _, p := range firstOfPair {
+		if strings.HasPrefix(g.Net.Places[p].Name, "<") {
+			winner[p] = true
 		}
-		return firstOfPair[[2]int{pl.Pre[0], pl.Post[0]}] == p
 	}
+	// A bare "pre post" arc reparses under the canonical "<pre,post>" name,
+	// so a winner whose canonical name belongs to a different place that this
+	// rendering emits *by name* would merge with it on reparse. Demote such
+	// winners to explicit places. Only emitted names count — a place that is
+	// itself written as a bare arc, or dropped entirely (isolated and
+	// unmarked), does not collide — and demotion emits the winner's own name,
+	// which can trigger further collisions, so iterate to the (unique,
+	// order-independent) fixpoint of this monotone closure.
+	emitted := map[string]int{}
+	for p := range g.Net.Places {
+		pl := g.Net.Places[p]
+		if winner[p] || (len(pl.Pre) == 0 && len(pl.Post) == 0 && pl.Initial == 0) {
+			continue
+		}
+		emitted[pl.Name] = p
+	}
+	canonOf := func(p int) string {
+		pl := g.Net.Places[p]
+		return "<" + g.Net.Transitions[pl.Pre[0]].Name + "," + g.Net.Transitions[pl.Post[0]].Name + ">"
+	}
+	for changed := true; changed; {
+		changed = false
+		for p := range winner {
+			if q, taken := emitted[canonOf(p)]; taken && q != p {
+				delete(winner, p)
+				emitted[g.Net.Places[p].Name] = p
+				changed = true
+			}
+		}
+	}
+	implicit := func(p int) bool { return winner[p] }
 	var lines []string
 	for t := range g.Net.Transitions {
 		var dsts []string

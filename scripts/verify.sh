@@ -16,7 +16,7 @@ go build ./...
 # -timeout 30s per test binary: a hang in a budget/cancellation path must
 # fail the gate, not wedge it.
 go test -timeout 30s ./...
-go test -timeout 30s -race ./internal/reach/... ./internal/stubborn/... ./internal/shardset/... ./internal/obs/...
+go test -timeout 30s -race ./internal/reach/... ./internal/stubborn/... ./internal/shardset/... ./internal/obs/... ./internal/serve/...
 # Fault-injection harness under the race detector: cancel/limit/panic
 # faults at every named check site must produce typed errors with no
 # hangs, crashes or goroutine leaks.
@@ -52,6 +52,11 @@ OBS_TRACE_FILE="$obsdir/reach.trace.json" \
 OBS_REQUIRE_HIERARCHY=1 \
 OBS_REQUIRE_COUNTERS=reach.states,symbolic.iterations,bdd.cache_lookups,unfold.events,stubborn.states \
     go test -timeout 30s -run TestExternalArtifacts -count=1 ./internal/obs/
+# Daemon smoke gate under the race detector: boots cmd/serve on a free
+# port, synthesizes the VME spec cold and cached (the cache hit must not
+# charge an engine run), validates /metrics through obs.ParseSnapshot, and
+# drains cleanly on SIGINT.
+go test -timeout 120s -race -run TestDaemonSmokeAndGracefulShutdown -count=1 ./cmd/serve/
 # Benchmark trajectory harness smoke: one iteration of the suite, parsed
 # through cmd/report -bench-json into a validated throwaway record.
 scripts/bench.sh -smoke
