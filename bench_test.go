@@ -26,6 +26,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/logic"
 	"repro/internal/petri"
+	"repro/internal/prop"
 	"repro/internal/reach"
 	"repro/internal/regions"
 	"repro/internal/serve"
@@ -529,6 +530,43 @@ func BenchmarkServeSynthesize(b *testing.B) {
 			post(b, ts.URL, true)
 		}
 	})
+}
+
+// E-PROP — temporal-property checking: the Standard() implementability
+// suite re-derived through the general checker, explicit (with a worker
+// sweep) vs symbolic, on the paper's READ cycle and a concurrency-heavy
+// Muller pipeline.
+func BenchmarkPropCheck(b *testing.B) {
+	models := []struct {
+		name string
+		g    *stg.STG
+	}{
+		{"vme-read", vme.ReadSTG()},
+		{"muller-5", gen.MullerPipeline(5)},
+	}
+	props := prop.Standard()
+	for _, mdl := range models {
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/explicit/w%d", mdl.name, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rep, err := prop.Check(mdl.g, props, prop.Options{
+						Engine: prop.EngineExplicit, Workers: w,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(len(rep.Verdicts)), "props")
+				}
+			})
+		}
+		b.Run(mdl.name+"/symbolic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := prop.Check(mdl.g, props, prop.Options{Engine: prop.EngineSymbolic}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // E-CONF — STG-level trace conformance (implementation verification, §2.1).

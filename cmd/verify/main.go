@@ -1,27 +1,42 @@
-// Command verify performs implementation verification (Section 2.1):
+// Command verify performs implementation verification (Section 2.1) and
+// temporal-property checking:
 //
 //	verify -impl circuit.eqn spec.g          gate-level vs specification
 //	verify -conform impl.g spec.g            STG vs STG trace conformance
 //	verify -impl c.eqn -sep 'D-<LDS-' spec.g SI under relative timing
+//	verify -prop props.pr spec.g             named properties over the spec
 //
 // The gate-level check composes the netlist with the specification mirror
 // and reports hazards (semimodularity violations), conformance failures,
 // C-element drive fights and deadlocks. The STG check verifies safety and
 // receptiveness on the specification alphabet.
 //
+// The property check evaluates a file of `prop name : formula` lines (see
+// internal/prop for the grammar) against the spec's reachable state space:
+// -engine picks the explicit or symbolic (BDD) checker, -workers
+// parallelizes the explicit exploration, -timeout aborts long runs, and
+// violated invariants print a counterexample firing sequence with its
+// waveform. -metrics/-trace-json export observability artifacts as in the
+// other tools.
+//
 // Usage and flag errors go to stderr and exit with status 2; runtime errors
-// (including failed verification) exit with status 1.
+// (including failed verification and violated properties) exit with
+// status 1.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/budget"
 	"repro/internal/cli"
 	"repro/internal/logic"
+	"repro/internal/prop"
 	"repro/internal/sim"
 	"repro/internal/stg"
 )
@@ -68,13 +83,19 @@ func parseEvent(s string) (sim.EventRef, error) {
 	return sim.EventRef{Signal: s[:len(s)-1], Dir: dir}, nil
 }
 
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	implEqn := fs.String("impl", "", "gate-level implementation (.eqn)")
 	conform := fs.String("conform", "", "implementation STG (.g) for trace conformance")
+	propFile := fs.String("prop", "", "property file (prop name : formula lines) to check against the spec")
+	engine := fs.String("engine", "auto", "property engine: auto, explicit, symbolic")
+	workers := fs.Int("workers", 0, "parallel workers for the explicit property engine (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "abort property checking after this wall-clock duration (0 = none)")
 	var seps sepFlags
 	fs.Var(&seps, "sep", "relative timing assumption EARLIER<LATER (repeatable)")
+	var ins cli.Instrumentation
+	ins.AddFlags(fs)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -82,6 +103,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("spec: %w", err)
 	}
+	if err := ins.Start(); err != nil {
+		return err
+	}
+	defer cli.Recover(&err)
+	defer ins.FinishTo(stdout, stderr, &err)
 
 	switch {
 	case *implEqn != "":
@@ -128,9 +154,77 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			fmt.Fprintln(stdout, "violation:", v)
 		}
 		return fmt.Errorf("conformance failed with %d violation(s)", len(viol))
+	case *propFile != "":
+		return runProps(spec, *propFile, *engine, *workers, *timeout, &ins, stdout)
 	default:
-		return fmt.Errorf("one of -impl or -conform is required")
+		return cli.Usage{Err: fmt.Errorf("one of -impl, -conform or -prop is required")}
 	}
+}
+
+// runProps checks a property file against the spec and renders the
+// verdicts, with counterexample/witness traces as firing sequences plus
+// waveforms. Any violated property makes the command fail (exit status 1).
+func runProps(spec *stg.STG, path, engine string, workers int, timeout time.Duration, ins *cli.Instrumentation, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	props, err := prop.ParseFile(f)
+	if err != nil {
+		return err
+	}
+	if len(props) == 0 {
+		return fmt.Errorf("prop: %s declares no properties", path)
+	}
+	var eng prop.Engine
+	switch engine {
+	case "auto":
+		eng = prop.EngineAuto
+	case "explicit", "symbolic":
+		eng = prop.Engine(engine)
+	default:
+		return cli.Usage{Err: fmt.Errorf("unknown engine %q (want auto, explicit or symbolic)", engine)}
+	}
+	var bgt *budget.Budget
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		bgt = &budget.Budget{Ctx: ctx}
+	}
+	flow := ins.Registry.Root("flow:verify")
+	defer flow.End()
+	rep, cerr := prop.Check(spec, props, prop.Options{Engine: eng, Workers: workers, Budget: bgt, Obs: flow})
+	if rep == nil {
+		return cerr
+	}
+	for _, v := range rep.Verdicts {
+		fmt.Fprintf(stdout, "prop %s: %s\n", v.Property.Name, v.Status)
+		if v.Trace == nil {
+			continue
+		}
+		label := "counterexample"
+		if v.Status == prop.StatusHolds {
+			label = "witness"
+		}
+		ev := v.Trace.Events()
+		if ev == "" {
+			ev = "<initial state>"
+		}
+		fmt.Fprintf(stdout, "  %s: %s\n", label, ev)
+		for _, line := range strings.Split(strings.TrimRight(v.Trace.Waveform(), "\n"), "\n") {
+			fmt.Fprintf(stdout, "    %s\n", line)
+		}
+	}
+	fmt.Fprintf(stdout, "checked %d properties over %s states (%s engine)\n",
+		len(rep.Verdicts), rep.States, rep.Engine)
+	if cerr != nil {
+		return cerr
+	}
+	if n := rep.Violations(); n > 0 {
+		return fmt.Errorf("%d of %d properties violated", n, len(props))
+	}
+	return nil
 }
 
 func loadSTG(path string, stdin io.Reader) (*stg.STG, error) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"io"
 	"os"
 	"path/filepath"
@@ -95,5 +96,92 @@ func TestVerifyNeedsMode(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(nil, strings.NewReader(spec), &out, io.Discard); err == nil {
 		t.Fatal("missing mode must error")
+	}
+}
+
+var update = flag.Bool("update", false, "rewrite the golden outputs under testdata/")
+
+// TestPropGolden pins the full -prop output — verdict lines, counterexample
+// firing sequences and waveforms — for the two committed violating models,
+// on both engines. Run with -update to rewrite the goldens after an
+// intentional change.
+func TestPropGolden(t *testing.T) {
+	cases := []struct {
+		golden string
+		props  string
+		spec   string
+	}{
+		{"arbiter-mutex", "testdata/arbiter-mutex.pr", "../../testdata/arbiter-race.g"},
+		{"phil-deadlock", "testdata/phil-deadlock.pr", "../../testdata/phil-deadlock.g"},
+	}
+	for _, tc := range cases {
+		for _, engine := range []string{"explicit", "symbolic"} {
+			t.Run(tc.golden+"/"+engine, func(t *testing.T) {
+				var out bytes.Buffer
+				err := run([]string{"-prop", tc.props, "-engine", engine, tc.spec}, nil, &out, io.Discard)
+				if err == nil {
+					t.Fatal("violating model must make verify fail")
+				}
+				if strings.Contains(err.Error(), "usage") {
+					t.Fatalf("violation must be a runtime error (exit 1), got usage error: %v", err)
+				}
+				path := filepath.Join("testdata", tc.golden+"-"+engine+".golden")
+				if *update {
+					if werr := os.WriteFile(path, out.Bytes(), 0o644); werr != nil {
+						t.Fatal(werr)
+					}
+					return
+				}
+				want, rerr := os.ReadFile(path)
+				if rerr != nil {
+					t.Fatal(rerr)
+				}
+				if !bytes.Equal(out.Bytes(), want) {
+					t.Errorf("%s drifted:\n--- got ---\n%s--- want ---\n%s", path, out.String(), want)
+				}
+			})
+		}
+	}
+}
+
+func TestPropFlagErrors(t *testing.T) {
+	pr := write(t, "p.pr", "prop p : deadlock_free\n")
+	empty := write(t, "empty.pr", "# nothing declared\n")
+	badProp := write(t, "bad.pr", "prop p : nosuch_signal\n")
+	for _, args := range [][]string{
+		{"-prop", pr, "-engine", "nope"},
+		{"-prop", empty},
+		{"-prop", badProp},
+		{"-prop", filepath.Join(t.TempDir(), "missing.pr")},
+	} {
+		var out bytes.Buffer
+		if err := run(args, strings.NewReader(spec), &out, io.Discard); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestPropHoldsOK(t *testing.T) {
+	pr := write(t, "p.pr", "prop dlf : deadlock_free\nprop pers : persistent\n")
+	var out bytes.Buffer
+	if err := run([]string{"-prop", pr}, strings.NewReader(spec), &out, io.Discard); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	for _, want := range []string{"prop dlf: holds", "prop pers: holds", "checked 2 properties"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestPropTimeout(t *testing.T) {
+	pr := write(t, "p.pr", "prop dlf : deadlock_free\n")
+	var out bytes.Buffer
+	err := run([]string{"-prop", pr, "-timeout", "1ns"}, strings.NewReader(spec), &out, io.Discard)
+	if err == nil {
+		t.Fatal("1ns timeout must trip the budget")
+	}
+	if !strings.Contains(out.String(), "unknown") {
+		t.Errorf("timed-out run should report unknown verdicts:\n%s", out.String())
 	}
 }

@@ -599,6 +599,41 @@ func (m *Manager) Eval(f Ref, env uint64) bool {
 	return f == True
 }
 
+// EvalVec evaluates f under the assignment env[i] = value of variable i.
+// Unlike Eval it is not limited to 64 variables; variables at or beyond
+// len(env) read as false.
+func (m *Manager) EvalVec(f Ref, env []bool) bool {
+	for f != True && f != False {
+		v := int(m.level2var[m.level(f)])
+		if v < len(env) && env[v] {
+			f = m.hi(f)
+		} else {
+			f = m.lo(f)
+		}
+	}
+	return f == True
+}
+
+// AnySatVec returns one satisfying assignment as a vector over NumVars
+// variables, or ok=false for the constant-false function. Unlike AnySat it
+// is not limited to 64 variables. Variables skipped on the chosen branch
+// stay false, so the assignment is deterministic for a fixed diagram.
+func (m *Manager) AnySatVec(f Ref) ([]bool, bool) {
+	if f == False {
+		return nil, false
+	}
+	env := make([]bool, m.numVars)
+	for f != True {
+		if m.lo(f) != False {
+			f = m.lo(f)
+			continue
+		}
+		env[m.level2var[m.level(f)]] = true
+		f = m.hi(f)
+	}
+	return env, true
+}
+
 // SatCount returns the number of satisfying assignments over all NumVars
 // variables, computed via the satisfying fraction (exact for counts below
 // 2^53).

@@ -139,6 +139,42 @@ func TestAnySat(t *testing.T) {
 	}
 }
 
+func TestEvalVecAnySatVec(t *testing.T) {
+	// 80 variables exceeds the uint64 Eval/AnySat limit; the vector forms
+	// must agree with the scalar ones on the low variables and handle the
+	// high ones.
+	m := New(80)
+	f := m.AndN(m.NVar(0), m.Var(2), m.Var(70))
+	if _, ok := m.AnySatVec(False); ok {
+		t.Fatal("false has no satisfying assignment")
+	}
+	env, ok := m.AnySatVec(f)
+	if !ok || !m.EvalVec(f, env) {
+		t.Fatalf("AnySatVec returned non-satisfying %v", env)
+	}
+	if env[0] || !env[2] || !env[70] {
+		t.Fatalf("AnySatVec assignment wrong: %v", env)
+	}
+	// Short env vectors read missing variables as false.
+	if m.EvalVec(f, []bool{false, false, true}) {
+		t.Fatal("EvalVec must treat out-of-range variables as false")
+	}
+	if !m.EvalVec(m.NVar(70), nil) {
+		t.Fatal("EvalVec(nil) must satisfy a negated high variable")
+	}
+	// Agreement with scalar Eval on low variables.
+	g := m.And(m.Var(1), m.NVar(3))
+	for _, e := range []uint64{0, 0b0010, 0b1010, 0b0110} {
+		vec := make([]bool, 64)
+		for i := range vec {
+			vec[i] = e&(1<<uint(i)) != 0
+		}
+		if m.Eval(g, e) != m.EvalVec(g, vec) {
+			t.Fatalf("Eval and EvalVec disagree on %b", e)
+		}
+	}
+}
+
 func TestCube(t *testing.T) {
 	m := New(3)
 	f := m.Cube([]int{0, 2}, []bool{true, false})

@@ -1,0 +1,97 @@
+package prop
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stg"
+)
+
+// fuzzSTG is the tiny fixed model the fuzzer checks accepted properties
+// against: a 4-state handshake with signals a/b so corpus formulas can bind.
+const fuzzSTG = `
+.model fz
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+`
+
+// FuzzPropParse drives the property parser with arbitrary text. The parser
+// must never panic; whenever it accepts an input, the canonical printing
+// must be a parse fixed point. Properties that additionally bind against
+// the small handshake model become a differential oracle: the explicit and
+// symbolic engines must return identical verdicts, and every trace must
+// replay on the net.
+func FuzzPropParse(f *testing.F) {
+	seeds := []string{
+		"prop p : a\n",
+		"prop p : !a & b | true -> false <-> a\n",
+		"prop p : AG !(a & b)\nprop q : EF deadlock\n",
+		"prop p : deadlock_free\nprop q : live(a)\n",
+		"prop p : persistent\nprop q : persistent(b)\n",
+		"prop p : usc_conflict | csc_conflict\n",
+		"prop p : marked(<b-,a+>) & enabled(a+) & excited(b)\n",
+		"prop p : AG (enabled(a+) -> EF enabled(b-))\n",
+		"# comment\n\nprop p : a # tail\n",
+		"prop p : ((((a))))\n",
+		"prop p : !!!!a\n",
+		"prop p : a &&& b\n",
+		"prop p : enabled(a~)\n",
+		"prop p : marked(nosuch)\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	g, err := stg.ParseG(strings.NewReader(fuzzSTG))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		props, err := Parse(src)
+		if err != nil {
+			return // rejected input: only the no-panic guarantee applies
+		}
+		printed := Print(props)
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("own output rejected: %v\ninput: %q\nprinted: %q", err, src, printed)
+		}
+		if p2 := Print(again); p2 != printed {
+			t.Fatalf("canonical form is not a fixed point:\n--- first\n%s--- second\n%s", printed, p2)
+		}
+		if len(props) == 0 || Bind(g, props) != nil {
+			return
+		}
+		exp, err := Check(g, props, Options{Engine: EngineExplicit})
+		if err != nil {
+			t.Fatalf("explicit on bound properties: %v\ninput: %q", err, src)
+		}
+		sym, err := Check(g, props, Options{Engine: EngineSymbolic})
+		if err != nil {
+			t.Fatalf("symbolic on bound properties: %v\ninput: %q", err, src)
+		}
+		for i := range props {
+			if exp.Verdicts[i].Status != sym.Verdicts[i].Status {
+				t.Fatalf("engines disagree on %s: explicit %v, symbolic %v\ninput: %q",
+					props[i].Name, exp.Verdicts[i].Status, sym.Verdicts[i].Status, src)
+			}
+		}
+		for _, rep := range []*Report{exp, sym} {
+			for _, v := range rep.Verdicts {
+				if v.Trace == nil {
+					continue
+				}
+				if err := ReplayTrace(g, v.Trace); err != nil {
+					t.Fatalf("%s/%s: trace does not replay: %v\ninput: %q",
+						rep.Engine, v.Property.Name, err, src)
+				}
+			}
+		}
+	})
+}

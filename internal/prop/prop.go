@@ -1,0 +1,214 @@
+// Package prop implements a small temporal-property language over the
+// state space of a signal transition graph, in the spirit of the TLA+
+// AsyncInterface invariants (Spec => []TypeInvariant): named boolean
+// formulas over signal values, place markings and event enabledness,
+// closed under the CTL operators AG and EF.
+//
+// A property file is a sequence of lines
+//
+//	prop <name> : <formula>        # comment
+//
+// where formulas are built from atoms
+//
+//	<signal>          value of a signal (1 = high)
+//	marked(<place>)   the place holds a token
+//	excited(<sig>)    some edge of the signal is enabled
+//	enabled(<edge>)   a specific edge (a+, a-, a~) is enabled
+//	deadlock          no transition is enabled
+//	persistent        no enabled non-input event can be disabled
+//	persistent(<sig>) persistency restricted to edges of one signal
+//	usc_conflict      another reachable state shares this state's code
+//	csc_conflict      a USC conflict with differing non-input excitation
+//	true, false
+//
+// with connectives !, &, |, ->, <-> and the temporal operators AG
+// ("always globally") and EF ("possibly eventually"). The templates
+// deadlock_free and live(<sig>) expand to AG !deadlock and
+// AG EF excited(<sig>). A formula containing no temporal operator is an
+// implicit invariant: it is checked as AG <formula>.
+//
+// Two engines evaluate properties — an explicit one over the enumerated
+// state graph (reach.BuildSG) and a symbolic one running BDD fixpoints on
+// the net-level encoding of internal/symbolic — and both extract
+// counterexample/witness traces replayable as waveforms. The classic
+// implementability suite of Section 2.1 (deadlock-freedom, USC, CSC,
+// persistency) is exposed as the library instances in Standard.
+package prop
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stg"
+)
+
+// Op enumerates formula node kinds.
+type Op int
+
+const (
+	// Atoms.
+	OpTrue Op = iota
+	OpFalse
+	OpSignal     // Name: value of a signal
+	OpMarked     // Name: a place holds a token
+	OpExcited    // Name: some edge of the signal is enabled
+	OpEnabled    // Name+Dir: a specific edge is enabled
+	OpDeadlock   // no transition enabled
+	OpPersistent // Name ("" = every non-input event) is never disabled
+	OpUSC        // the state shares its code with another reachable state
+	OpCSC        // a USC conflict with differing non-input excitation
+	// Connectives.
+	OpNot
+	OpAnd
+	OpOr
+	OpImplies
+	OpIff
+	// Temporal operators.
+	OpAG
+	OpEF
+)
+
+// Formula is a node of the property AST. Connectives use L (and R for the
+// binary ones); atoms use Name (and Dir for OpEnabled).
+type Formula struct {
+	Op   Op
+	Name string
+	Dir  stg.Dir
+	L, R *Formula
+}
+
+// Property is a named formula.
+type Property struct {
+	Name string
+	F    *Formula
+}
+
+// Temporal reports whether the formula contains a temporal operator. A
+// formula without one is checked as an implicit AG invariant.
+func (f *Formula) Temporal() bool {
+	if f == nil {
+		return false
+	}
+	return f.Op == OpAG || f.Op == OpEF || f.L.Temporal() || f.R.Temporal()
+}
+
+// Operator precedence, loosest to tightest: <-> (1), -> (2), | (3), & (4),
+// unary !/AG/EF (5), atoms (6). -> associates to the right, <->, | and & to
+// the left.
+func (f *Formula) prec() int {
+	switch f.Op {
+	case OpIff:
+		return 1
+	case OpImplies:
+		return 2
+	case OpOr:
+		return 3
+	case OpAnd:
+		return 4
+	case OpNot, OpAG, OpEF:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// String renders the formula in the canonical concrete syntax: minimal
+// parentheses, single spaces around binary connectives. Parsing the result
+// yields the identical AST (the parse→print→reparse fixed point that
+// FuzzPropParse enforces).
+func (f *Formula) String() string {
+	var b strings.Builder
+	f.render(&b, 0)
+	return b.String()
+}
+
+func (f *Formula) render(b *strings.Builder, prec int) {
+	if f.prec() < prec {
+		b.WriteByte('(')
+		f.render(b, 0)
+		b.WriteByte(')')
+		return
+	}
+	switch f.Op {
+	case OpTrue:
+		b.WriteString("true")
+	case OpFalse:
+		b.WriteString("false")
+	case OpSignal:
+		b.WriteString(f.Name)
+	case OpMarked:
+		fmt.Fprintf(b, "marked(%s)", f.Name)
+	case OpExcited:
+		fmt.Fprintf(b, "excited(%s)", f.Name)
+	case OpEnabled:
+		fmt.Fprintf(b, "enabled(%s%s)", f.Name, f.Dir)
+	case OpDeadlock:
+		b.WriteString("deadlock")
+	case OpPersistent:
+		if f.Name == "" {
+			b.WriteString("persistent")
+		} else {
+			fmt.Fprintf(b, "persistent(%s)", f.Name)
+		}
+	case OpUSC:
+		b.WriteString("usc_conflict")
+	case OpCSC:
+		b.WriteString("csc_conflict")
+	case OpNot:
+		b.WriteByte('!')
+		f.L.render(b, 5)
+	case OpAG:
+		b.WriteString("AG ")
+		f.L.render(b, 5)
+	case OpEF:
+		b.WriteString("EF ")
+		f.L.render(b, 5)
+	case OpAnd:
+		f.L.render(b, 4)
+		b.WriteString(" & ")
+		f.R.render(b, 5)
+	case OpOr:
+		f.L.render(b, 3)
+		b.WriteString(" | ")
+		f.R.render(b, 4)
+	case OpImplies:
+		f.L.render(b, 3)
+		b.WriteString(" -> ")
+		f.R.render(b, 2)
+	case OpIff:
+		f.L.render(b, 1)
+		b.WriteString(" <-> ")
+		f.R.render(b, 2)
+	default:
+		panic(fmt.Sprintf("prop: unknown op %d", f.Op))
+	}
+}
+
+// Print renders a property list in the concrete file syntax, one property
+// per line.
+func Print(props []Property) string {
+	var b strings.Builder
+	for _, p := range props {
+		fmt.Fprintf(&b, "prop %s : %s\n", p.Name, p.F)
+	}
+	return b.String()
+}
+
+// Convenience constructors.
+
+func ag(f *Formula) *Formula  { return &Formula{Op: OpAG, L: f} }
+func not(f *Formula) *Formula { return &Formula{Op: OpNot, L: f} }
+
+// Standard returns the Section 2.1 implementability suite as property
+// instances of the general checker: the dedicated USC/CSC/deadlock/
+// persistency analyses re-derived in the property language. Consistency is
+// not listed — both engines establish it while deriving signal values and
+// fail on inconsistent specifications.
+func Standard() []Property {
+	return []Property{
+		{Name: "deadlock_free", F: ag(not(&Formula{Op: OpDeadlock}))},
+		{Name: "usc", F: ag(not(&Formula{Op: OpUSC}))},
+		{Name: "csc", F: ag(not(&Formula{Op: OpCSC}))},
+		{Name: "persistent", F: ag(&Formula{Op: OpPersistent})},
+	}
+}

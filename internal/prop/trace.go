@@ -1,0 +1,133 @@
+package prop
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stg"
+	"repro/internal/ts"
+)
+
+// Step is one state along a trace: the event fired to enter it (empty for
+// the initial step), the binary signal code, and the marking.
+type Step struct {
+	Event   string
+	Code    ts.Code
+	Marking []bool
+}
+
+// Trace is a firing sequence from the initial state, used as a
+// counterexample (path to a state violating an invariant) or witness
+// (path to a state proving an EF). Both engines produce the same shape, so
+// traces can be replayed against the net regardless of which engine found
+// them.
+type Trace struct {
+	// Signals are the STG's signals, parallel to the code bits.
+	Signals []stg.Signal
+	// Places are the net's place names, parallel to Step.Marking.
+	Places []string
+	Steps  []Step
+}
+
+// Events returns the fired event names, space-separated.
+func (t *Trace) Events() string {
+	var names []string
+	for _, s := range t.Steps {
+		if s.Event != "" {
+			names = append(names, s.Event)
+		}
+	}
+	return strings.Join(names, " ")
+}
+
+// Waveform renders the trace as the ASCII timing diagram shared with
+// SG.ASCIIWaveform: one row per signal, two columns per step, '/' and '\'
+// marking edges.
+func (t *Trace) Waveform() string {
+	codes := make([]ts.Code, len(t.Steps))
+	for i, s := range t.Steps {
+		codes[i] = s.Code
+	}
+	return ts.RenderWaveform(t.Signals, codes)
+}
+
+// ReplayTrace fires the trace's event sequence on g's net from the
+// initial marking and checks that every step's marking and code match
+// what actually results from the token game. It returns nil only for
+// genuine runs, making it the validity oracle for counterexamples and
+// witnesses from either engine.
+func ReplayTrace(g *stg.STG, t *Trace) error {
+	if t == nil || len(t.Steps) == 0 {
+		return fmt.Errorf("prop: empty trace")
+	}
+	n := g.Net
+	m := n.InitialMarking()
+	var code ts.Code
+	for i, step := range t.Steps {
+		if i == 0 {
+			if step.Event != "" {
+				return fmt.Errorf("prop: initial step carries event %q", step.Event)
+			}
+			code = step.Code
+		} else {
+			tr := n.TransitionIndex(step.Event)
+			if tr < 0 {
+				return fmt.Errorf("prop: step %d fires unknown transition %q", i, step.Event)
+			}
+			if !n.Enabled(m, tr) {
+				return fmt.Errorf("prop: step %d fires disabled transition %q", i, step.Event)
+			}
+			m = n.Fire(m, tr)
+			if l := g.Labels[tr]; l.Sig >= 0 {
+				switch l.Dir {
+				case stg.Rise:
+					if code.Bit(l.Sig) {
+						return fmt.Errorf("prop: step %d rises %s from 1", i, g.Signals[l.Sig].Name)
+					}
+					code = code.Set(l.Sig, true)
+				case stg.Fall:
+					if !code.Bit(l.Sig) {
+						return fmt.Errorf("prop: step %d falls %s from 0", i, g.Signals[l.Sig].Name)
+					}
+					code = code.Set(l.Sig, false)
+				default:
+					code = code.Flip(l.Sig)
+				}
+			}
+		}
+		if step.Code != code {
+			return fmt.Errorf("prop: step %d code %s, replay gives %s",
+				i, step.Code.String(len(g.Signals)), code.String(len(g.Signals)))
+		}
+		if len(step.Marking) != len(n.Places) {
+			return fmt.Errorf("prop: step %d marking has %d places, net has %d",
+				i, len(step.Marking), len(n.Places))
+		}
+		for p, want := range step.Marking {
+			if got := m[p] > 0; got != want {
+				return fmt.Errorf("prop: step %d place %s marked=%v, replay gives %v",
+					i, n.Places[p].Name, want, got)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the event sequence and the final marking.
+func (t *Trace) String() string {
+	if len(t.Steps) == 0 {
+		return "<empty trace>"
+	}
+	last := t.Steps[len(t.Steps)-1]
+	var marked []string
+	for p, m := range last.Marking {
+		if m && p < len(t.Places) {
+			marked = append(marked, t.Places[p])
+		}
+	}
+	ev := t.Events()
+	if ev == "" {
+		ev = "<initial state>"
+	}
+	return fmt.Sprintf("%s -> {%s}", ev, strings.Join(marked, ","))
+}

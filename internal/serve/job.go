@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/logic"
 	"repro/internal/obs"
+	"repro/internal/prop"
 	"repro/internal/reach"
 	"repro/internal/sim"
 	"repro/internal/stg"
@@ -26,8 +27,12 @@ import (
 type Request struct {
 	// Spec is the specification in astg .g format.
 	Spec string `json:"spec"`
-	// Impl is the implementation in .eqn format (verify only).
+	// Impl is the implementation in .eqn format (verify only). Optional
+	// when Properties is given.
 	Impl string `json:"impl,omitempty"`
+	// Properties is a property file (`prop name : formula` lines, see
+	// internal/prop) checked against the spec (verify only).
+	Properties string `json:"properties,omitempty"`
 	// Options tune the run; the zero value is a full default run.
 	Options ReqOptions `json:"options"`
 	// Async forces job-handle (true) or inline (false) execution.
@@ -40,7 +45,8 @@ type Request struct {
 // and are therefore excluded from the cache key (results are bit-identical
 // at any worker count, and only complete results are cached).
 type ReqOptions struct {
-	Style      string `json:"style,omitempty"` // complex (default), gc, rs
+	Style      string `json:"style,omitempty"`       // complex (default), gc, rs
+	PropEngine string `json:"prop_engine,omitempty"` // auto (default), explicit, symbolic
 	MaxFanIn   int    `json:"max_fanin,omitempty"`
 	SkipVerify bool   `json:"skip_verify,omitempty"`
 	Fallback   bool   `json:"fallback,omitempty"`
@@ -49,6 +55,16 @@ type ReqOptions struct {
 	MaxStates  int    `json:"max_states,omitempty"`
 	MaxNodes   int    `json:"max_nodes,omitempty"`
 	MaxEvents  int    `json:"max_events,omitempty"`
+}
+
+func (o ReqOptions) propEngine() (prop.Engine, error) {
+	switch o.PropEngine {
+	case "", "auto":
+		return prop.EngineAuto, nil
+	case "explicit", "symbolic":
+		return prop.Engine(o.PropEngine), nil
+	}
+	return "", fmt.Errorf("unknown prop_engine %q", o.PropEngine)
 }
 
 func (o ReqOptions) style() (logic.Style, error) {
@@ -173,25 +189,42 @@ type SynthesizeResult struct {
 	Attempts     []string      `json:"attempts,omitempty"` // degraded runs only (timings are run-dependent)
 }
 
-// VerifyResult is the /v1/verify payload.
+// PropertyVerdict is the wire form of one prop.Verdict.
+type PropertyVerdict struct {
+	Name    string `json:"name"`
+	Formula string `json:"formula"` // canonical rendering
+	Status  string `json:"status"`  // holds, VIOLATED, unknown
+	// Trace is the counterexample/witness firing sequence; Waveform its
+	// ASCII timing diagram. Both empty when no trace applies.
+	Trace    string `json:"trace,omitempty"`
+	Waveform string `json:"waveform,omitempty"`
+}
+
+// VerifyResult is the /v1/verify payload. Verification is present when the
+// request carried an impl netlist, Properties when it carried a property
+// file; a request may ask for both.
 type VerifyResult struct {
-	Kind         string        `json:"kind"`
-	Name         string        `json:"name"`
-	Hash         string        `json:"hash"`
-	ImplHash     string        `json:"impl_hash"`
-	Verification *Verification `json:"verification"`
+	Kind         string            `json:"kind"`
+	Name         string            `json:"name"`
+	Hash         string            `json:"hash"`
+	ImplHash     string            `json:"impl_hash,omitempty"`
+	Verification *Verification     `json:"verification,omitempty"`
+	Properties   []PropertyVerdict `json:"properties,omitempty"`
+	PropEngine   string            `json:"prop_engine,omitempty"`
+	PropStates   string            `json:"prop_states,omitempty"`
 }
 
 // job is one queued engine run. The final Response is written exactly once
 // under mu before done is closed; sync waiters block on done, pollers read
 // snapshot() while it runs.
 type job struct {
-	id   string
-	kind string
-	key  string // content address; "" = not cacheable
-	req  *Request
-	g    *stg.STG
-	nl   *logic.Netlist // verify only
+	id    string
+	kind  string
+	key   string // content address; "" = not cacheable
+	req   *Request
+	g     *stg.STG
+	nl    *logic.Netlist  // verify only
+	props []prop.Property // verify only
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -450,25 +483,55 @@ func (s *Server) analyze(g *stg.STG, hash string, bgt *budget.Budget, reg *obs.R
 	}, nil
 }
 
-// verify composes the parsed .eqn netlist with the specification mirror. A
-// conformance failure is a successful verification run whose result says
-// "no" — violations are data, not an error.
+// verify composes the parsed .eqn netlist with the specification mirror
+// and/or checks the request's properties against the spec. A conformance
+// failure or a violated property is a successful verification run whose
+// result says "no" — violations are data, not an error; budget trips are
+// errors and surface through the usual taxonomy.
 func (s *Server) verify(j *job, hash string, bgt *budget.Budget, reg *obs.Registry) (*VerifyResult, error) {
 	flow := reg.Root("flow:verify")
 	defer flow.End()
-	span := flow.Child("phase:verify")
-	res, err := sim.Verify(j.nl, j.g, sim.Options{Budget: bgt, MaxViolations: 16})
-	span.End()
-	if err != nil {
-		return nil, err
+	res := &VerifyResult{Kind: "verify", Name: j.g.Name(), Hash: hash}
+	if j.nl != nil {
+		span := flow.Child("phase:verify")
+		vres, err := sim.Verify(j.nl, j.g, sim.Options{Budget: bgt, MaxViolations: 16})
+		span.End()
+		if err != nil {
+			return nil, err
+		}
+		res.ImplHash = implHash(j.nl)
+		res.Verification = wireVerification(vres)
 	}
-	return &VerifyResult{
-		Kind:         "verify",
-		Name:         j.g.Name(),
-		Hash:         hash,
-		ImplHash:     implHash(j.nl),
-		Verification: wireVerification(res),
-	}, nil
+	if len(j.props) > 0 {
+		eng, err := j.req.Options.propEngine()
+		if err != nil {
+			return nil, err
+		}
+		rep, err := prop.Check(j.g, j.props, prop.Options{
+			Engine:  eng,
+			Workers: j.req.Options.Workers,
+			Budget:  bgt,
+			Obs:     flow,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.PropEngine = rep.Engine
+		res.PropStates = rep.States.String()
+		for _, v := range rep.Verdicts {
+			pv := PropertyVerdict{
+				Name:    v.Property.Name,
+				Formula: v.Property.F.String(),
+				Status:  v.Status.String(),
+			}
+			if v.Trace != nil {
+				pv.Trace = v.Trace.Events()
+				pv.Waveform = v.Trace.Waveform()
+			}
+			res.Properties = append(res.Properties, pv)
+		}
+	}
+	return res, nil
 }
 
 func marshalResult(v any) (json.RawMessage, *core.Report, error) {

@@ -8,6 +8,7 @@
 //	POST   /v1/analyze     state graph + implementability suite
 //	POST   /v1/synthesize  full synthesis flow (core.Synthesize)
 //	POST   /v1/verify      compose an .eqn netlist against the spec mirror
+//	                       and/or check temporal properties (internal/prop)
 //	GET    /v1/jobs/{id}   poll an async job
 //	DELETE /v1/jobs/{id}   cancel a queued or running job
 //	GET    /metrics        aggregated obs snapshot (JSON)
@@ -34,6 +35,7 @@ import (
 
 	"repro/internal/logic"
 	"repro/internal/obs"
+	"repro/internal/prop"
 	"repro/internal/stg"
 )
 
@@ -190,16 +192,32 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // timeouts, worker counts and the fallback switch are excluded — parallel
 // runs are bit-identical by construction, and only complete (non-degraded)
 // results are ever stored, so any budget that produces a cacheable result
-// produces this one.
-func cacheKey(kind, specHash, implHash string, o ReqOptions) string {
+// produces this one. propsHash addresses the canonical property text, and
+// the engine choice is keyed because the engines find different (equally
+// valid) counterexample traces.
+func cacheKey(kind, specHash, implHash, propsHash string, o ReqOptions) string {
 	style := o.Style
 	if style == "" {
 		style = "complex"
 	}
+	engine := o.PropEngine
+	if engine == "" {
+		engine = "auto"
+	}
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|v1|%s|%s|style=%s|fanin=%d|verify=%t",
-		kind, specHash, implHash, style, o.MaxFanIn, !o.SkipVerify)
+	fmt.Fprintf(h, "%s|v1|%s|%s|style=%s|fanin=%d|verify=%t|props=%s|eng=%s",
+		kind, specHash, implHash, style, o.MaxFanIn, !o.SkipVerify, propsHash, engine)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// propsHash is the content address of a property list: its canonical
+// rendering, so formatting-equivalent property files share cache entries.
+func propsHash(props []prop.Property) string {
+	if len(props) == 0 {
+		return ""
+	}
+	sum := sha256.Sum256([]byte(prop.Print(props)))
+	return hex.EncodeToString(sum[:])
 }
 
 // implHash is the content address of a parsed .eqn netlist: its canonical
@@ -223,45 +241,66 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 
 // decode parses and validates the request body far enough to reject
 // malformed input with 400 before any job is created.
-func (s *Server) decode(w http.ResponseWriter, r *http.Request, kind string) (*Request, *stg.STG, *logic.Netlist, bool) {
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, kind string) (*Request, *stg.STG, *logic.Netlist, []prop.Property, bool) {
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request: %v", err)
-		return nil, nil, nil, false
+		return nil, nil, nil, nil, false
 	}
 	if strings.TrimSpace(req.Spec) == "" {
 		writeError(w, http.StatusBadRequest, "bad request: empty spec")
-		return nil, nil, nil, false
+		return nil, nil, nil, nil, false
 	}
 	if _, err := req.Options.style(); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request: %v", err)
-		return nil, nil, nil, false
+		return nil, nil, nil, nil, false
+	}
+	if _, err := req.Options.propEngine(); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return nil, nil, nil, nil, false
 	}
 	g, err := stg.ParseG(strings.NewReader(req.Spec))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
-		return nil, nil, nil, false
+		return nil, nil, nil, nil, false
 	}
 	var nl *logic.Netlist
+	var props []prop.Property
 	if kind == "verify" {
-		if strings.TrimSpace(req.Impl) == "" {
-			writeError(w, http.StatusBadRequest, "bad request: verify needs an impl (.eqn) field")
-			return nil, nil, nil, false
+		if strings.TrimSpace(req.Impl) == "" && strings.TrimSpace(req.Properties) == "" {
+			writeError(w, http.StatusBadRequest, "bad request: verify needs an impl (.eqn) or a properties field")
+			return nil, nil, nil, nil, false
 		}
-		if nl, err = logic.ParseEquations(strings.NewReader(req.Impl)); err != nil {
-			writeError(w, http.StatusBadRequest, "bad impl: %v", err)
-			return nil, nil, nil, false
+		if strings.TrimSpace(req.Impl) != "" {
+			if nl, err = logic.ParseEquations(strings.NewReader(req.Impl)); err != nil {
+				writeError(w, http.StatusBadRequest, "bad impl: %v", err)
+				return nil, nil, nil, nil, false
+			}
+		}
+		if strings.TrimSpace(req.Properties) != "" {
+			if props, err = prop.Parse(req.Properties); err != nil {
+				writeError(w, http.StatusBadRequest, "bad properties: %v", err)
+				return nil, nil, nil, nil, false
+			}
+			if len(props) == 0 {
+				writeError(w, http.StatusBadRequest, "bad properties: no properties declared")
+				return nil, nil, nil, nil, false
+			}
+			if err := prop.Bind(g, props); err != nil {
+				writeError(w, http.StatusBadRequest, "bad properties: %v", err)
+				return nil, nil, nil, nil, false
+			}
 		}
 	}
-	return &req, g, nl, true
+	return &req, g, nl, props, true
 }
 
 // handleParse answers inline — parsing is too cheap to queue.
 func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	s.requests.Inc()
-	_, g, _, ok := s.decode(w, r, "parse")
+	_, g, _, _, ok := s.decode(w, r, "parse")
 	if !ok {
 		return
 	}
@@ -302,7 +341,7 @@ func (s *Server) handleRun(kind string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Inc()
 		s.reg.Counter("serve.requests_" + kind).Inc()
-		req, g, nl, ok := s.decode(w, r, kind)
+		req, g, nl, props, ok := s.decode(w, r, kind)
 		if !ok {
 			return
 		}
@@ -315,7 +354,7 @@ func (s *Server) handleRun(kind string) http.HandlerFunc {
 		if nl != nil {
 			ih = implHash(nl)
 		}
-		key := cacheKey(kind, specHash, ih, req.Options)
+		key := cacheKey(kind, specHash, ih, propsHash(props), req.Options)
 		if data, ok := s.cache.get(key); ok {
 			s.cacheHits.Inc()
 			writeJSON(w, http.StatusOK, &Response{
@@ -330,7 +369,7 @@ func (s *Server) handleRun(kind string) http.HandlerFunc {
 			async = *req.Async
 		}
 
-		j, shared, err := s.admit(kind, key, req, g, nl)
+		j, shared, err := s.admit(kind, key, req, g, nl, props)
 		if err != nil {
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
 			return
@@ -356,7 +395,7 @@ func (s *Server) handleRun(kind string) http.HandlerFunc {
 // admit finds a running job with the same content address or creates and
 // enqueues a new one. It fails when the daemon is draining or the queue is
 // full.
-func (s *Server) admit(kind, key string, req *Request, g *stg.STG, nl *logic.Netlist) (*job, bool, error) {
+func (s *Server) admit(kind, key string, req *Request, g *stg.STG, nl *logic.Netlist, props []prop.Property) (*job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -380,6 +419,7 @@ func (s *Server) admit(kind, key string, req *Request, g *stg.STG, nl *logic.Net
 		req:    req,
 		g:      g,
 		nl:     nl,
+		props:  props,
 		ctx:    ctx,
 		cancel: cancel,
 		done:   make(chan struct{}),

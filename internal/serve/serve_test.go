@@ -471,3 +471,139 @@ func TestQueueFullAndShutdown(t *testing.T) {
 		t.Fatalf("post-shutdown admit = %d, want 503", code)
 	}
 }
+
+// TestVerifyProperties covers the temporal-property path of /v1/verify:
+// properties without an impl, verdicts with counterexample traces, caching
+// under spec+properties+engine, and fail-fast validation.
+func TestVerifyProperties(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	spec, err := os.ReadFile("../../testdata/arbiter-race.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	props := "prop mutex : AG !(g1 & g2)\nprop dlf : deadlock_free\n"
+
+	code, resp := postJSON(t, ts.URL+"/v1/verify",
+		map[string]any{"spec": string(spec), "properties": props})
+	if code != http.StatusOK || resp.Status != "done" {
+		t.Fatalf("verify: %d %q %q", code, resp.Status, resp.Error)
+	}
+	var vres struct {
+		ImplHash   string `json:"impl_hash"`
+		PropEngine string `json:"prop_engine"`
+		PropStates string `json:"prop_states"`
+		Properties []struct {
+			Name     string `json:"name"`
+			Formula  string `json:"formula"`
+			Status   string `json:"status"`
+			Trace    string `json:"trace"`
+			Waveform string `json:"waveform"`
+		} `json:"properties"`
+	}
+	if err := json.Unmarshal(resp.Result, &vres); err != nil {
+		t.Fatal(err)
+	}
+	if vres.ImplHash != "" {
+		t.Errorf("impl_hash without impl: %q", vres.ImplHash)
+	}
+	if vres.PropEngine != "explicit" || vres.PropStates != "16" {
+		t.Errorf("engine/states = %q/%q", vres.PropEngine, vres.PropStates)
+	}
+	if len(vres.Properties) != 2 {
+		t.Fatalf("got %d verdicts", len(vres.Properties))
+	}
+	mutex, dlf := vres.Properties[0], vres.Properties[1]
+	if mutex.Status != "VIOLATED" || mutex.Trace == "" || !strings.Contains(mutex.Waveform, "/") {
+		t.Errorf("mutex verdict: %+v", mutex)
+	}
+	if mutex.Formula != "AG !(g1 & g2)" {
+		t.Errorf("formula not canonical: %q", mutex.Formula)
+	}
+	if dlf.Status != "holds" || dlf.Trace != "" {
+		t.Errorf("dlf verdict: %+v", dlf)
+	}
+
+	// Same request replays from the cache; a different engine is a
+	// different content address (its counterexample may differ).
+	code, again := postJSON(t, ts.URL+"/v1/verify",
+		map[string]any{"spec": string(spec), "properties": props})
+	if code != http.StatusOK || !again.Cached || again.Key != resp.Key {
+		t.Fatalf("repeat not cached: %d cached=%v", code, again.Cached)
+	}
+	code, sym := postJSON(t, ts.URL+"/v1/verify", map[string]any{
+		"spec": string(spec), "properties": props,
+		"options": map[string]any{"prop_engine": "symbolic"},
+	})
+	if code != http.StatusOK || sym.Cached || sym.Key == resp.Key {
+		t.Fatalf("symbolic run must be a distinct cache entry: %d cached=%v", code, sym.Cached)
+	}
+
+	// Validation failures are 400s, not jobs.
+	for name, body := range map[string]map[string]any{
+		"syntax":     {"spec": string(spec), "properties": "prop broken : ("},
+		"bad signal": {"spec": string(spec), "properties": "prop p : nosuch"},
+		"empty":      {"spec": string(spec), "properties": "# nothing\n"},
+		"bad engine": {"spec": string(spec), "properties": props,
+			"options": map[string]any{"prop_engine": "quantum"}},
+	} {
+		if code, _ := postJSON(t, ts.URL+"/v1/verify", body); code != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400", name, code)
+		}
+	}
+}
+
+// TestVerifyPropertiesAndImpl runs both halves of /v1/verify in one
+// request: netlist conformance and property checking.
+func TestVerifyPropertiesAndImpl(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	spec := vmeSpec(t)
+	code, synth := postJSON(t, ts.URL+"/v1/synthesize", map[string]any{"spec": spec})
+	if code != http.StatusOK {
+		t.Fatalf("synthesize: %d", code)
+	}
+	code, resp := postJSON(t, ts.URL+"/v1/verify", map[string]any{
+		"spec": spec, "impl": decodeSynth(t, synth).Equations,
+		"properties": "prop dlf : deadlock_free\nprop csc : !csc_conflict\n",
+	})
+	if code != http.StatusOK || resp.Status != "done" {
+		t.Fatalf("verify: %d %q %q", code, resp.Status, resp.Error)
+	}
+	var vres struct {
+		ImplHash     string `json:"impl_hash"`
+		Verification *struct {
+			OK bool `json:"ok"`
+		} `json:"verification"`
+		Properties []struct {
+			Status string `json:"status"`
+		} `json:"properties"`
+	}
+	if err := json.Unmarshal(resp.Result, &vres); err != nil {
+		t.Fatal(err)
+	}
+	if vres.ImplHash == "" || vres.Verification == nil || !vres.Verification.OK {
+		t.Fatalf("verification half missing: %+v", vres)
+	}
+	// The raw VME read cycle is deadlock-free but has the paper's CSC
+	// conflict (resolved during synthesis by a state signal), so the two
+	// verdicts differ.
+	if len(vres.Properties) != 2 || vres.Properties[0].Status != "holds" || vres.Properties[1].Status != "VIOLATED" {
+		t.Fatalf("property half wrong: %+v", vres.Properties)
+	}
+}
+
+// TestVerifyPropertiesBudget trips the job timeout mid-check and expects
+// the typed budget taxonomy on the wire, not a hang or a panic.
+func TestVerifyPropertiesBudget(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	code, resp := postJSON(t, ts.URL+"/v1/verify", map[string]any{
+		"spec":       bigSpec(18),
+		"properties": "prop dlf : deadlock_free\n",
+		"options":    map[string]any{"max_states": 64},
+	})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("budget trip = %d %q %q, want 422", code, resp.Status, resp.Error)
+	}
+	if resp.ErrorKind != "budget" {
+		t.Fatalf("error_kind = %q, want budget", resp.ErrorKind)
+	}
+}

@@ -126,55 +126,16 @@ func reachOpts(n *petri.Net, opts Options, sp *obs.Span) (*Result, error) {
 	}
 	m := bdd.New(len(n.Places))
 
-	// Initial marking cube.
-	init := bdd.True
-	for p, pl := range n.Places {
-		if pl.Initial > 1 {
-			return nil, fmt.Errorf("symbolic: place %s initially unsafe", pl.Name)
-		}
-		if pl.Initial == 1 {
-			init = m.And(init, m.Var(p))
-		} else {
-			init = m.And(init, m.NVar(p))
-		}
+	// Initial marking cube and per-transition precomputed pieces, pinned
+	// against the traversal's garbage collections.
+	init, err := InitCube(n, m, 0)
+	if err != nil {
+		return nil, err
 	}
-
-	// Per-transition precomputed pieces.
-	type trans struct {
-		enable  bdd.Ref
-		result  bdd.Ref
-		touched []int
-	}
-	ts := make([]trans, len(n.Transitions))
-	for t, tr := range n.Transitions {
-		pre := map[int]bool{}
-		post := map[int]bool{}
-		for _, p := range tr.Pre {
-			pre[p] = true
-		}
-		for _, p := range tr.Post {
-			post[p] = true
-		}
-		enable := bdd.True
-		result := bdd.True
-		var touched []int
-		for p := range pre {
-			enable = m.And(enable, m.Var(p))
-			touched = append(touched, p)
-			if !post[p] {
-				result = m.And(result, m.NVar(p))
-			} else {
-				result = m.And(result, m.Var(p))
-			}
-		}
-		for p := range post {
-			if !pre[p] {
-				enable = m.And(enable, m.NVar(p)) // 1-safe: no contact
-				touched = append(touched, p)
-				result = m.And(result, m.Var(p))
-			}
-		}
-		ts[t] = trans{enable: m.IncRef(enable), result: m.IncRef(result), touched: touched}
+	ts := BuildTrans(n, m, 0)
+	for _, tr := range ts {
+		m.IncRef(tr.Enable)
+		m.IncRef(tr.Result)
 	}
 
 	// Frontier-set traversal with reference-counted roots: only the
@@ -198,11 +159,11 @@ func reachOpts(n *petri.Net, opts Options, sp *obs.Span) (*Result, error) {
 		for _, tr := range ts {
 			// states of the frontier where tr is enabled, with the touched
 			// places quantified away and re-imposed per the firing rule.
-			img := m.AndExists(frontier, tr.enable, tr.touched)
+			img := m.AndExists(frontier, tr.Enable, tr.Touched)
 			if img == bdd.False {
 				continue
 			}
-			img = m.And(img, tr.result)
+			img = m.And(img, tr.Result)
 			next = m.Or(next, img)
 		}
 		m.DecRef(frontier)
@@ -258,22 +219,7 @@ func result(m *bdd.Manager, reached bdd.Ref, iters int) *Result {
 // — no marking is ever enumerated.
 func DeadStates(n *petri.Net, res *Result) (bdd.Ref, float64) {
 	m := res.M
-	someEnabled := bdd.False
-	for _, tr := range n.Transitions {
-		enable := bdd.True
-		pre := map[int]bool{}
-		for _, p := range tr.Pre {
-			pre[p] = true
-			enable = m.And(enable, m.Var(p))
-		}
-		for _, p := range tr.Post {
-			if !pre[p] {
-				enable = m.And(enable, m.NVar(p)) // 1-safe no-contact semantics
-			}
-		}
-		someEnabled = m.Or(someEnabled, enable)
-	}
-	dead := m.Diff(res.States, someEnabled)
+	dead := m.Diff(res.States, SomeEnabled(m, BuildTrans(n, m, 0)))
 	return dead, m.SatCount(dead)
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/stg"
 )
 
 // ASCIIWaveform renders the signal values along a state path as a textual
@@ -15,21 +17,32 @@ import (
 // Each step of the path contributes two columns; a rising edge prints '/',
 // a falling edge '\'.
 func (g *SG) ASCIIWaveform(path []int) string {
-	if len(path) == 0 {
+	codes := make([]Code, len(path))
+	for i, s := range path {
+		codes[i] = g.States[s].Code
+	}
+	return RenderWaveform(g.Signals, codes)
+}
+
+// RenderWaveform renders a sequence of signal codes as a textual timing
+// diagram — the engine behind SG.ASCIIWaveform, shared with the property
+// checker's counterexample traces, which carry codes but no state graph.
+func RenderWaveform(signals []stg.Signal, codes []Code) string {
+	if len(codes) == 0 {
 		return ""
 	}
 	nameW := 0
-	for _, s := range g.Signals {
+	for _, s := range signals {
 		if len(s.Name) > nameW {
 			nameW = len(s.Name)
 		}
 	}
 	var b strings.Builder
-	for sig, s := range g.Signals {
+	for sig, s := range signals {
 		fmt.Fprintf(&b, "%-*s ", nameW, s.Name)
-		prev := g.States[path[0]].Code.Bit(sig)
-		for step, st := range path {
-			cur := g.States[st].Code.Bit(sig)
+		prev := codes[0].Bit(sig)
+		for step, c := range codes {
+			cur := c.Bit(sig)
 			if step > 0 && cur != prev {
 				if cur {
 					b.WriteByte('/')

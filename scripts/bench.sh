@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES='^(BenchmarkSolveCSC|BenchmarkEquationDerivation|BenchmarkFullFlow|BenchmarkSymbolicVsExplicit|BenchmarkParallelExplore|BenchmarkServeSynthesize)$'
+BENCHES='^(BenchmarkSolveCSC|BenchmarkEquationDerivation|BenchmarkFullFlow|BenchmarkSymbolicVsExplicit|BenchmarkParallelExplore|BenchmarkServeSynthesize|BenchmarkPropCheck)$'
 
 # Instrumented flow run: the metrics snapshot from cmd/synth -metrics on the
 # VME example is merged into the bench record so the trajectory carries the
@@ -39,7 +39,8 @@ assert rec["benchmarks"], "no benchmarks parsed"
 names = {b["name"] for b in rec["benchmarks"]}
 for want in ("SolveCSC/cscring-3/w1", "SolveCSC/cscring-3/w4",
              "EquationDerivation/cscring-2/w1", "EquationDerivation/cscring-2/w4",
-             "ServeSynthesize/cold", "ServeSynthesize/cached"):
+             "ServeSynthesize/cold", "ServeSynthesize/cached",
+             "PropCheck/vme-read/explicit/w1", "PropCheck/vme-read/symbolic"):
     assert want in names, f"{want} missing from {sorted(names)}"
 snap = rec["metrics_snapshots"]["vme-read"]
 for counter in ("reach.states", "encoding.candidates", "logic.signals"):

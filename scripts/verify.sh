@@ -27,6 +27,13 @@ go test -timeout 60s -run Conformance -race ./internal/conformance/
 go test -fuzz=FuzzBDDOps -fuzztime=5s -run '^$' ./internal/bdd/
 # .g parser fuzz smoke: no panics, canonical form is a fixed point.
 go test -fuzz=FuzzSTGParse -fuzztime=5s -run '^$' ./internal/stg/
+# Property layer gate: unit + golden/CLI tests under the race detector,
+# fault injection into its budget sites, and a parser fuzz smoke whose
+# accepted inputs double as an explicit-vs-symbolic oracle. The
+# cross-engine differential (TestPropConformance) rides the conformance
+# line above.
+go test -timeout 60s -race ./internal/prop/ ./cmd/verify/
+go test -fuzz=FuzzPropParse -fuzztime=5s -run '^$' ./internal/prop/
 # Parallel synthesis determinism under the race detector: identical
 # solutions, functions and netlists at every worker count.
 go test -timeout 60s -race -run 'Deterministic|MatchesSequential|TieBreak|CSCError' ./internal/encoding/ ./internal/logic/

@@ -1,0 +1,22 @@
+# Mutual-exclusion variant of examples/arbiter with the arbitration
+# removed: two independent request/grant handshakes that can both be
+# granted at once. Implementable on its own (each grant simply follows
+# its request), but it violates the mutual-exclusion property
+#
+#	prop mutex : AG !(g1 & g2)
+#
+# making it the canonical violating model for counterexample traces.
+.model arbiter-race
+.inputs r1 r2
+.outputs g1 g2
+.graph
+r1+ g1+
+g1+ r1-
+r1- g1-
+g1- r1+
+r2+ g2+
+g2+ r2-
+r2- g2-
+g2- r2+
+.marking { <g1-,r1+> <g2-,r2+> }
+.end

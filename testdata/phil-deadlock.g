@@ -1,0 +1,27 @@
+# Two dining philosophers as an STG: a and b each raise while holding
+# both forks and lower to release them, but they pick the forks up in
+# opposite orders (a takes f1 at a+, needs f2 for a-; b takes f2 at b+,
+# needs f1 for b-). After a+ b+ both hold one fork and wait for the
+# other: a reachable deadlock, so
+#
+#	prop no_deadlock : deadlock_free
+#
+# is violated. The spec is 1-safe and consistent but not persistent
+# (a+ and b+ disable each other's lowering), so synthesis skips it.
+.model phil-deadlock
+.outputs a b
+.graph
+p_ra a+
+p_f1 a+
+a+ p_ha
+p_ha a-
+p_f2 a-
+a- p_ra p_f1 p_f2
+p_rb b+
+p_f2 b+
+b+ p_hb
+p_hb b-
+p_f1 b-
+b- p_rb p_f1 p_f2
+.marking { p_ra p_rb p_f1 p_f2 }
+.end
