@@ -25,6 +25,7 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/gen"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/petri"
 	"repro/internal/prop"
 	"repro/internal/reach"
@@ -364,10 +365,41 @@ func BenchmarkSymbolicKernel(b *testing.B) {
 	}
 }
 
+// SYM-PAR — parallel symbolic image computation: the same fixpoint, bit
+// for bit, at 1/2/4 image workers (w1 is the sequential kernel). The
+// contention metrics — unique-table CAS retries, leaked arena slots,
+// epoch re-runs — quantify what the lock-free section pays for its
+// speedup; scripts/bench.sh sweeps this family across GOMAXPROCS.
+func BenchmarkSymbolicParallel(b *testing.B) {
+	models := []struct {
+		name string
+		net  *petri.Net
+	}{
+		{"toggles-16", gen.IndependentToggles(16)},
+		{"muller-7", gen.MullerPipeline(7).Net},
+	}
+	for _, mdl := range models {
+		for _, w := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/w%d", mdl.name, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := symbolic.ReachOpts(mdl.net, symbolic.Options{Workers: w})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.PeakNodes), "peaknodes")
+					b.ReportMetric(float64(res.Stats.CASRetries), "casretries")
+					b.ReportMetric(float64(res.Stats.Leaked), "leaked")
+					b.ReportMetric(float64(res.Stats.EpochRetries), "epochretries")
+				}
+			})
+		}
+	}
+}
+
 // E-PAR — parallel sharded explicit reachability: the same graph, bit for
 // bit, at 1/2/4/8 workers, with wall-clock speedup on multi-core hosts.
 // pipeline-8 has 92736 states (≥ 2^16); ring and philosophers calibrate
-// the level-synchronization overhead on smaller spaces.
+// the work-stealing overhead on smaller spaces.
 func BenchmarkParallelExplore(b *testing.B) {
 	models := []struct {
 		name string
@@ -380,13 +412,22 @@ func BenchmarkParallelExplore(b *testing.B) {
 	for _, mdl := range models {
 		for _, w := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/w%d", mdl.name, w), func(b *testing.B) {
+				var steals, casRetries int64
 				for i := 0; i < b.N; i++ {
-					rg, err := reach.Explore(mdl.net, reach.Options{Workers: w})
+					reg := obs.NewRegistry()
+					root := reg.Root("bench:parallel-explore")
+					rg, err := reach.Explore(mdl.net, reach.Options{Workers: w, Obs: root})
 					if err != nil {
 						b.Fatal(err)
 					}
+					root.End()
+					snap := reg.Snapshot()
+					steals += snap.Counters["reach.steals"]
+					casRetries += snap.Counters["reach.cas_retries"]
 					b.ReportMetric(float64(rg.NumStates()), "states")
 				}
+				b.ReportMetric(float64(steals)/float64(b.N), "steals")
+				b.ReportMetric(float64(casRetries)/float64(b.N), "casretries")
 			})
 		}
 	}

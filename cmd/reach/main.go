@@ -6,18 +6,25 @@
 // Usage:
 //
 //	reach [-engine all|explicit|symbolic|unfold|stubborn] [-workers N]
-//	      [-sift] [-timeout D] [-metrics FILE] [-trace-json FILE]
-//	      [-cpuprofile FILE] [-memprofile FILE] file.g
+//	      [-sym-workers N] [-sift] [-timeout D] [-metrics FILE]
+//	      [-trace-json FILE] [-cpuprofile FILE] [-memprofile FILE] file.g
 //
 // -workers N runs the explicit engine with N parallel workers in addition
 // to the sequential run and reports the speedup (0, the default, uses
 // GOMAXPROCS; 1 skips the parallel run). The parallel engine is
 // deterministic: its state graph is bit-identical to the sequential one.
+// The parallel row is followed by a work-stealing stats line: tasks
+// expanded, steals, visited-table CAS retries and cooperative resizes.
+//
+// -sym-workers N computes each symbolic image step on N parallel workers
+// (0 or 1 keeps the sequential kernel). Canonicity makes the parallel
+// fixpoint bit-identical to the sequential one.
 //
 // -sift enables dynamic variable reordering (Rudell sifting) in the
 // symbolic engine. The symbolic row is followed by a kernel stats line:
-// live/peak node counts, op-cache hit rate, garbage collections and
-// reorder passes.
+// live/peak node counts, op-cache hit rate, garbage collections, reorder
+// passes, and — for parallel image runs — unique-table CAS retries,
+// leaked arena slots and epoch re-runs.
 //
 // -timeout D aborts the analysis after the given wall-clock duration
 // (e.g. 500ms, 10s). Engines report the partial statistics they reached
@@ -60,6 +67,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (err error) {
 	fs.SetOutput(stderr)
 	engine := fs.String("engine", "all", "engine: all, explicit, symbolic, unfold, stubborn")
 	workers := fs.Int("workers", 0, "parallel workers for the explicit engine (0 = GOMAXPROCS, 1 = sequential only)")
+	symWorkers := fs.Int("sym-workers", 0, "parallel image workers for the symbolic engine (0 or 1 = sequential kernel)")
 	sift := fs.Bool("sift", false, "dynamic variable reordering (Rudell sifting) in the symbolic engine")
 	timeout := fs.Duration("timeout", 0, "abort the analysis after this wall-clock duration (0 = none)")
 	var ins cli.Instrumentation
@@ -152,11 +160,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (err error) {
 			}
 			fmt.Fprintf(stdout, "%-12s %-55s %-10v %s speedup\n",
 				name, out, elapsed.Round(time.Microsecond), speedup)
+			// Work-stealing contention stats ride the obs registry, which
+			// only exists under -metrics/-trace-json.
+			if snap := ins.Registry.Snapshot(); snap != nil {
+				fmt.Fprintf(stdout, "%-12s expanded=%d steals=%d cas-retries=%d resizes=%d\n",
+					"  ws", snap.Counters["reach.expanded"], snap.Counters["reach.steals"],
+					snap.Counters["reach.cas_retries"], snap.Counters["reach.resizes"])
+			}
 		}
 	}
 	var symStats *bdd.Stats
 	run("symbolic", func() (string, error) {
-		res, err := symbolic.ReachOpts(n, symbolic.Options{Sift: *sift, Budget: bgt, Obs: phase})
+		res, err := symbolic.ReachOpts(n, symbolic.Options{Sift: *sift, Workers: *symWorkers, Budget: bgt, Obs: phase})
 		if err != nil {
 			if res != nil {
 				return fmt.Sprintf("partial: %.0f states after %d iterations",
@@ -171,9 +186,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (err error) {
 			res.CountExact, res.PeakNodes, res.Iterations, dead), nil
 	})
 	if symStats != nil {
-		fmt.Fprintf(stdout, "%-12s live=%d peak=%d cache-hit=%.1f%% gc=%d freed=%d reorders=%d swaps=%d\n",
+		fmt.Fprintf(stdout, "%-12s live=%d peak=%d cache-hit=%.1f%% gc=%d freed=%d reorders=%d swaps=%d cas-retries=%d leaked=%d epoch-retries=%d\n",
 			"  bdd", symStats.Live, symStats.PeakLive, 100*symStats.CacheHitRate(),
-			symStats.GCRuns, symStats.GCFreed, symStats.Reorders, symStats.Swaps)
+			symStats.GCRuns, symStats.GCFreed, symStats.Reorders, symStats.Swaps,
+			symStats.CASRetries, symStats.Leaked, symStats.EpochRetries)
 	}
 	run("unfold", func() (string, error) {
 		u, err := unfold.Build(n, unfold.Options{Budget: bgt, Obs: phase})

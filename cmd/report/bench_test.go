@@ -21,7 +21,7 @@ ok  	repro	12.345s
 
 func TestWriteBenchJSON(t *testing.T) {
 	var out bytes.Buffer
-	if err := writeBenchJSON(strings.NewReader(sampleBenchOutput), &out, ""); err != nil {
+	if err := writeBenchJSON(strings.NewReader(sampleBenchOutput), &out, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	var f benchFile
@@ -53,7 +53,7 @@ func TestWriteBenchJSON(t *testing.T) {
 
 func TestWriteBenchJSONRejectsGarbage(t *testing.T) {
 	var out bytes.Buffer
-	err := writeBenchJSON(strings.NewReader("BenchmarkBroken notanumber ns/op\n"), &out, "")
+	err := writeBenchJSON(strings.NewReader("BenchmarkBroken notanumber ns/op\n"), &out, "", "")
 	if err == nil {
 		t.Fatal("malformed benchmark line must error")
 	}
@@ -74,7 +74,7 @@ func TestWriteBenchJSONMergesMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := writeBenchJSON(strings.NewReader(sampleBenchOutput), &out, path); err != nil {
+	if err := writeBenchJSON(strings.NewReader(sampleBenchOutput), &out, path, ""); err != nil {
 		t.Fatal(err)
 	}
 	var f benchFile
@@ -90,6 +90,61 @@ func TestWriteBenchJSONMergesMetrics(t *testing.T) {
 	}
 }
 
+func TestWriteBenchJSONScalingSweep(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := dir + "/" + name
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	p1 := write("sweep1.txt", "BenchmarkParallelExplore/phil-7/w4-1 \t 10\t 4000 ns/op\nBenchmarkSymbolicParallel/toggles-16/w4-1 \t 5\t 8000 ns/op\n")
+	p2 := write("sweep2.txt", "BenchmarkParallelExplore/phil-7/w4-2 \t 10\t 2500 ns/op\nBenchmarkSymbolicParallel/toggles-16/w4-2 \t 5\t 5000 ns/op\n")
+	p4 := write("sweep4.txt", "BenchmarkParallelExplore/phil-7/w4-4 \t 10\t 1000 ns/op\nBenchmarkSymbolicParallel/toggles-16/w4-4 \t 5\t 4000 ns/op\n")
+	var out bytes.Buffer
+	spec := "1=" + p1 + ",2=" + p2 + ",4=" + p4
+	if err := writeBenchJSON(strings.NewReader(sampleBenchOutput), &out, "", spec); err != nil {
+		t.Fatal(err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(out.Bytes(), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if f.Scaling == nil {
+		t.Fatal("scaling table missing")
+	}
+	if got := f.Scaling.GOMAXPROCS; len(got) != 3 || got[0] != 1 || got[2] != 4 {
+		t.Fatalf("gomaxprocs = %v, want [1 2 4]", got)
+	}
+	if len(f.Scaling.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %+v", f.Scaling.Rows)
+	}
+	row := f.Scaling.Rows[0] // sorted: ParallelExplore before SymbolicParallel
+	if row.Name != "ParallelExplore/phil-7/w4" {
+		t.Fatalf("row 0 is %q", row.Name)
+	}
+	if row.NsPerOp["1"] != 4000 || row.NsPerOp["4"] != 1000 {
+		t.Fatalf("ns_per_op misparsed: %+v", row.NsPerOp)
+	}
+	if row.Speedup["2"] != 1.6 || row.Speedup["4"] != 4 {
+		t.Fatalf("speedup wrong: %+v", row.Speedup)
+	}
+	if _, ok := row.Speedup["1"]; ok {
+		t.Fatal("baseline must not carry a speedup column")
+	}
+}
+
+func TestWriteBenchJSONScalingRejectsBadSpec(t *testing.T) {
+	var out bytes.Buffer
+	if err := writeBenchJSON(strings.NewReader(""), &out, "", "nope"); err == nil {
+		t.Fatal("spec without procs= must error")
+	}
+	if err := writeBenchJSON(strings.NewReader(""), &out, "", "2=/does/not/exist"); err == nil {
+		t.Fatal("missing sweep file must error")
+	}
+}
+
 func TestWriteBenchJSONRejectsBadSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/bad.json"
@@ -97,7 +152,7 @@ func TestWriteBenchJSONRejectsBadSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	err := writeBenchJSON(strings.NewReader(sampleBenchOutput), &out, path)
+	err := writeBenchJSON(strings.NewReader(sampleBenchOutput), &out, path, "")
 	if err == nil {
 		t.Fatal("invalid snapshot must be rejected")
 	}

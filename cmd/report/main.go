@@ -42,9 +42,11 @@ func main() {
 		"parse 'go test -bench' output on stdin into the benchmark trajectory JSON on stdout")
 	mergeMetrics := flag.String("merge-metrics", "",
 		"comma-separated metrics snapshot files (from -metrics runs) to embed in the bench JSON")
+	scaling := flag.String("scaling", "",
+		"GOMAXPROCS sweep spec 'procs=file,procs=file,...' of raw bench outputs; adds per-worker-count speedup columns to the bench JSON")
 	flag.Parse()
 	if *benchJSON {
-		if err := writeBenchJSON(os.Stdin, os.Stdout, *mergeMetrics); err != nil {
+		if err := writeBenchJSON(os.Stdin, os.Stdout, *mergeMetrics, *scaling); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -88,6 +88,13 @@ type Manager struct {
 
 	numVars int
 
+	// conc is non-nil between BeginConcurrent and EndConcurrent: node
+	// creation and the memoized operations switch to their lock-free
+	// variants (CAS publication into the pre-sized arena epoch, seqlock
+	// op cache) so any number of goroutines may run ITE/quantify/
+	// AndExistsMask concurrently. See concurrent.go.
+	conc *concState
+
 	stats Stats
 }
 
@@ -115,6 +122,15 @@ type Stats struct {
 	// Reorders and Swaps count sifting passes and adjacent-level swaps.
 	Reorders int
 	Swaps    uint64
+	// CASRetries counts failed unique-table slot claims in concurrent
+	// sections (two goroutines raced for one slot); Leaked counts arena
+	// slots abandoned after losing a publication race to an identical
+	// node (reclaimed onto the free list at EndConcurrent). EpochRetries
+	// counts concurrent sections that exhausted their pre-sized arena
+	// epoch and were re-run with a doubled one.
+	CASRetries   uint64
+	Leaked       uint64
+	EpochRetries uint64
 }
 
 // CacheHitRate returns the op-cache hit fraction in [0,1].
@@ -240,6 +256,9 @@ func hashNode(level, lo, hi int32) uint32 {
 // mk returns the canonical node (level, lo, hi), consulting and updating
 // the open-addressed unique table.
 func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+	if m.conc != nil {
+		return m.mkC(level, lo, hi)
+	}
 	if lo == hi {
 		return lo
 	}
@@ -310,6 +329,12 @@ func (m *Manager) rehash(grow bool) {
 	if grow {
 		size *= 2
 	}
+	m.rehashTo(size)
+}
+
+// rehashTo rebuilds the unique table from the arena at an explicit
+// power-of-two capacity.
+func (m *Manager) rehashTo(size int) {
 	m.table = make([]int32, size)
 	m.tableMask = uint32(size - 1)
 	m.tableUsed = 0
@@ -363,6 +388,9 @@ func (m *Manager) hi(f Ref) Ref      { return Ref(m.nodes[f].hi) }
 
 // ITE computes if-then-else(f, g, h), the universal connective.
 func (m *Manager) ITE(f, g, h Ref) Ref {
+	if m.conc != nil {
+		return m.iteC(f, g, h)
+	}
 	// Terminal cases.
 	switch {
 	case f == True:
@@ -451,6 +479,9 @@ func (m *Manager) Restrict(f Ref, v int, value bool) Ref {
 }
 
 func (m *Manager) restrict(f Ref, lv, val int32) Ref {
+	if m.conc != nil {
+		return m.restrictC(f, lv, val)
+	}
 	l := m.level(f)
 	if l > lv {
 		return f
@@ -519,6 +550,9 @@ func (m *Manager) maskHasLevel(id, l int32) bool {
 }
 
 func (m *Manager) quantify(f Ref, maskID int32, op uint32) Ref {
+	if m.conc != nil {
+		return m.quantifyC(f, maskID, op)
+	}
 	if f == True || f == False {
 		return f
 	}
@@ -549,6 +583,9 @@ func (m *Manager) AndExists(f, g Ref, vars []int) Ref {
 }
 
 func (m *Manager) andExists(f, g Ref, maskID int32) Ref {
+	if m.conc != nil {
+		return m.andExistsC(f, g, maskID)
+	}
 	switch {
 	case f == False || g == False:
 		return False

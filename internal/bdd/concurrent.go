@@ -1,0 +1,428 @@
+package bdd
+
+import "sync/atomic"
+
+// Concurrent sections. Between BeginConcurrent and EndConcurrent the
+// manager switches node creation and every memoized operation to lock-free
+// variants, so any number of goroutines may run ITE (and the derived
+// connectives), ExistsMask/ForallMask, AndExistsMask and Restrict
+// concurrently on the same manager. The design is epoch-based, in the
+// spirit of Sylvan (van Dijk & van de Pol, TACAS 2015), specialized to a
+// bounded section:
+//
+//   - BeginConcurrent pre-sizes an arena epoch (hint fresh slots, marked
+//     free) and a shared open-addressed unique table with load factor at
+//     most 1/2, so nothing ever grows, moves or rehashes while goroutines
+//     are inside the section;
+//   - mkC claims fresh slots with an atomic bump allocator and publishes
+//     node ids into unique-table slots with a CAS. A goroutine that loses
+//     the publication race to an identical node abandons its slot (counted
+//     in Stats.Leaked; reclaimed onto the free list at EndConcurrent);
+//   - the operation cache is a lossy seqlock table: writers CAS the entry
+//     sequence number odd, store, and release it even; readers validate the
+//     sequence number around the read and treat any tear as a miss;
+//   - a section that exhausts its epoch panics with EpochFull. RunConcurrent
+//     wraps the begin/end pair and re-runs the section with a doubled epoch
+//     (counted in Stats.EpochRetries).
+//
+// Memory-model argument. Published nodes are immutable for the whole
+// section (no GC, no sifting — both panic if attempted). A creating
+// goroutine writes the node's fields into a slot that only it can address
+// (the bump allocator hands each index to exactly one goroutine), and only
+// then CASes the id into the unique table. Every other goroutine reaches
+// the node exclusively through an atomic load of that table slot (or of a
+// cache entry validated by its seqlock, whose writer loaded the id from the
+// table first). Go's sync/atomic operations are sequentially consistent, so
+// the CAS/load pair is a happens-before edge ordering the plain field
+// writes before every field read: the section is race-detector clean.
+//
+// Results are canonical, hence schedule-independent: whatever interleaving
+// occurs, (level, lo, hi) resolves to exactly one published id, so two
+// goroutines computing the same Boolean function always return the same
+// Ref — this is what makes parallel symbolic traversal deterministic.
+//
+// During a section the manager-mutating entry points (Var/NVar on first
+// use, Cube, Exists/Forall/AndExists — which intern masks — IncRef/DecRef,
+// GC, Sift) must not be called; callers pre-build variables and intern
+// VarMasks beforehand.
+
+// EpochFull is the panic value raised when a concurrent section exhausts
+// its pre-sized arena epoch. Size is the epoch that proved too small;
+// RunConcurrent retries with twice that.
+type EpochFull struct{ Size int }
+
+// VarMask is a pre-interned quantification variable set. Interning mutates
+// the manager (a map insert), so masks must be created outside concurrent
+// sections; using one inside is lock-free.
+type VarMask int32
+
+// InternVarMask interns the variable set and returns its mask handle.
+// Not safe inside a concurrent section.
+func (m *Manager) InternVarMask(vars []int) VarMask {
+	return VarMask(m.internMask(vars))
+}
+
+// ExistsMask is Exists with a pre-interned mask (safe in concurrent
+// sections).
+func (m *Manager) ExistsMask(f Ref, mask VarMask) Ref {
+	return m.quantify(f, int32(mask), opExists)
+}
+
+// ForallMask is Forall with a pre-interned mask (safe in concurrent
+// sections).
+func (m *Manager) ForallMask(f Ref, mask VarMask) Ref {
+	return m.quantify(f, int32(mask), opForall)
+}
+
+// AndExistsMask is AndExists with a pre-interned mask (safe in concurrent
+// sections).
+func (m *Manager) AndExistsMask(f, g Ref, mask VarMask) Ref {
+	return m.andExists(f, g, int32(mask))
+}
+
+// ccEntry is one seqlock-protected slot of the concurrent op cache. seq is
+// odd while a writer holds the slot; readers validate seq before and after
+// reading the fields and treat any change as a miss.
+type ccEntry struct {
+	seq        atomic.Uint32
+	op         atomic.Uint32
+	f, g, h, r atomic.Int32
+}
+
+// concState carries the per-section structures: the shared unique table,
+// the epoch bump allocator and the seqlock cache.
+type concState struct {
+	table     []atomic.Int32 // node ids; 0 = empty (no tombstones: no deletion)
+	tableMask uint32
+
+	base, limit int64        // epoch arena window [base, limit)
+	next        atomic.Int64 // bump allocation cursor
+
+	cache     []ccEntry
+	cacheMask uint32
+
+	casRetries atomic.Uint64
+	leaked     atomic.Uint64
+}
+
+// BeginConcurrent enters a concurrent section with room for at least hint
+// fresh nodes. It pre-extends the arena, rebuilds the unique table into the
+// shared atomic form at load factor ≤ 1/2 (dropping tombstones), and
+// allocates the seqlock cache. Nesting panics.
+func (m *Manager) BeginConcurrent(hint int) {
+	if m.conc != nil {
+		panic("bdd: nested BeginConcurrent")
+	}
+	if hint < 1<<8 {
+		hint = 1 << 8
+	}
+	c := &concState{}
+
+	size := 1
+	for size < (m.tableUsed+hint)*2 {
+		size *= 2
+	}
+	c.table = make([]atomic.Int32, size)
+	c.tableMask = uint32(size - 1)
+	for id := int32(2); id < int32(len(m.nodes)); id++ {
+		if m.nodes[id].level != freeLevel {
+			n := &m.nodes[id]
+			h := hashNode(n.level, n.lo, n.hi) & c.tableMask
+			for c.table[h].Load() != 0 {
+				h = (h + 1) & c.tableMask
+			}
+			c.table[h].Store(id)
+		}
+	}
+
+	c.base = int64(len(m.nodes))
+	c.limit = c.base + int64(hint)
+	for int64(len(m.nodes)) < c.limit {
+		m.nodes = append(m.nodes, node{level: freeLevel})
+		m.extRef = append(m.extRef, 0)
+	}
+	c.next.Store(c.base)
+
+	csize := len(m.cache)
+	c.cache = make([]ccEntry, csize)
+	c.cacheMask = uint32(csize - 1)
+
+	m.conc = c
+}
+
+// EndConcurrent leaves the section: the epoch's unused tail is truncated,
+// leaked slots go back on the free list, the live count and contention
+// stats are folded in, and the sequential unique table is rebuilt at the
+// section's capacity. Always runs to completion, including after an
+// EpochFull unwind.
+func (m *Manager) EndConcurrent() {
+	c := m.conc
+	if c == nil {
+		panic("bdd: EndConcurrent without BeginConcurrent")
+	}
+	m.conc = nil
+
+	next := c.next.Load()
+	if next > c.limit {
+		next = c.limit
+	}
+	for id := c.base; id < next; id++ {
+		if m.nodes[id].level == freeLevel {
+			m.free = append(m.free, int32(id))
+		} else {
+			m.live++
+		}
+	}
+	m.nodes = m.nodes[:next]
+	m.extRef = m.extRef[:next]
+	if m.live > m.stats.PeakLive {
+		m.stats.PeakLive = m.live
+	}
+
+	m.stats.CASRetries += c.casRetries.Load()
+	m.stats.Leaked += c.leaked.Load()
+
+	// The sequential cache survived untouched and its entries are still
+	// valid (nodes are immutable during a section); only the table layout
+	// must be rebuilt around the new nodes.
+	m.rehashTo(len(c.table))
+	if m.live > m.cacheGrowAt {
+		m.growCache()
+	}
+}
+
+// RunConcurrent runs fn inside a concurrent section sized by hint,
+// re-running it with a doubled epoch whenever it reports exhaustion. fn
+// returns false when any goroutine it spawned recovered an EpochFull panic
+// (goroutine panics cannot cross stacks, so workers must catch their own);
+// an EpochFull escaping fn itself is caught here and treated the same.
+// Results computed in a failed round are discarded and recomputed — safely,
+// since canonical nodes from the failed round remain valid.
+func (m *Manager) RunConcurrent(hint int, fn func() bool) {
+	for {
+		full := !m.runEpoch(hint, fn)
+		if !full {
+			return
+		}
+		m.stats.EpochRetries++
+		hint *= 2
+	}
+}
+
+func (m *Manager) runEpoch(hint int, fn func() bool) (ok bool) {
+	m.BeginConcurrent(hint)
+	defer m.EndConcurrent()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isFull := r.(EpochFull); isFull {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn()
+}
+
+// allocC bump-allocates one epoch slot and writes the node's fields into
+// it. The fields are plain writes: the slot index was handed to exactly one
+// goroutine, and publication order is provided by the table CAS in mkC.
+func (m *Manager) allocC(c *concState, level int32, lo, hi Ref) int32 {
+	id := c.next.Add(1) - 1
+	if id >= c.limit {
+		panic(EpochFull{Size: int(c.limit - c.base)})
+	}
+	m.nodes[id] = node{level: level, lo: int32(lo), hi: int32(hi)}
+	return int32(id)
+}
+
+// mkC is the concurrent hash-cons: probe the shared table, and either adopt
+// an identical published node or claim an empty slot with a CAS. Probes
+// terminate because the table's load factor never exceeds 1/2 (the epoch
+// bounds insertions below the pre-sized headroom).
+func (m *Manager) mkC(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	c := m.conc
+	h := hashNode(level, int32(lo), int32(hi)) & c.tableMask
+	allocated := int32(-1)
+	for {
+		id := c.table[h].Load()
+		if id == 0 {
+			if allocated < 0 {
+				allocated = m.allocC(c, level, lo, hi)
+			}
+			if c.table[h].CompareAndSwap(0, allocated) {
+				return Ref(allocated)
+			}
+			// Lost the slot; re-read it — the winner may be our node.
+			c.casRetries.Add(1)
+			continue
+		}
+		n := &m.nodes[id]
+		if n.level == level && n.lo == int32(lo) && n.hi == int32(hi) {
+			if allocated >= 0 {
+				// An identical node won publication: abandon our slot.
+				// Only this goroutine holds the index, so the plain
+				// write cannot race.
+				m.nodes[allocated].level = freeLevel
+				c.leaked.Add(1)
+			}
+			return Ref(id)
+		}
+		h = (h + 1) & c.tableMask
+	}
+}
+
+func (c *concState) cacheGetC(op uint32, f, g, h int32) (Ref, bool) {
+	e := &c.cache[cacheMix(op, f, g, h)&c.cacheMask]
+	s := e.seq.Load()
+	if s&1 != 0 {
+		return False, false
+	}
+	if e.op.Load() != op || e.f.Load() != f || e.g.Load() != g || e.h.Load() != h {
+		return False, false
+	}
+	r := e.r.Load()
+	if e.seq.Load() != s {
+		return False, false
+	}
+	return Ref(r), true
+}
+
+func (c *concState) cachePutC(op uint32, f, g, h, r int32) {
+	e := &c.cache[cacheMix(op, f, g, h)&c.cacheMask]
+	s := e.seq.Load()
+	if s&1 != 0 || !e.seq.CompareAndSwap(s, s+1) {
+		return // another writer holds the slot: lossy skip
+	}
+	e.op.Store(op)
+	e.f.Store(f)
+	e.g.Store(g)
+	e.h.Store(h)
+	e.r.Store(r)
+	e.seq.Store(s + 2)
+}
+
+// iteC..restrictC mirror their sequential counterparts with the shared
+// structures swapped in: seqlock cache instead of the direct-mapped one,
+// mkC instead of mk, and no m.stats mutation (those fields are unguarded).
+
+func (m *Manager) iteC(f, g, h Ref) Ref {
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	case f == g:
+		g = True
+	case f == h:
+		h = False
+	}
+	c := m.conc
+	if r, ok := c.cacheGetC(opITE, int32(f), int32(g), int32(h)); ok {
+		return r
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	r := m.mkC(top, m.iteC(f0, g0, h0), m.iteC(f1, g1, h1))
+	c.cachePutC(opITE, int32(f), int32(g), int32(h), int32(r))
+	return r
+}
+
+func (m *Manager) restrictC(f Ref, lv, val int32) Ref {
+	l := m.level(f)
+	if l > lv {
+		return f
+	}
+	if l == lv {
+		if val != 0 {
+			return m.hi(f)
+		}
+		return m.lo(f)
+	}
+	c := m.conc
+	if r, ok := c.cacheGetC(opRestrict, int32(f), lv, val); ok {
+		return r
+	}
+	r := m.mkC(l, m.restrictC(m.lo(f), lv, val), m.restrictC(m.hi(f), lv, val))
+	c.cachePutC(opRestrict, int32(f), lv, val, int32(r))
+	return r
+}
+
+func (m *Manager) quantifyC(f Ref, maskID int32, op uint32) Ref {
+	if f == True || f == False {
+		return f
+	}
+	c := m.conc
+	if r, ok := c.cacheGetC(op, int32(f), maskID, 0); ok {
+		return r
+	}
+	l := m.level(f)
+	lo := m.quantifyC(m.lo(f), maskID, op)
+	hi := m.quantifyC(m.hi(f), maskID, op)
+	var r Ref
+	if m.maskHasLevel(maskID, l) {
+		if op == opExists {
+			r = m.iteC(lo, True, hi) // Or
+		} else {
+			r = m.iteC(lo, hi, False) // And
+		}
+	} else {
+		r = m.mkC(l, lo, hi)
+	}
+	c.cachePutC(op, int32(f), maskID, 0, int32(r))
+	return r
+}
+
+func (m *Manager) andExistsC(f, g Ref, maskID int32) Ref {
+	switch {
+	case f == False || g == False:
+		return False
+	case f == True:
+		return m.quantifyC(g, maskID, opExists)
+	case g == True:
+		return m.quantifyC(f, maskID, opExists)
+	case f == g:
+		return m.quantifyC(f, maskID, opExists)
+	}
+	if g < f {
+		f, g = g, f
+	}
+	c := m.conc
+	if r, ok := c.cacheGetC(opAndExists, int32(f), int32(g), maskID); ok {
+		return r
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	var r Ref
+	if m.maskHasLevel(maskID, top) {
+		a := m.andExistsC(f0, g0, maskID)
+		if a == True {
+			r = True
+		} else {
+			r = m.iteC(a, True, m.andExistsC(f1, g1, maskID)) // Or
+		}
+	} else {
+		r = m.mkC(top, m.andExistsC(f0, g0, maskID), m.andExistsC(f1, g1, maskID))
+	}
+	c.cachePutC(opAndExists, int32(f), int32(g), maskID, int32(r))
+	return r
+}

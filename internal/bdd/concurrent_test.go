@@ -1,0 +1,278 @@
+package bdd
+
+import (
+	"sync"
+	"testing"
+)
+
+// buildParity returns the parity function of vars [lo, hi) — a worst-case
+// BDD shape for sharing (every level doubles the node count is false for
+// parity; it is linear, but every goroutine building it must hash-cons the
+// exact same chain, maximizing publication races).
+func buildParity(m *Manager, lo, hi int) Ref {
+	r := False
+	for v := lo; v < hi; v++ {
+		r = m.Xor(r, m.Var(v))
+	}
+	return r
+}
+
+// TestConcurrentCanonicity races eight goroutines building overlapping
+// functions inside one concurrent section: hash-consing must hand every
+// goroutine the same Ref for the same function, and the merged manager
+// must still evaluate correctly afterwards. Run with -race this is the
+// publication-safety test for mkC and the seqlock cache.
+func TestConcurrentCanonicity(t *testing.T) {
+	const vars = 12
+	const workers = 8
+	m := New(vars)
+	for v := 0; v < vars; v++ {
+		m.Var(v) // pre-build projections: Var mutates the manager
+	}
+	results := make([]Ref, workers)
+	m.RunConcurrent(1<<14, func() bool {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Same function from every goroutine, built in a
+				// worker-dependent association order: canonicity must
+				// erase the difference.
+				r := buildParity(m, 0, vars)
+				if w%2 == 1 {
+					r = m.Xor(buildParity(m, 0, vars/2), buildParity(m, vars/2, vars))
+				}
+				results[w] = r
+			}(w)
+		}
+		wg.Wait()
+		return true
+	})
+	for w := 1; w < workers; w++ {
+		if results[w] != results[0] {
+			t.Fatalf("worker %d got Ref %d, worker 0 got %d — canonicity broken", w, results[w], results[0])
+		}
+	}
+	// Semantic check after the section: parity of all variables.
+	for env := uint64(0); env < 1<<vars; env += 37 {
+		want := popcount(env)%2 == 1
+		if got := m.Eval(results[0], env); got != want {
+			t.Fatalf("Eval(%b) = %v, want %v", env, got, want)
+		}
+	}
+	// The section must fold its accounting back: live nodes and the
+	// rebuilt unique table have to agree.
+	if m.tableUsed != m.live {
+		t.Fatalf("tableUsed %d != live %d after EndConcurrent", m.tableUsed, m.live)
+	}
+	if st := m.Stats(); st.Live != m.live {
+		t.Fatalf("Stats().Live %d != live %d", st.Live, m.live)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// TestConcurrentMatchesSequential builds the same function concurrently and
+// sequentially in two managers and compares them pointwise.
+func TestConcurrentMatchesSequential(t *testing.T) {
+	const vars = 10
+	seq := New(vars)
+	want := m3Majority(seq, vars)
+
+	conc := New(vars)
+	for v := 0; v < vars; v++ {
+		conc.Var(v)
+	}
+	var got Ref
+	conc.RunConcurrent(1<<12, func() bool {
+		var wg sync.WaitGroup
+		parts := make([]Ref, 4)
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				parts[w] = m3Majority(conc, vars)
+			}(w)
+		}
+		wg.Wait()
+		got = parts[0]
+		return true
+	})
+	for env := uint64(0); env < 1<<vars; env++ {
+		if seq.Eval(want, env) != conc.Eval(got, env) {
+			t.Fatalf("mismatch at env %b", env)
+		}
+	}
+}
+
+// m3Majority builds "at least half the variables are true" via the
+// full ITE recursion — cache- and mk-heavy.
+func m3Majority(m *Manager, vars int) Ref {
+	var build func(v, need int) Ref
+	build = func(v, need int) Ref {
+		if need <= 0 {
+			return True
+		}
+		if vars-v < need {
+			return False
+		}
+		return m.ITE(m.Var(v), build(v+1, need-1), build(v+1, need))
+	}
+	return build(0, (vars+1)/2)
+}
+
+// buildMinterms returns the union of k fixed distinct minterms over the
+// given variables — mostly unshared chains, so the node count scales with
+// k*vars and reliably overflows a small epoch.
+func buildMinterms(m *Manager, vars, k int) Ref {
+	r := False
+	for i := 0; i < k; i++ {
+		x := uint64(i*2621+7) & (1<<vars - 1)
+		c := True
+		for v := 0; v < vars; v++ {
+			if x&(1<<uint(v)) != 0 {
+				c = m.And(c, m.Var(v))
+			} else {
+				c = m.And(c, m.NVar(v))
+			}
+		}
+		r = m.Or(r, c)
+	}
+	return r
+}
+
+// TestEpochRetry forces arena exhaustion with a deliberately tiny epoch:
+// RunConcurrent must re-run the section with doubled epochs until it fits,
+// count the retries, and still produce a correct diagram.
+func TestEpochRetry(t *testing.T) {
+	const vars, k = 16, 64
+	m := New(vars)
+	for v := 0; v < vars; v++ {
+		m.Var(v)
+		m.NVar(v)
+	}
+	var r Ref
+	m.RunConcurrent(1, func() bool { // clamped to the 256 floor — still far too small
+		r = buildMinterms(m, vars, k)
+		return true
+	})
+	if m.Stats().EpochRetries == 0 {
+		t.Fatal("expected at least one epoch retry with a 256-slot epoch")
+	}
+	// k distinct minterms means exactly k satisfying assignments.
+	if got := m.SatCountBig(r); got.Int64() != k {
+		t.Fatalf("SatCountBig = %v, want %d", got, k)
+	}
+}
+
+// TestEpochFullCrossGoroutine pins the worker-side contract: an EpochFull
+// panic inside a spawned goroutine cannot cross stacks, so fn recovers it
+// and returns false; RunConcurrent then retries.
+func TestEpochFullCrossGoroutine(t *testing.T) {
+	const vars, k = 16, 64
+	m := New(vars)
+	for v := 0; v < vars; v++ {
+		m.Var(v)
+		m.NVar(v)
+	}
+	var r Ref
+	m.RunConcurrent(1, func() bool {
+		full := false
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(EpochFull); !ok {
+						panic(rec)
+					}
+					full = true
+				}
+			}()
+			r = buildMinterms(m, vars, k)
+		}()
+		wg.Wait()
+		return !full
+	})
+	if m.Stats().EpochRetries == 0 {
+		t.Fatal("expected epoch retries via the cross-goroutine path")
+	}
+	if got := m.SatCountBig(r); got.Int64() != k {
+		t.Fatalf("SatCountBig = %v, want %d", got, k)
+	}
+}
+
+// TestConcurrentGuards checks that the operations that would corrupt a
+// section panic instead of racing.
+func TestConcurrentGuards(t *testing.T) {
+	m := New(4)
+	m.Var(0)
+	m.RunConcurrent(1, func() bool {
+		for _, tc := range []struct {
+			name string
+			fn   func()
+		}{
+			{"GC", func() { m.GC() }},
+			{"Sift", func() { m.Sift() }},
+			{"BeginConcurrent", func() { m.BeginConcurrent(1) }},
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s inside a concurrent section must panic", tc.name)
+					}
+				}()
+				tc.fn()
+			}()
+		}
+		return true
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("EndConcurrent outside a section must panic")
+		}
+	}()
+	m.EndConcurrent()
+}
+
+// TestConcurrentThenGC makes sure leaked slots reclaimed at EndConcurrent
+// are genuinely reusable: a GC right after a contended section must leave a
+// consistent manager.
+func TestConcurrentThenGC(t *testing.T) {
+	const vars = 12
+	m := New(vars)
+	for v := 0; v < vars; v++ {
+		m.Var(v)
+	}
+	var r Ref
+	m.RunConcurrent(1<<12, func() bool {
+		var wg sync.WaitGroup
+		parts := make([]Ref, 8)
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				parts[w] = buildParity(m, 0, vars)
+			}(w)
+		}
+		wg.Wait()
+		r = parts[0]
+		return true
+	})
+	m.IncRef(r)
+	m.GC()
+	for env := uint64(0); env < 1<<vars; env += 11 {
+		want := popcount(env)%2 == 1
+		if got := m.Eval(r, env); got != want {
+			t.Fatalf("Eval(%b) after GC = %v, want %v", env, got, want)
+		}
+	}
+}

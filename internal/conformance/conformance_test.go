@@ -133,6 +133,12 @@ func TestConformanceEngines(t *testing.T) {
 			}{
 				{"plain", symbolic.Options{}},
 				{"gc+sift", symbolic.Options{GCThreshold: 256, Sift: true}},
+				// Parallel image computation: canonicity makes the fixpoint
+				// bit-identical to the sequential kernel's at any worker
+				// count, so the same exact counts must come back.
+				{"par-2", symbolic.Options{Workers: 2}},
+				{"par-4", symbolic.Options{Workers: 4}},
+				{"par-4+gc", symbolic.Options{Workers: 4, GCThreshold: 256}},
 			}
 			if mdl.unsafe {
 				symVariants = nil

@@ -1,0 +1,108 @@
+package reach
+
+import (
+	"sync/atomic"
+
+	"repro/internal/petri"
+)
+
+// wsTask is one unit of work-stealing exploration: a discovered marking
+// and its provisional visited-table id. Tasks carry their marking so
+// thieves never read a shared marking store — the deque slot's atomic
+// pointer is the publication edge for the task's fields.
+type wsTask struct {
+	m  petri.Marking
+	id int32
+}
+
+// wsDeque is a Chase-Lev work-stealing deque (Chase & Lev, "Dynamic
+// Circular Work-Stealing Deque", SPAA 2005). The owning worker pushes and
+// pops at the bottom; thieves steal from the top, racing each other and
+// the owner's last-element pop with a CAS on top. Go's sync/atomic
+// operations are sequentially consistent, which subsumes the fences of the
+// published algorithm.
+//
+// Slots hold *wsTask so a stolen task's fields are published by the slot
+// store/load pair itself; a slot for index i is never overwritten while i
+// lies in [top, bottom), and growth copies the live window into a doubled
+// ring without mutating the old one, so a thief validated by its CAS
+// always read a coherent task.
+type wsDeque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	ring   atomic.Pointer[wsRing]
+}
+
+type wsRing struct {
+	mask  int64
+	slots []atomic.Pointer[wsTask]
+}
+
+const initialDequeSize = 256
+
+func newWSDeque() *wsDeque {
+	d := &wsDeque{}
+	d.ring.Store(newWSRing(initialDequeSize))
+	return d
+}
+
+func newWSRing(size int64) *wsRing {
+	return &wsRing{mask: size - 1, slots: make([]atomic.Pointer[wsTask], size)}
+}
+
+// push appends t at the bottom, growing the ring when full. Owner-only.
+func (d *wsDeque) push(t *wsTask) {
+	b := d.bottom.Load()
+	top := d.top.Load()
+	r := d.ring.Load()
+	if b-top >= int64(len(r.slots)) {
+		nr := newWSRing(int64(len(r.slots)) * 2)
+		for i := top; i < b; i++ {
+			nr.slots[i&nr.mask].Store(r.slots[i&r.mask].Load())
+		}
+		d.ring.Store(nr)
+		r = nr
+	}
+	r.slots[b&r.mask].Store(t)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes and returns the bottom task, or nil when the deque is empty
+// or a thief won the race for the last element. Owner-only.
+func (d *wsDeque) pop() *wsTask {
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Already empty; restore the canonical empty shape.
+		d.bottom.Store(t)
+		return nil
+	}
+	task := r.slots[b&r.mask].Load()
+	if b > t {
+		return task
+	}
+	// Last element: race the thieves via top.
+	if !d.top.CompareAndSwap(t, t+1) {
+		task = nil
+	}
+	d.bottom.Store(t + 1)
+	return task
+}
+
+// steal takes the top task, or returns nil when the deque looks empty or
+// the CAS lost to the owner or another thief.
+func (d *wsDeque) steal() *wsTask {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	r := d.ring.Load()
+	task := r.slots[t&r.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return task
+}

@@ -1,0 +1,81 @@
+package reach
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDequeOwnerLIFOStealFIFO pins the sequential contract: the owner pops
+// in LIFO order, thieves steal in FIFO order, and growth preserves the
+// live window.
+func TestDequeOwnerLIFOStealFIFO(t *testing.T) {
+	d := newWSDeque()
+	if d.pop() != nil || d.steal() != nil {
+		t.Fatal("empty deque must yield nil")
+	}
+	// Push past the initial ring size to force a growth copy.
+	n := initialDequeSize * 3
+	for i := 0; i < n; i++ {
+		d.push(&wsTask{id: int32(i)})
+	}
+	if tk := d.steal(); tk == nil || tk.id != 0 {
+		t.Fatalf("steal got %+v, want id 0 (FIFO)", tk)
+	}
+	if tk := d.pop(); tk == nil || tk.id != int32(n-1) {
+		t.Fatalf("pop got %+v, want id %d (LIFO)", tk, n-1)
+	}
+	seen := 0
+	for d.pop() != nil {
+		seen++
+	}
+	if seen != n-2 {
+		t.Fatalf("drained %d tasks, want %d", seen, n-2)
+	}
+}
+
+// TestDequeConcurrentStealExactlyOnce runs one owner producing and popping
+// against several thieves: every pushed task must be consumed exactly
+// once. Run under -race this exercises the CAS races on top.
+func TestDequeConcurrentStealExactlyOnce(t *testing.T) {
+	const thieves, tasks = 4, 20000
+	d := newWSDeque()
+	taken := make([]atomic.Int32, tasks)
+	var consumed atomic.Int64
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				if tk := d.steal(); tk != nil {
+					taken[tk.id].Add(1)
+					consumed.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < tasks; i++ {
+		d.push(&wsTask{id: int32(i)})
+		if i%3 == 0 {
+			if tk := d.pop(); tk != nil {
+				taken[tk.id].Add(1)
+				consumed.Add(1)
+			}
+		}
+	}
+	for consumed.Load() < tasks {
+		if tk := d.pop(); tk != nil {
+			taken[tk.id].Add(1)
+			consumed.Add(1)
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+	for i := range taken {
+		if got := taken[i].Load(); got != 1 {
+			t.Fatalf("task %d consumed %d times", i, got)
+		}
+	}
+}

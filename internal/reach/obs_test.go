@@ -35,8 +35,9 @@ func TestObsCountersSequential(t *testing.T) {
 	}
 }
 
-// TestObsCountersParallel checks the parallel engine's level counter,
-// frontier histogram, worker gauge and per-level events.
+// TestObsCountersParallel checks the work-stealing engine's contention
+// counters (expanded, steals, cas_retries, resizes), worker gauge, worker
+// spans and the join event.
 func TestObsCountersParallel(t *testing.T) {
 	reg := obs.NewRegistry()
 	root := reg.Root("flow:test")
@@ -52,20 +53,25 @@ func TestObsCountersParallel(t *testing.T) {
 	if got := snap.Counters["reach.states"]; got != int64(g.NumStates()) {
 		t.Fatalf("reach.states = %d, want %d", got, g.NumStates())
 	}
-	if snap.Counters["reach.levels"] == 0 {
-		t.Fatal("reach.levels must be non-zero")
+	// Every state is expanded exactly once, whatever the steal schedule.
+	if got := snap.Counters["reach.expanded"]; got != int64(g.NumStates()) {
+		t.Fatalf("reach.expanded = %d, want %d", got, g.NumStates())
+	}
+	for _, name := range []string{"reach.steals", "reach.cas_retries", "reach.resizes"} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Fatalf("contention counter %s missing from snapshot", name)
+		}
 	}
 	if snap.Gauges["reach.workers"] != 4 {
 		t.Fatalf("reach.workers = %d, want 4", snap.Gauges["reach.workers"])
 	}
-	h, ok := snap.Histograms["reach.frontier"]
-	if !ok || h.Count == 0 {
-		t.Fatalf("reach.frontier histogram missing or empty: %+v", h)
+	if !hasSpan(snap, "worker:reach-1") {
+		t.Fatalf("no worker:reach-1 span in %+v", snap.Spans)
 	}
 	for _, sp := range snap.Spans {
 		if sp.Name == "engine:explicit-parallel" {
 			if len(sp.Events) == 0 {
-				t.Fatal("parallel engine span has no level events")
+				t.Fatal("parallel engine span has no join event")
 			}
 			return
 		}

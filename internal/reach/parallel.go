@@ -2,10 +2,12 @@ package reach
 
 import (
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/budget"
 	"repro/internal/obs"
@@ -13,15 +15,21 @@ import (
 	"repro/internal/shardset"
 )
 
-// exploreParallel is the parallel sharded explicit engine: a worker-pool
-// frontier expansion with a sharded visited table (one mutex per shard,
-// shard chosen by an FNV hash of the marking key) and level-synchronized
-// BFS. Within a level, every worker expands a disjoint slice of the
-// frontier, so the set of states and edges discovered per level is
-// schedule-independent; only the provisional state ids are not. A
-// deterministic post-pass renumbers states in canonical sequential-BFS
-// order, making the returned Graph bit-identical to the sequential
-// explorer's for every worker count.
+// exploreParallel is the parallel explicit engine: work-stealing frontier
+// expansion over the lock-free sharded visited table. Each worker owns a
+// Chase-Lev deque; a worker that discovers a new marking claims its dense
+// id from the visited table (a CAS, no lock), pushes the task onto its own
+// deque, and idle workers steal from the top of their siblings'. There are
+// no level barriers: a worker stalls only when the whole system is out of
+// work. Termination is detected by an in-flight task counter — incremented
+// before every push, decremented after the task's expansion has recorded
+// its edges — reaching zero.
+//
+// The set of states and edges discovered is schedule-independent; only the
+// provisional state ids are not. A deterministic post-pass renumbers
+// states in canonical sequential-BFS order (each expansion records its
+// steps in ascending transition order), making the returned Graph
+// bit-identical to the sequential explorer's for every worker count.
 //
 // MaxStates is enforced by the visited table itself: a refused insertion
 // proves the full state count exceeds the cap, so the state-limit error is
@@ -31,10 +39,10 @@ import (
 // cheap.
 //
 // Workers are panic-safe: a panic in any worker is recovered into a
-// budget.ErrInternal carrying the stack, sibling workers stop at their next
-// frontier item, and the one error is returned instead of crashing the
-// process. Cancellation (opts.Budget) is polled at every level barrier and,
-// amortized, inside worker expansion loops.
+// budget.ErrInternal carrying the stack, sibling workers stop at their
+// next task, and the one error is returned instead of crashing the
+// process. Cancellation (opts.Budget) is polled, amortized, once per task
+// expansion.
 func exploreParallel(n *petri.Net, opts Options, workers int, sp *obs.Span) (*Graph, error) {
 	init := n.InitialMarking()
 	if opts.RequireSafe && !init.Safe() {
@@ -48,132 +56,192 @@ func exploreParallel(n *petri.Net, opts Options, workers int, sp *obs.Span) (*Gr
 		t  int
 		to int32
 	}
-	// Provisional graph, indexed by visited-table id. markings and out only
-	// grow at level barriers; within a level workers read markings and
-	// write disjoint out[s] entries.
-	markings := []petri.Marking{init}
-	out := [][]pstep{nil}
-	frontier := []int32{0}
-
-	type workerResult struct {
-		newIDs      []int32
-		newMarkings []petri.Marking
-		err         error
-		limit       bool
+	// Per-worker append-only logs, merged after the join: the markings a
+	// worker inserted and the out-edges of the tasks it expanded. Every
+	// provisional id is inserted exactly once and every task is expanded
+	// exactly once (the deques hand each task to one worker), so the merge
+	// writes every provisional slot exactly once.
+	type expansion struct {
+		from  int32
+		steps []pstep
+	}
+	type stateRec struct {
+		id int32
+		m  petri.Marking
 	}
 
-	// stop makes sibling workers bail out at their next frontier item after
-	// a panic or cancellation; it carries no error itself.
-	var stop atomic.Bool
+	deques := make([]*wsDeque, workers)
+	for w := range deques {
+		deques[w] = newWSDeque()
+	}
+	edgeLogs := make([][]expansion, workers)
+	stateLogs := make([][]stateRec, workers)
+	stealCounts := make([]int64, workers)
+	expandCounts := make([]int64, workers)
+	errs := make([]error, workers)
+
+	// stop makes sibling workers bail out at their next task after a
+	// panic, error or limit trip; it carries no error itself. inFlight is
+	// the termination detector: tasks pushed but not yet fully expanded.
+	var (
+		stop     atomic.Bool
+		limitHit atomic.Bool
+		inFlight atomic.Int64
+	)
+	inFlight.Store(1)
+	deques[0].push(&wsTask{m: init, id: 0})
+
 	hooked := opts.Budget.Hooked()
 	reg := sp.Registry()
-	levels := reg.Counter("reach.levels")
 	checks := reg.Counter("reach.budget_checks")
-	frontierHist := reg.Histogram("reach.frontier")
 
-	for len(frontier) > 0 {
-		checks.Inc()
-		if err := opts.Budget.Check("reach.parallel"); err != nil {
-			return nil, err
-		}
-		levels.Inc()
-		frontierHist.Observe(int64(len(frontier)))
-		if sp != nil {
-			sp.Event("level", "frontier", strconv.Itoa(len(frontier)))
-		}
-		results := make([]workerResult, workers)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				res := &results[w]
-				defer func() {
-					if r := recover(); r != nil {
-						res.err = budget.Internal(r, debug.Stack())
-						stop.Store(true)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wsp := sp.ChildLane("worker:reach-"+strconv.Itoa(w+1), w+1)
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = budget.Internal(r, debug.Stack())
+					stop.Store(true)
+				}
+				if wsp != nil {
+					wsp.Attr("expanded", strconv.FormatInt(expandCounts[w], 10))
+					wsp.Attr("steals", strconv.FormatInt(stealCounts[w], 10))
+					wsp.End()
+				}
+			}()
+			my := deques[w]
+			idle := 0
+			for !stop.Load() {
+				tk := my.pop()
+				if tk == nil {
+					for i := 1; i < workers && tk == nil; i++ {
+						tk = deques[(w+i)%workers].steal()
 					}
-				}()
-				for i := w; i < len(frontier); i += workers {
-					if stop.Load() {
+					if tk == nil {
+						if inFlight.Load() == 0 {
+							return
+						}
+						// Out of work but not done: back off gently, then
+						// harder, so idle thieves do not starve the workers
+						// that still hold tasks.
+						idle++
+						if idle > 128 {
+							time.Sleep(5 * time.Microsecond)
+						} else {
+							runtime.Gosched()
+						}
+						continue
+					}
+					stealCounts[w]++
+				}
+				idle = 0
+				expandCounts[w]++
+				if hooked || expandCounts[w]%budget.CheckEvery == 0 {
+					checks.Inc()
+					if err := opts.Budget.Check("reach.parallel.worker"); err != nil {
+						errs[w] = err
+						stop.Store(true)
 						return
 					}
-					if hooked || i/workers%budget.CheckEvery == budget.CheckEvery-1 {
-						checks.Inc()
-						if err := opts.Budget.Check("reach.parallel.worker"); err != nil {
-							res.err = err
-							stop.Store(true)
-							return
-						}
-					}
-					s := frontier[i]
-					m := markings[s]
-					for t := 0; t < len(n.Transitions); t++ {
-						if !n.Enabled(m, t) {
-							continue
-						}
-						next := n.Fire(m, t)
-						if opts.RequireSafe && !next.Safe() {
-							res.err = fmt.Errorf("%w: firing %s from %s", ErrUnsafe,
-								n.Transitions[t].Name, m.Format(n))
-							stop.Store(true)
-							return
-						}
-						id, added := visited.Add(next.Key())
-						if id < 0 {
-							res.limit = true
-							return
-						}
-						if added {
-							res.newIDs = append(res.newIDs, int32(id))
-							res.newMarkings = append(res.newMarkings, next)
-						}
-						out[s] = append(out[s], pstep{t: t, to: int32(id)})
-					}
 				}
-			}(w)
-		}
-		wg.Wait()
+				m := tk.m
+				var steps []pstep
+				for t := 0; t < len(n.Transitions); t++ {
+					if !n.Enabled(m, t) {
+						continue
+					}
+					next := n.Fire(m, t)
+					if opts.RequireSafe && !next.Safe() {
+						errs[w] = fmt.Errorf("%w: firing %s from %s", ErrUnsafe,
+							n.Transitions[t].Name, m.Format(n))
+						stop.Store(true)
+						return
+					}
+					id, added := visited.Add(next.Key())
+					if id < 0 {
+						limitHit.Store(true)
+						stop.Store(true)
+						return
+					}
+					if added {
+						stateLogs[w] = append(stateLogs[w], stateRec{id: int32(id), m: next})
+						inFlight.Add(1)
+						my.push(&wsTask{m: next, id: int32(id)})
+					}
+					steps = append(steps, pstep{t: t, to: int32(id)})
+				}
+				edgeLogs[w] = append(edgeLogs[w], expansion{from: tk.id, steps: steps})
+				if inFlight.Add(-1) == 0 {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 
-		limit := false
-		var firstErr error
-		for w := range results {
-			if results[w].err != nil && firstErr == nil {
-				firstErr = results[w].err
-			}
-			limit = limit || results[w].limit
-		}
-		if firstErr != nil {
-			return nil, firstErr
-		}
-		if limit {
-			// The refused insertion proves the state count exceeds the cap.
-			// Re-derive the canonical partial graph sequentially: the cap
-			// bounds that pass, and the result — exactly maxStates states in
-			// sequential-BFS order plus the same typed error — is
-			// bit-identical to the sequential explorer's at any worker count.
-			seq := opts
-			seq.Workers = 0
-			seq.Arena = nil
-			g, err := Explore(n, seq)
-			if err == nil {
-				err = budget.LimitStates(maxStates, maxStates)
-			}
-			return g, err
-		}
+	// Contention counters: CAS retries and cooperative resizes from the
+	// visited table, steals and expansions from the workers.
+	var steals, expanded int64
+	for w := 0; w < workers; w++ {
+		steals += stealCounts[w]
+		expanded += expandCounts[w]
+	}
+	st := visited.Stats()
+	reg.Counter("reach.steals").Add(steals)
+	reg.Counter("reach.expanded").Add(expanded)
+	reg.Counter("reach.cas_retries").Add(st.CASRetries)
+	reg.Counter("reach.resizes").Add(st.Resizes)
+	if sp != nil {
+		sp.Event("workers-joined",
+			"expanded", strconv.FormatInt(expanded, 10),
+			"steals", strconv.FormatInt(steals, 10),
+			"cas_retries", strconv.FormatInt(st.CASRetries, 10))
+	}
 
-		// Barrier merge: ids handed out this level form the contiguous
-		// range [len(markings), visited.Len()).
-		if total := visited.Len(); total > len(markings) {
-			markings = append(markings, make([]petri.Marking, total-len(markings))...)
-			out = append(out, make([][]pstep, total-len(out))...)
+	var firstErr error
+	for w := range errs {
+		if errs[w] != nil {
+			firstErr = errs[w]
+			break
 		}
-		frontier = frontier[:0]
-		for w := range results {
-			for i, id := range results[w].newIDs {
-				markings[id] = results[w].newMarkings[i]
-			}
-			frontier = append(frontier, results[w].newIDs...)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if limitHit.Load() {
+		// The refused insertion proves the state count exceeds the cap.
+		// Re-derive the canonical partial graph sequentially: the cap
+		// bounds that pass, and the result — exactly maxStates states in
+		// sequential-BFS order plus the same typed error — is
+		// bit-identical to the sequential explorer's at any worker count.
+		seq := opts
+		seq.Workers = 0
+		seq.Arena = nil
+		g, err := Explore(n, seq)
+		if err == nil {
+			err = budget.LimitStates(maxStates, maxStates)
+		}
+		return g, err
+	}
+
+	// Merge the per-worker logs into the provisional graph, indexed by
+	// visited-table id. The WaitGroup join orders every worker write
+	// before these reads.
+	total := visited.Len()
+	markings := make([]petri.Marking, total)
+	out := make([][]pstep, total)
+	markings[0] = init
+	for w := range stateLogs {
+		for _, rec := range stateLogs[w] {
+			markings[rec.id] = rec.m
+		}
+	}
+	for w := range edgeLogs {
+		for _, e := range edgeLogs[w] {
+			out[e.from] = e.steps
 		}
 	}
 
@@ -181,14 +249,14 @@ func exploreParallel(n *petri.Net, opts Options, workers int, sp *obs.Span) (*Gr
 	// graph visits states in exactly the order the sequential explorer
 	// numbers them, because each state's steps are already in ascending
 	// transition order.
-	g := &Graph{Net: n, Index: make(map[string]int, len(markings))}
-	g.Out = make([][]Step, len(markings))
-	renum := make([]int32, len(markings))
+	g := &Graph{Net: n, Index: make(map[string]int, total)}
+	g.Out = make([][]Step, total)
+	renum := make([]int32, total)
 	for i := range renum {
 		renum[i] = -1
 	}
 	renum[0] = 0
-	order := make([]int32, 1, len(markings))
+	order := make([]int32, 1, total)
 	for head := 0; head < len(order); head++ {
 		steps := out[order[head]]
 		if len(steps) == 0 {

@@ -1,0 +1,52 @@
+package shardset
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkShardSetParallel is the contention microbenchmark of the
+// lock-free visited table: every parallel worker inserts from a
+// pre-generated key stream with a reachability-like duplicate ratio (each
+// key offered by several workers, as markings are rediscovered along
+// different firing orders). Run with -cpu 1,2,4,8 for the scaling axis:
+//
+//	go test -bench ShardSetParallel -cpu 1,2,4,8 ./internal/shardset/
+func BenchmarkShardSetParallel(b *testing.B) {
+	const distinct = 1 << 14
+	keys := make([]string, distinct)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("marking-%08x", i*2654435761)
+	}
+	b.Run("insert", func(b *testing.B) {
+		var cursor atomic.Int64
+		s := New(64)
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := cursor.Add(1)
+				s.Add(keys[int(i)%distinct])
+			}
+		})
+		st := s.Stats()
+		b.ReportMetric(float64(st.CASRetries), "cas_retries")
+		b.ReportMetric(float64(st.Resizes), "resizes")
+	})
+	b.Run("lookup", func(b *testing.B) {
+		s := New(64)
+		for _, k := range keys {
+			s.Add(k)
+		}
+		var cursor atomic.Int64
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := cursor.Add(1)
+				if _, ok := s.Get(keys[int(i)%distinct]); !ok {
+					b.Fatal("present key missed")
+				}
+			}
+		})
+	})
+}

@@ -1,14 +1,29 @@
 // Package shardset provides a concurrency-safe string-keyed set sharded
-// across independently locked hash buckets. It is the visited table of the
+// across independent lock-free hash tables. It is the visited table of the
 // parallel explicit reachability engine (Section 2.2 state-space taming):
-// markings hash to a shard by FNV-1a of their byte key, so concurrent
-// workers rarely contend on the same mutex, and every key is assigned a
-// unique dense id at insertion time.
+// markings hash to a shard by FNV-1a of their byte key, and within a shard
+// keys live in an open-addressed table whose slots are claimed by
+// compare-and-swap — no mutex is held on any insert or lookup path. Every
+// key is assigned a unique dense id at insertion time by an atomic
+// reservation on a shared counter.
+//
+// Memory model. A slot moves empty → busy (CAS claim) → full (release
+// store); the key and id are plain-written between the claim and the
+// release. Readers that atomically observe state full therefore see the
+// fully initialized key/id (the atomic store/load pair is the
+// happens-before edge). Probes never pass a busy slot, so a probe chain
+// can never skip a key that is being published. Growth is cooperative:
+// the inserter that trips the load factor drains in-flight writers
+// (tracked by a per-shard atomic count), copies the published slots into a
+// double-size table, and swaps the table pointer atomically; readers keep
+// probing their snapshot lock-free throughout.
 package shardset
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Set is a sharded set of string keys. Each first insertion of a key
@@ -20,15 +35,78 @@ type Set struct {
 	mask   uint32
 	n      atomic.Int64
 	limit  int64 // 0 = unlimited
+
+	casRetries atomic.Int64
+	resizes    atomic.Int64
 }
 
-type shard struct {
-	mu sync.Mutex
-	m  map[string]int
-	// Pad each shard to its own cache line so neighbouring mutexes do not
-	// false-share under contention.
-	_ [40]byte
+// Stats is a snapshot of the set's contention counters.
+type Stats struct {
+	// CASRetries counts failed claim attempts on empty slots — two
+	// inserters raced for the same slot and one re-probed.
+	CASRetries int64
+	// Resizes counts cooperative table doublings across all shards.
+	Resizes int64
 }
+
+// Stats returns a snapshot of the contention counters. It may be called
+// concurrently with insertions.
+func (s *Set) Stats() Stats {
+	return Stats{CASRetries: s.casRetries.Load(), Resizes: s.resizes.Load()}
+}
+
+// Slot states. A slot is claimed empty → busy by CAS and published
+// busy → full by a release store; busy → empty rolls back a claim that the
+// insertion limit refused.
+const (
+	slotEmpty int32 = iota
+	slotBusy
+	slotFull
+)
+
+// slot is one open-addressed table entry. hash caches the key's full
+// 32-bit hash so probes compare one word before the string and resizes
+// never rehash the keys.
+type slot struct {
+	state atomic.Int32
+	hash  uint32
+	id    int32
+	key   string
+}
+
+// table is one shard's open-addressed slot array (power-of-two sized).
+type table struct {
+	mask  uint32
+	slots []slot
+}
+
+// shardCore holds one shard's mutable state. The padding applied by shard
+// is derived from this struct's size, so layout changes cannot silently
+// reintroduce false sharing (the fix for the fixed-size padding that
+// assumed a map header).
+type shardCore struct {
+	tab      atomic.Pointer[table]
+	writers  atomic.Int32 // inserters inside the current table epoch
+	resizing atomic.Bool  // a resize is draining writers / copying
+	used     atomic.Int32 // claimed + published slots in the current table
+	mu       sync.Mutex   // serializes resizes only
+}
+
+// cacheLine is the padding unit: shards are padded to a multiple of it so
+// neighbouring shards' hot atomics do not false-share.
+const cacheLine = 64
+
+// shardPad rounds shardCore up to the next cache-line multiple, computed
+// from the actual layout rather than assumed.
+const shardPad = (cacheLine - unsafe.Sizeof(shardCore{})%cacheLine) % cacheLine
+
+type shard struct {
+	shardCore
+	_ [shardPad]byte
+}
+
+// initialShardSlots is the starting table size of each shard.
+const initialShardSlots = 16
 
 // New returns a set with the given shard count, rounded up to a power of
 // two (minimum 1).
@@ -46,7 +124,10 @@ func NewLimited(shards, limit int) *Set {
 	}
 	s := &Set{shards: make([]shard, n), mask: uint32(n - 1), limit: int64(limit)}
 	for i := range s.shards {
-		s.shards[i].m = make(map[string]int)
+		s.shards[i].tab.Store(&table{
+			mask:  initialShardSlots - 1,
+			slots: make([]slot, initialShardSlots),
+		})
 	}
 	return s
 }
@@ -55,38 +136,171 @@ func NewLimited(shards, limit int) *Set {
 // inserted it. When the set is at its limit and key is new, Add returns
 // (-1, false).
 func (s *Set) Add(key string) (id int, added bool) {
-	sh := &s.shards[fnv32a(key)&s.mask]
-	sh.mu.Lock()
-	if id, ok := sh.m[key]; ok {
-		sh.mu.Unlock()
-		return id, false
+	h := fnv32a(key)
+	sh := &s.shards[h&s.mask]
+	for {
+		if sh.resizing.Load() {
+			// A resize is in flight: wait for it on its mutex rather than
+			// spinning against the drain.
+			sh.mu.Lock()
+			sh.mu.Unlock() //nolint:staticcheck // gate, not a critical section
+			continue
+		}
+		sh.writers.Add(1)
+		if sh.resizing.Load() {
+			// The resize began between the check and the registration;
+			// deregister so the drain can finish, then wait.
+			sh.writers.Add(-1)
+			continue
+		}
+		tab := sh.tab.Load()
+		id, added, grow, ok := s.insert(sh, tab, h, key)
+		sh.writers.Add(-1)
+		if grow || !ok {
+			// Either this insert tripped the eager load-factor threshold,
+			// or the hard half-full reservation cap refused the claim (the
+			// key is still uninserted). Grow, then return or retry.
+			s.grow(sh, tab)
+		}
+		if ok {
+			return id, added
+		}
 	}
-	n := s.n.Add(1)
-	if s.limit > 0 && n > s.limit {
-		// Roll back the reservation. The transient over-count cannot admit
-		// an extra key elsewhere: any concurrently rejected Add also held a
-		// genuinely new key, so the true total exceeds the limit anyway.
-		s.n.Add(-1)
-		sh.mu.Unlock()
-		return -1, false
-	}
-	id = int(n - 1)
-	sh.m[key] = id
-	sh.mu.Unlock()
-	return id, true
 }
 
-// Get returns the id of key, if present.
-func (s *Set) Get(key string) (int, bool) {
-	sh := &s.shards[fnv32a(key)&s.mask]
+// insert probes the shard's table for key, claiming the first empty slot
+// if absent. It runs inside the writers guard, so the table cannot be
+// swapped underneath it. Slot claims reserve capacity on sh.used first and
+// the reservation cap keeps every table at most half full, so a probe
+// always terminates at an empty slot. grow reports that this insert
+// tripped the eager growth threshold (3/8 full); ok=false reports a claim
+// refused by the hard cap — the caller grows and retries.
+func (s *Set) insert(sh *shard, tab *table, h uint32, key string) (id int, added, grow, ok bool) {
+	i := probeStart(h) & tab.mask
+	for {
+		sl := &tab.slots[i]
+		switch sl.state.Load() {
+		case slotFull:
+			if sl.hash == h && sl.key == key {
+				return int(sl.id), false, false, true
+			}
+		case slotEmpty:
+			u := int(sh.used.Add(1))
+			if u*2 > len(tab.slots) {
+				sh.used.Add(-1)
+				return 0, false, false, false
+			}
+			if !sl.state.CompareAndSwap(slotEmpty, slotBusy) {
+				// Lost the claim race; re-examine the slot (the winner may
+				// be publishing this very key).
+				sh.used.Add(-1)
+				s.casRetries.Add(1)
+				continue
+			}
+			n := s.n.Add(1)
+			if s.limit > 0 && n > s.limit {
+				// Roll back both reservations and release the slot. The
+				// transient over-count cannot admit an extra key elsewhere:
+				// any concurrently rejected Add also held a genuinely new
+				// key, so the true total exceeds the limit anyway.
+				s.n.Add(-1)
+				sh.used.Add(-1)
+				sl.state.Store(slotEmpty)
+				return -1, false, false, true
+			}
+			sl.hash = h
+			sl.id = int32(n - 1)
+			sl.key = key
+			sl.state.Store(slotFull) // release: publishes hash/id/key
+			return int(n - 1), true, u*8 >= len(tab.slots)*3, true
+		case slotBusy:
+			// Another inserter is publishing this slot; its work between
+			// claim and release is a handful of stores, so spin briefly.
+			runtime.Gosched()
+			continue
+		}
+		i = (i + 1) & tab.mask
+	}
+}
+
+// grow cooperatively doubles sh's table: it drains in-flight writers,
+// copies the published slots (no busy slot can exist once writers are
+// drained), and swaps the table pointer. Readers keep probing their
+// snapshot; every key in the old table is also in the new one. old is the
+// table the caller observed — if it has already been replaced, the growth
+// it wanted has happened.
+func (s *Set) grow(sh *shard, old *table) {
 	sh.mu.Lock()
-	id, ok := sh.m[key]
-	sh.mu.Unlock()
-	return id, ok
+	defer sh.mu.Unlock()
+	tab := sh.tab.Load()
+	if tab != old {
+		return // another grower already ran
+	}
+	sh.resizing.Store(true)
+	for sh.writers.Load() != 0 {
+		runtime.Gosched()
+	}
+	nt := &table{
+		mask:  uint32(len(tab.slots)*2 - 1),
+		slots: make([]slot, len(tab.slots)*2),
+	}
+	moved := int32(0)
+	for i := range tab.slots {
+		sl := &tab.slots[i]
+		if sl.state.Load() != slotFull {
+			continue
+		}
+		j := probeStart(sl.hash) & nt.mask
+		for nt.slots[j].state.Load() == slotFull {
+			j = (j + 1) & nt.mask
+		}
+		ns := &nt.slots[j]
+		ns.hash, ns.id, ns.key = sl.hash, sl.id, sl.key
+		ns.state.Store(slotFull)
+		moved++
+	}
+	sh.used.Store(moved)
+	sh.tab.Store(nt)
+	sh.resizing.Store(false)
+	s.resizes.Add(1)
+}
+
+// Get returns the id of key, if present. It is lock-free: a concurrent
+// resize never blocks it, and any key whose insertion happened before the
+// Get is found.
+func (s *Set) Get(key string) (int, bool) {
+	h := fnv32a(key)
+	sh := &s.shards[h&s.mask]
+	tab := sh.tab.Load()
+	i := probeStart(h) & tab.mask
+	for {
+		sl := &tab.slots[i]
+		switch sl.state.Load() {
+		case slotFull:
+			if sl.hash == h && sl.key == key {
+				return int(sl.id), true
+			}
+		case slotEmpty:
+			return 0, false
+		case slotBusy:
+			// A concurrent insert is publishing here; it may be this key.
+			runtime.Gosched()
+			continue
+		}
+		i = (i + 1) & tab.mask
+	}
 }
 
 // Len returns the number of keys in the set.
 func (s *Set) Len() int { return int(s.n.Load()) }
+
+// probeStart remixes a key hash into its in-shard probe origin. The shard
+// index consumes the low bits of the hash, so the probe origin uses an
+// independent mix of all 32.
+func probeStart(h uint32) uint32 {
+	x := h * 0x9e3779b9
+	return x ^ x>>16
+}
 
 // fnv32a is the 32-bit FNV-1a hash.
 func fnv32a(s string) uint32 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"unsafe"
 )
 
 func TestAddGet(t *testing.T) {
@@ -63,6 +64,124 @@ func TestConcurrentAddsAssignDenseUniqueIDs(t *testing.T) {
 				t.Fatalf("key %d: worker %d saw id %d, worker 0 saw %d", k, w, ids[w][k], id)
 			}
 		}
+	}
+}
+
+// TestDenseIDsUnderConcurrentInsertion pins the dense-ids invariant under
+// -race: after disjoint concurrent insertions, every id in [0, Len())
+// appears exactly once, with growth forced through tiny initial tables.
+func TestDenseIDsUnderConcurrentInsertion(t *testing.T) {
+	const workers, perWorker = 8, 2000
+	s := New(4) // few shards: forces cooperative resizes under contention
+	ids := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < perWorker; k++ {
+				id, added := s.Add(fmt.Sprintf("w%d-key-%d", w, k))
+				if !added {
+					t.Errorf("disjoint key not added (w=%d k=%d)", w, k)
+					return
+				}
+				ids[w] = append(ids[w], id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := workers * perWorker
+	if s.Len() != total {
+		t.Fatalf("Len = %d, want %d", s.Len(), total)
+	}
+	seen := make([]bool, total)
+	for w := range ids {
+		for _, id := range ids[w] {
+			if id < 0 || id >= total || seen[id] {
+				t.Fatalf("id %d out of range or duplicated", id)
+			}
+			seen[id] = true
+		}
+	}
+	// Every key must still resolve to the id its inserter observed.
+	for w := range ids {
+		for k, want := range ids[w] {
+			if got, ok := s.Get(fmt.Sprintf("w%d-key-%d", w, k)); !ok || got != want {
+				t.Fatalf("Get(w%d-key-%d) = %d,%v want %d", w, k, got, ok, want)
+			}
+		}
+	}
+	if s.Stats().Resizes == 0 {
+		t.Fatal("16-slot initial tables must have resized under 16000 keys")
+	}
+}
+
+// TestShardAlignment pins the padding derivation: shards must tile cache
+// lines exactly, whatever fields shardCore grows, so neighbouring shards'
+// atomics never share a line.
+func TestShardAlignment(t *testing.T) {
+	if sz := unsafe.Sizeof(shard{}); sz%cacheLine != 0 {
+		t.Fatalf("shard size %d is not a multiple of the %d-byte cache line", sz, cacheLine)
+	}
+	if unsafe.Sizeof(shard{}) < unsafe.Sizeof(shardCore{}) {
+		t.Fatal("padding must extend, not truncate, the shard")
+	}
+}
+
+// TestGrowthKeepsAllKeys drives one shard through several doublings and
+// checks no key or id is lost across table swaps.
+func TestGrowthKeepsAllKeys(t *testing.T) {
+	s := New(1)
+	const n = 5000
+	for k := 0; k < n; k++ {
+		id, added := s.Add(fmt.Sprintf("key-%d", k))
+		if !added || id != k {
+			t.Fatalf("Add(key-%d) = %d,%v", k, id, added)
+		}
+	}
+	for k := 0; k < n; k++ {
+		if id, ok := s.Get(fmt.Sprintf("key-%d", k)); !ok || id != k {
+			t.Fatalf("Get(key-%d) = %d,%v after growth", k, id, ok)
+		}
+	}
+	if got := s.Stats().Resizes; got < 8 {
+		t.Fatalf("expected >= 8 doublings from 16 slots to %d keys, got %d", n, got)
+	}
+}
+
+// TestLimitConcurrent hammers a limited set from many goroutines offering
+// overlapping keys: Len must never exceed the limit, admitted keys must
+// have dense unique ids, and refused keys must be exactly the overflow.
+func TestLimitConcurrent(t *testing.T) {
+	const workers, keys, limit = 8, 300, 100
+	s := NewLimited(4, limit)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				s.Add(fmt.Sprintf("key-%d", k))
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != limit {
+		t.Fatalf("Len = %d, want exactly the limit %d", s.Len(), limit)
+	}
+	admitted := 0
+	seen := make([]bool, limit)
+	for k := 0; k < keys; k++ {
+		if id, ok := s.Get(fmt.Sprintf("key-%d", k)); ok {
+			if id < 0 || id >= limit || seen[id] {
+				t.Fatalf("key-%d: id %d out of range or duplicated", k, id)
+			}
+			seen[id] = true
+			admitted++
+		}
+	}
+	if admitted != limit {
+		t.Fatalf("%d keys admitted, want %d", admitted, limit)
 	}
 }
 

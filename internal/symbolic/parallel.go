@@ -1,0 +1,84 @@
+package symbolic
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bdd"
+)
+
+// parallelImage computes one forward-image step of the fixpoint in
+// parallel: the transition relation is partitioned into contiguous blocks,
+// one goroutine per block computes its partial image inside a BDD
+// concurrent section, and the partials are Or-merged on the calling
+// goroutine before the section closes.
+//
+// Determinism. Hash-consing gives every Boolean function exactly one node
+// id per manager, whatever the interleaving, and ∨ is associative and
+// commutative — so the merged image is the same Ref the sequential loop
+// would produce, at every worker count. The parallel engine therefore
+// yields bit-identical Results (CountExact, DeadStates, Iterations).
+//
+// A goroutine that exhausts the arena epoch recovers the bdd.EpochFull
+// panic on its own stack (panics cannot cross goroutines) and reports it;
+// RunConcurrent then re-runs the whole step with a doubled epoch. Nodes
+// published by the failed round stay canonical, so the re-run mostly hits
+// the unique table. Any other worker panic is re-raised on the calling
+// goroutine after the join.
+func parallelImage(m *bdd.Manager, ts []Trans, masks []bdd.VarMask, frontier bdd.Ref, workers, epochHint int) bdd.Ref {
+	if workers > len(ts) {
+		workers = len(ts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	next := bdd.False
+	m.RunConcurrent(epochHint, func() bool {
+		next = bdd.False // a retried round starts over
+		partials := make([]bdd.Ref, workers)
+		var full atomic.Bool
+		var panicMu sync.Mutex
+		var panicked any
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(bdd.EpochFull); ok {
+							full.Store(true)
+							return
+						}
+						panicMu.Lock()
+						if panicked == nil {
+							panicked = r
+						}
+						panicMu.Unlock()
+					}
+				}()
+				part := bdd.False
+				for i := w * len(ts) / workers; i < (w+1)*len(ts)/workers; i++ {
+					img := m.AndExistsMask(frontier, ts[i].Enable, masks[i])
+					if img == bdd.False {
+						continue
+					}
+					part = m.Or(part, m.And(img, ts[i].Result))
+				}
+				partials[w] = part
+			}(w)
+		}
+		wg.Wait()
+		if panicked != nil {
+			panic(panicked)
+		}
+		if full.Load() {
+			return false
+		}
+		for _, p := range partials {
+			next = m.Or(next, p)
+		}
+		return true
+	})
+	return next
+}

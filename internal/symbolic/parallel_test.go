@@ -1,0 +1,46 @@
+package symbolic
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/petri"
+	"repro/internal/vme"
+)
+
+// TestParallelImageDeterministic runs the same traversals with the
+// sequential kernel and with 2 and 4 image workers: iteration counts,
+// exact state counts and deadlock counts must be identical — canonicity
+// makes the parallel image bit-identical, not just equivalent.
+func TestParallelImageDeterministic(t *testing.T) {
+	nets := map[string]*petri.Net{
+		"toggles-10": gen.IndependentToggles(10),
+		"muller-5":   gen.MullerPipeline(5).Net,
+		"vme-rw":     vme.ReadWriteSTG().Net,
+	}
+	for name, net := range nets {
+		seq, err := ReachOpts(net, Options{})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		_, seqDead := DeadStates(net, seq)
+		for _, workers := range []int{2, 4} {
+			par, err := ReachOpts(net, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if par.CountExact.Cmp(seq.CountExact) != 0 {
+				t.Fatalf("%s workers=%d: CountExact %v, sequential %v",
+					name, workers, par.CountExact, seq.CountExact)
+			}
+			if par.Iterations != seq.Iterations {
+				t.Fatalf("%s workers=%d: %d iterations, sequential %d",
+					name, workers, par.Iterations, seq.Iterations)
+			}
+			if _, dead := DeadStates(net, par); dead != seqDead {
+				t.Fatalf("%s workers=%d: %v deadlocks, sequential %v",
+					name, workers, dead, seqDead)
+			}
+		}
+	}
+}

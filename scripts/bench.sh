@@ -14,7 +14,27 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES='^(BenchmarkSolveCSC|BenchmarkEquationDerivation|BenchmarkFullFlow|BenchmarkSymbolicVsExplicit|BenchmarkParallelExplore|BenchmarkServeSynthesize|BenchmarkPropCheck)$'
+BENCHES='^(BenchmarkSolveCSC|BenchmarkEquationDerivation|BenchmarkFullFlow|BenchmarkSymbolicVsExplicit|BenchmarkParallelExplore|BenchmarkSymbolicParallel|BenchmarkServeSynthesize|BenchmarkPropCheck)$'
+# Parallel families swept across GOMAXPROCS for the speedup columns: the
+# work-stealing explicit engine, the parallel symbolic image and the
+# lock-free shardset (the latter lives in its own package).
+SWEEP='^(BenchmarkParallelExplore|BenchmarkSymbolicParallel|BenchmarkShardSetParallel)$'
+SWEEP_PKGS='. ./internal/shardset'
+
+# run_sweep OUTVAR benchtime: runs the parallel families at GOMAXPROCS
+# 1, 2 and 4, capturing raw output per processor count, and sets OUTVAR to
+# the "procs=file,..." spec cmd/report -scaling consumes.
+run_sweep() {
+    local -n _spec=$1
+    local benchtime=$2
+    _spec=""
+    for p in 1 2 4; do
+        local f="$snapdir/sweep_$p.txt"
+        # shellcheck disable=SC2086
+        GOMAXPROCS=$p go test -run '^$' -bench "$SWEEP" -benchtime="$benchtime" $SWEEP_PKGS > "$f"
+        _spec+="${_spec:+,}$p=$f"
+    done
+}
 
 # Instrumented flow run: the metrics snapshot from cmd/synth -metrics on the
 # VME example is merged into the bench record so the trajectory carries the
@@ -26,8 +46,9 @@ go run ./cmd/synth -metrics "$snap" testdata/vme-read.g > /dev/null
 
 if [ "${1:-}" = "-smoke" ]; then
     out=$(mktemp "$snapdir/bench_synth.XXXXXX.json")
+    run_sweep sweepspec 1x
     go test -run '^$' -bench "$BENCHES" -benchtime=1x . \
-        | go run ./cmd/report -bench-json -merge-metrics "$snap" > "$out"
+        | go run ./cmd/report -bench-json -merge-metrics "$snap" -scaling "$sweepspec" > "$out"
     # The record must be well-formed JSON with a non-empty benchmark list.
     go run ./cmd/report -bench-json < /dev/null > /dev/null # exercises the empty path
     python3 - "$out" <<'EOF'
@@ -40,18 +61,33 @@ names = {b["name"] for b in rec["benchmarks"]}
 for want in ("SolveCSC/cscring-3/w1", "SolveCSC/cscring-3/w4",
              "EquationDerivation/cscring-2/w1", "EquationDerivation/cscring-2/w4",
              "ServeSynthesize/cold", "ServeSynthesize/cached",
+             "SymbolicParallel/toggles-16/w1", "SymbolicParallel/toggles-16/w4",
              "PropCheck/vme-read/explicit/w1", "PropCheck/vme-read/symbolic"):
     assert want in names, f"{want} missing from {sorted(names)}"
 snap = rec["metrics_snapshots"]["vme-read"]
 for counter in ("reach.states", "encoding.candidates", "logic.signals"):
     assert snap["counters"].get(counter, 0) > 0, f"{counter} zero in snapshot"
+scaling = rec["scaling"]
+assert scaling["gomaxprocs"] == [1, 2, 4], scaling["gomaxprocs"]
+rows = {r["name"]: r for r in scaling["rows"]}
+assert rows, "scaling sweep produced no rows"
+for want in ("ParallelExplore/pipeline-8/w4", "SymbolicParallel/toggles-16/w4",
+             "ShardSetParallel/insert"):
+    row = rows.get(want)
+    assert row, f"{want} missing from scaling rows {sorted(rows)}"
+    for p in ("1", "2", "4"):
+        assert row["ns_per_op"].get(p, 0) > 0, f"{want} has no ns/op at p={p}"
+    for p in ("2", "4"):
+        assert row.get("speedup", {}).get(p, 0) > 0, f"{want} has no speedup at p={p}"
 print(f"bench smoke: {len(rec['benchmarks'])} benchmarks parsed OK, "
-      f"{len(snap['counters'])} counters merged")
+      f"{len(snap['counters'])} counters merged, "
+      f"{len(rows)} scaling rows across GOMAXPROCS {scaling['gomaxprocs']}")
 EOF
     exit 0
 fi
 
 out=${OUT:-BENCH_synth.json}
+run_sweep sweepspec "${BENCHTIME:-1s}"
 go test -run '^$' -bench "$BENCHES" -benchtime="${BENCHTIME:-1s}" -benchmem . \
-    | go run ./cmd/report -bench-json -merge-metrics "$snap" > "$out"
+    | go run ./cmd/report -bench-json -merge-metrics "$snap" -scaling "$sweepspec" > "$out"
 echo "wrote $out"

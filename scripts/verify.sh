@@ -16,14 +16,22 @@ go build ./...
 # -timeout 30s per test binary: a hang in a budget/cancellation path must
 # fail the gate, not wedge it.
 go test -timeout 30s ./...
-go test -timeout 30s -race ./internal/reach/... ./internal/stubborn/... ./internal/shardset/... ./internal/obs/... ./internal/serve/...
+go test -timeout 30s -race ./internal/reach/... ./internal/stubborn/... ./internal/obs/... ./internal/serve/...
+# Lock-free structures under the race detector across processor counts:
+# the CAS shardset (dense-id and limit invariants), the concurrent BDD
+# kernel (canonicity, epoch retry) and the parallel symbolic image.
+go test -timeout 60s -race -cpu 1,2,4 ./internal/shardset/
+go test -timeout 120s -race ./internal/bdd/ ./internal/symbolic/
 # Fault-injection harness under the race detector: cancel/limit/panic
 # faults at every named check site must produce typed errors with no
 # hangs, crashes or goroutine leaks.
 go test -timeout 60s -race ./internal/faultinject/
-# Cross-engine differential suite under the race detector, then a short
-# fuzz smoke of the BDD kernel against its truth-table oracle.
-go test -timeout 60s -run Conformance -race ./internal/conformance/
+# Cross-engine differential suite under the race detector, pinned to
+# GOMAXPROCS=4 so the work-stealing explorer and the parallel symbolic
+# image really interleave: every engine must agree bit for bit at workers
+# 1/2/4. Then a short fuzz smoke of the BDD kernel against its
+# truth-table oracle.
+GOMAXPROCS=4 go test -timeout 120s -run Conformance -race ./internal/conformance/
 go test -fuzz=FuzzBDDOps -fuzztime=5s -run '^$' ./internal/bdd/
 # .g parser fuzz smoke: no panics, canonical form is a fixed point.
 go test -fuzz=FuzzSTGParse -fuzztime=5s -run '^$' ./internal/stg/
