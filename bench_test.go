@@ -12,6 +12,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -552,23 +553,77 @@ func BenchmarkServeSynthesize(b *testing.B) {
 			b.Fatalf("cached = %v, want %v", out.Cached, wantCached)
 		}
 	}
-	b.Run("cold", func(b *testing.B) {
-		srv := serve.New(serve.Config{CacheEntries: -1}) // cache disabled
+	newBenchServer := func(b *testing.B, cfg serve.Config) *httptest.Server {
+		srv, err := serve.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		ts := httptest.NewServer(srv.Handler())
-		defer ts.Close()
+		b.Cleanup(ts.Close)
+		return ts
+	}
+	b.Run("cold", func(b *testing.B) {
+		ts := newBenchServer(b, serve.Config{CacheEntries: -1}) // cache disabled
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			post(b, ts.URL, false)
 		}
 	})
 	b.Run("cached", func(b *testing.B) {
-		srv := serve.New(serve.Config{})
-		ts := httptest.NewServer(srv.Handler())
-		defer ts.Close()
+		ts := newBenchServer(b, serve.Config{})
 		post(b, ts.URL, false) // prime the cache
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			post(b, ts.URL, true)
+		}
+	})
+	// Durable variants isolate the write-ahead-journal overhead: cold-durable
+	// adds an fsync'd accept/start/finish record set per run (vs cold),
+	// cached-durable shows the warm path is journal-free (vs cached).
+	b.Run("cold-durable", func(b *testing.B) {
+		ts := newBenchServer(b, serve.Config{CacheEntries: -1, DataDir: b.TempDir()})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.URL, false)
+		}
+	})
+	b.Run("cached-durable", func(b *testing.B) {
+		ts := newBenchServer(b, serve.Config{DataDir: b.TempDir()})
+		post(b, ts.URL, false) // prime both cache tiers
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.URL, true)
+		}
+	})
+	// disk-hit measures the persisted path: every iteration runs against a
+	// freshly restarted server (cold memory tier, warm disk tier), so the
+	// timed request reads, verifies and promotes the on-disk entry.
+	b.Run("disk-hit", func(b *testing.B) {
+		dir := b.TempDir()
+		prime, err := serve.New(serve.Config{DataDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts := httptest.NewServer(prime.Handler())
+		post(b, pts.URL, false) // prime the disk tier
+		pts.Close()
+		if err := prime.Shutdown(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			srv, err := serve.New(serve.Config{DataDir: dir})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			b.StartTimer()
+			post(b, ts.URL, true) // disk hit on a cold memory tier
+			b.StopTimer()
+			ts.Close()
+			srv.Shutdown(context.Background())
+			b.StartTimer()
 		}
 	})
 }

@@ -6,12 +6,19 @@
 //
 //	serve [-addr HOST:PORT] [-workers N] [-queue N]
 //	      [-cache-entries N] [-cache-bytes N] [-async-threshold N]
-//	      [-job-timeout D] [-drain D]
+//	      [-job-timeout D] [-drain D] [-data-dir DIR]
+//	      [-shed-cost N] [-shed-base D] [-shed-cap D]
 //	      [-metrics FILE] [-trace-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Endpoints (see internal/serve): POST /v1/parse, /v1/analyze,
 // /v1/synthesize, /v1/verify; GET /v1/jobs/{id}; DELETE /v1/jobs/{id};
-// GET /metrics.
+// GET /metrics; GET /healthz; GET /readyz.
+//
+// -data-dir makes the daemon durable: jobs are journaled (accepted jobs
+// survive a crash and re-enqueue on restart; jobs that died mid-run are
+// reported as interrupted) and cached results persist on disk across
+// restarts. -shed-cost bounds the total in-flight admission cost; excess
+// requests get 503 with a decorrelated-jitter Retry-After hint.
 //
 // The daemon prints "serve: listening on http://ADDR" once ready (use
 // -addr 127.0.0.1:0 to pick a free port) and drains gracefully on SIGINT
@@ -58,6 +65,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) (err erro
 	asyncThreshold := fs.Int("async-threshold", 256, "transition count above which requests default to async job handles")
 	jobTimeout := fs.Duration("job-timeout", 0, "wall-clock ceiling per job (0 = none)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+	dataDir := fs.String("data-dir", "", "durability directory: job journal + disk result cache (empty = in-memory only)")
+	shedCost := fs.Int64("shed-cost", 0, "in-flight admission-cost bound; past it requests shed with 503 + Retry-After (0 = 4×queue×2^20, negative disables)")
+	shedBase := fs.Duration("shed-base", time.Second, "minimum Retry-After hint on shed responses")
+	shedCap := fs.Duration("shed-cap", 30*time.Second, "maximum Retry-After hint on shed responses")
 	var ins cli.Instrumentation
 	ins.AddFlags(fs)
 	if err := cli.Parse(fs, args); err != nil {
@@ -75,15 +86,22 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) (err erro
 	defer cli.Recover(&err)
 	defer ins.FinishTo(stdout, stderr, &err)
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		Workers:        *workers,
 		Queue:          *queue,
 		CacheEntries:   *cacheEntries,
 		CacheBytes:     *cacheBytes,
 		AsyncThreshold: *asyncThreshold,
 		JobTimeout:     *jobTimeout,
+		DataDir:        *dataDir,
+		ShedCost:       *shedCost,
+		ShedBase:       *shedBase,
+		ShedCap:        *shedCap,
 		Registry:       ins.Registry, // nil without -metrics/-trace-json: serve makes its own
 	})
+	if err != nil {
+		return err
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,156 @@
+// Package chaos is the crash-recovery harness for cmd/serve: it runs the
+// daemon as a real subprocess, arms faultinject kill sites through the
+// environment so the process SIGKILLs itself at named points — journal
+// append, mid-job, mid-cache-write — then restarts it on the same data
+// directory and asserts the recovery invariants: no acknowledged job is
+// lost, a job that died mid-run is reported as interrupted, and a torn
+// cache write is never served.
+//
+// The harness is deliberately out-of-process: in-process fault injection
+// cannot model a SIGKILL (deferred cleanups still run), and the whole point
+// of the durability layer is surviving deaths where nothing gets to clean
+// up.
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// Proc is one daemon generation under harness control.
+type Proc struct {
+	// Addr is the bound host:port once Start returns.
+	Addr string
+
+	cmd  *exec.Cmd
+	exit chan error // receives cmd.Wait() exactly once
+
+	mu   sync.Mutex
+	logb bytes.Buffer
+}
+
+// Start launches bin on a fresh port over dataDir and blocks until the
+// daemon reports its listen address. crashSpec, when non-empty, arms a
+// faultinject kill site ("site:N") in the child's environment.
+func Start(bin, dataDir, crashSpec string, extra ...string) (*Proc, error) {
+	args := append([]string{"-addr", "127.0.0.1:0", "-data-dir", dataDir}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Env = os.Environ()
+	if crashSpec != "" {
+		cmd.Env = append(cmd.Env, faultinject.CrashEnv+"="+crashSpec)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	p := &Proc{cmd: cmd, exit: make(chan error, 1)}
+	cmd.Stderr = procWriter{p}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		// Read stdout to EOF before Wait (Wait closes the pipe): the
+		// goroutine ends exactly when the child dies, so the harness leaks
+		// nothing across generations.
+		buf := make([]byte, 4096)
+		var line strings.Builder
+		for {
+			n, rerr := stdout.Read(buf)
+			if n > 0 {
+				p.log(string(buf[:n]))
+				line.WriteString(string(buf[:n]))
+				if txt := line.String(); strings.Contains(txt, "\n") {
+					for _, l := range strings.Split(txt, "\n") {
+						if a, ok := strings.CutPrefix(l, "serve: listening on http://"); ok {
+							select {
+							case addrc <- a:
+							default:
+							}
+						}
+					}
+					line.Reset()
+				}
+			}
+			if rerr != nil {
+				break
+			}
+		}
+		p.exit <- cmd.Wait()
+	}()
+	select {
+	case a := <-addrc:
+		p.Addr = a
+		return p, nil
+	case err := <-p.exit:
+		return nil, fmt.Errorf("serve exited before listening: %v\n%s", err, p.Log())
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		<-p.exit
+		return nil, fmt.Errorf("serve did not report a listen address within 30s\n%s", p.Log())
+	}
+}
+
+// WaitSIGKILL blocks until the armed child dies and verifies it died by its
+// own SIGKILL — the faultinject crash — not a clean exit or another signal.
+func (p *Proc) WaitSIGKILL(timeout time.Duration) error {
+	select {
+	case err := <-p.exit:
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			return fmt.Errorf("serve exited cleanly (%v), want SIGKILL\n%s", err, p.Log())
+		}
+		ws, ok := ee.Sys().(syscall.WaitStatus)
+		if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+			return fmt.Errorf("serve died with %v, want SIGKILL\n%s", err, p.Log())
+		}
+		return nil
+	case <-time.After(timeout):
+		p.cmd.Process.Kill()
+		<-p.exit
+		return fmt.Errorf("serve still alive after %v — the kill site never fired\n%s", timeout, p.Log())
+	}
+}
+
+// Stop drains the daemon with SIGTERM and waits for a clean exit.
+func (p *Proc) Stop(timeout time.Duration) error {
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case err := <-p.exit:
+		return err
+	case <-time.After(timeout):
+		p.cmd.Process.Kill()
+		<-p.exit
+		return fmt.Errorf("serve did not drain within %v\n%s", timeout, p.Log())
+	}
+}
+
+// Log returns everything the child wrote to stdout and stderr so far.
+func (p *Proc) Log() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.logb.String()
+}
+
+func (p *Proc) log(s string) {
+	p.mu.Lock()
+	p.logb.WriteString(s)
+	p.mu.Unlock()
+}
+
+// procWriter funnels the child's stderr into the shared log buffer.
+type procWriter struct{ p *Proc }
+
+func (w procWriter) Write(b []byte) (int, error) {
+	w.p.log(string(b))
+	return len(b), nil
+}

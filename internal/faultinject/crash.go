@@ -1,0 +1,76 @@
+package faultinject
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// Kill sites extend the harness from in-process faults (cancel / limit /
+// panic through the budget hook) to whole-process death: a component calls
+// Crash(site) at the points where a real crash would be most damaging —
+// mid-journal-append, between journal write and job execution, mid-cache-
+// file-write — and a chaos test arms exactly one site through the
+// environment before starting the process under test. On the Nth hit of the
+// armed site the process SIGKILLs itself: no deferred functions, no flushes,
+// no signal handlers — the closest a test can get to a power cut.
+//
+// Unarmed (the production default), Crash is one atomic load and a string
+// compare against ""; it never fires.
+
+// CrashEnv is the environment variable that arms a kill site:
+// "site:N" fires at the Nth (1-based) hit of site; a bare "site" means
+// N = 1. Only one site can be armed per process.
+const CrashEnv = "FAULTINJECT_CRASH"
+
+var crash struct {
+	once sync.Once
+	site string
+	n    int64
+	hits atomic.Int64
+}
+
+func crashInit() {
+	spec := os.Getenv(CrashEnv)
+	if spec == "" {
+		return
+	}
+	site, ns, ok := strings.Cut(spec, ":")
+	n := int64(1)
+	if ok {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v < 1 {
+			return // malformed spec: stay unarmed rather than misfire
+		}
+		n = int64(v)
+	}
+	crash.site, crash.n = site, n
+}
+
+// CrashArmed reports whether the named kill site is armed in this process.
+// Components that need to model a torn write — half the bytes on disk, then
+// death — check it to switch to a split-write path; the check is free when
+// nothing is armed.
+func CrashArmed(site string) bool {
+	crash.once.Do(crashInit)
+	return crash.site == site
+}
+
+// Crash counts one hit of the named kill site and, on the Nth hit of the
+// armed site, terminates the process with SIGKILL. It returns normally on
+// every other call (and always when unarmed).
+func Crash(site string) {
+	if !CrashArmed(site) {
+		return
+	}
+	if crash.hits.Add(1) != crash.n {
+		return
+	}
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	// SIGKILL delivery is asynchronous; park so no code past the kill site
+	// ever runs in the vanishingly small window before death.
+	select {}
+}

@@ -1,0 +1,65 @@
+package faultinject_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestCrashHelper is the subprocess body of TestCrashKillSite: it hammers
+// two kill sites and prints a survival marker that must never appear when
+// the armed site's hit count is reached. Skipped unless re-executed with
+// CrashEnv set by the parent test.
+func TestCrashHelper(t *testing.T) {
+	if os.Getenv(faultinject.CrashEnv) == "" {
+		t.Skip("helper process only")
+	}
+	for i := 0; i < 5; i++ {
+		faultinject.Crash("other.site")
+		faultinject.Crash("test.site")
+	}
+	fmt.Println("SURVIVED")
+}
+
+// TestCrashKillSite re-executes the test binary with an armed kill site and
+// asserts the child dies by SIGKILL at exactly the Nth hit — other sites'
+// hits must not advance the counter.
+func TestCrashKillSite(t *testing.T) {
+	cmd := exec.Command(os.Args[0], "-test.run=TestCrashHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), faultinject.CrashEnv+"=test.site:3")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("armed subprocess exited cleanly:\n%s", out)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("unexpected error kind: %v", err)
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("subprocess did not die by SIGKILL: %v\n%s", err, out)
+	}
+	if strings.Contains(string(out), "SURVIVED") {
+		t.Fatalf("subprocess survived past the armed site:\n%s", out)
+	}
+}
+
+// TestCrashUnarmed: with nothing armed, Crash is a no-op and CrashArmed is
+// false for every site (this test process has no CrashEnv set).
+func TestCrashUnarmed(t *testing.T) {
+	if os.Getenv(faultinject.CrashEnv) != "" {
+		t.Skip("environment arms a site")
+	}
+	if faultinject.CrashArmed("any.site") {
+		t.Fatal("CrashArmed true without env")
+	}
+	for i := 0; i < 10; i++ {
+		faultinject.Crash("any.site") // must return
+	}
+}

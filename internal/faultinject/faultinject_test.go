@@ -294,6 +294,39 @@ func TestCoreFallbackLadder(t *testing.T) {
 	}
 }
 
+// TestCoreFallbackPanicDegrades: a worker panic recovered into a typed
+// *budget.ErrInternal during the explicit state-graph build takes the same
+// degradation ladder as a resource limit — the crash-retry policy of the
+// service layer depends on this rung advance.
+func TestCoreFallbackPanicDegrades(t *testing.T) {
+	done := leakCheck(t)
+	plan := Plan{Mode: Panic, N: 3, Site: "reach.parallel.worker"}
+	in, b := New(plan)
+	defer in.Release()
+	rep, err := core.Synthesize(vme.ReadSTG(), core.Options{
+		Reach:    reach.Options{Workers: 4},
+		Budget:   b,
+		Fallback: true,
+	})
+	if !in.Fired() {
+		t.Skip("exploration finished before the injection point")
+	}
+	if err != nil {
+		t.Fatalf("panic-degraded run must succeed, got %v", err)
+	}
+	if rep.Netlist != nil {
+		t.Fatal("degraded run must not synthesize a netlist")
+	}
+	var ie *budget.ErrInternal
+	if first := rep.Attempts[0]; first.Engine != "explicit" || !errors.As(first.Err, &ie) {
+		t.Fatalf("first attempt must be the panicked explicit build, got %+v", first)
+	}
+	if last := rep.Attempts[len(rep.Attempts)-1]; last.Engine == "explicit" || last.Err != nil {
+		t.Fatalf("ladder did not complete on a cheaper engine: %v", rep.Attempts)
+	}
+	done()
+}
+
 // TestCoreFallbackCancelAborts: cancellation is never degraded around — it
 // aborts the ladder with ErrCanceled.
 func TestCoreFallbackCancelAborts(t *testing.T) {

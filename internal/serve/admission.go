@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Admission control sheds load before the queue melts: every job carries a
+// cost — its requested state budget, or a default weight when the request
+// asks for an unbounded run — and the gate bounds the total cost in flight
+// (queued + running). Past the bound, requests are rejected with 503 and a
+// decorrelated-jitter Retry-After hint, so a retrying client fleet spreads
+// out instead of thundering back in lockstep. The plain queue-depth bound
+// still applies underneath; the gate is the cost-aware layer above it.
+
+// defaultJobCost weighs a job with no explicit MaxStates budget: an
+// unbounded request is the most expensive kind, so it is charged a full
+// 2^20-state weight.
+const defaultJobCost = 1 << 20
+
+// jobCost is a request's admission weight: its requested state budget.
+func jobCost(o ReqOptions) int64 {
+	if o.MaxStates > 0 {
+		return int64(o.MaxStates)
+	}
+	return defaultJobCost
+}
+
+// errOverload is the typed rejection of the admission layer (shed gate or
+// full queue); it carries the backoff hint the handler turns into a
+// Retry-After header.
+type errOverload struct {
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *errOverload) Error() string { return e.msg }
+
+// shedGate tracks in-flight cost and computes backoff hints. limit <= 0
+// disables shedding (the gate admits everything).
+type shedGate struct {
+	limit    int64
+	base     time.Duration
+	cap      time.Duration
+	inflight atomic.Int64
+	prev     atomic.Int64 // previous hint, for the decorrelated walk
+	shed     *obs.Counter
+	gauge    *obs.Gauge
+}
+
+func newShedGate(limit int64, base, cap time.Duration, shed *obs.Counter, gauge *obs.Gauge) *shedGate {
+	return &shedGate{limit: limit, base: base, cap: cap, shed: shed, gauge: gauge}
+}
+
+// admit reserves cost against the limit, or sheds. A single job larger than
+// the whole limit is still admitted when the gate is idle — otherwise it
+// could never run at all.
+func (g *shedGate) admit(cost int64) bool {
+	if g.limit <= 0 {
+		return true
+	}
+	for {
+		cur := g.inflight.Load()
+		if cur > 0 && cur+cost > g.limit {
+			g.shed.Inc()
+			return false
+		}
+		if g.inflight.CompareAndSwap(cur, cur+cost) {
+			g.gauge.Set(cur + cost)
+			return true
+		}
+	}
+}
+
+// force reserves cost unconditionally: recovery re-admits journaled jobs
+// even past the limit — they were acknowledged before the crash, and the
+// durability contract outranks the shed bound.
+func (g *shedGate) force(cost int64) {
+	if g.limit <= 0 {
+		return
+	}
+	g.gauge.Set(g.inflight.Add(cost))
+}
+
+// release returns a finished job's cost to the gate.
+func (g *shedGate) release(cost int64) {
+	if g.limit <= 0 {
+		return
+	}
+	g.gauge.Set(g.inflight.Add(-cost))
+}
+
+// retryAfter is the decorrelated-jitter backoff hint (AWS architecture
+// blog): next = min(cap, random in [base, 3×previous]). Successive shed
+// responses hand out an expanding, jittered spread of retry times; the walk
+// decays back to base once admissions succeed again.
+func (g *shedGate) retryAfter() time.Duration {
+	prev := time.Duration(g.prev.Load())
+	if prev < g.base {
+		prev = g.base
+	}
+	next := g.base
+	if span := int64(3*prev - g.base); span > 0 {
+		next += time.Duration(rand.Int63n(span + 1))
+	}
+	if next > g.cap {
+		next = g.cap
+	}
+	g.prev.Store(int64(next))
+	return next
+}
+
+// settle resets the backoff walk after a successful admission, so hints
+// reflect current pressure rather than a past overload episode.
+func (g *shedGate) settle() {
+	g.prev.Store(int64(g.base))
+}
+
+// overload builds the typed rejection for the current pressure.
+func (g *shedGate) overload(format string, args ...any) *errOverload {
+	return &errOverload{
+		retryAfter: g.retryAfter(),
+		msg:        fmt.Sprintf(format, args...),
+	}
+}

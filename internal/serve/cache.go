@@ -63,12 +63,19 @@ func (c *cache) put(key string, data []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.index[key]; ok {
-		// Same content address ⇒ same bytes; just refresh recency.
+		// Overwrite: replace the bytes and charge only the size delta —
+		// the entry was already accounted once. (Same content address
+		// normally means same bytes, but a promotion from the disk tier
+		// after a version skew may differ; the account must stay exact
+		// either way.)
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(data)) - int64(len(e.data))
+		e.data = data
 		c.ll.MoveToFront(el)
-		return
+	} else {
+		c.index[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+		c.bytes += int64(len(data))
 	}
-	c.index[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
-	c.bytes += int64(len(data))
 	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
 		last := c.ll.Back()
 		if last == nil {

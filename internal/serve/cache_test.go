@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCachePutOverwrite is the regression test for overwrite accounting: a
+// put of an existing key must replace the bytes and charge only the size
+// delta, never double-charge the byte gauge or keep stale data.
+func TestCachePutOverwrite(t *testing.T) {
+	c := newCache(16, 1<<20)
+	c.put("k", []byte("aaaa"))
+	if _, bytes, _ := c.stats(); bytes != 4 {
+		t.Fatalf("after first put: bytes = %d, want 4", bytes)
+	}
+
+	// Same size: the account must not grow.
+	c.put("k", []byte("bbbb"))
+	if got, ok := c.get("k"); !ok || string(got) != "bbbb" {
+		t.Fatalf("after overwrite: get = %q, %v; want \"bbbb\", true", got, ok)
+	}
+	if entries, bytes, _ := c.stats(); entries != 1 || bytes != 4 {
+		t.Fatalf("after same-size overwrite: entries=%d bytes=%d, want 1, 4", entries, bytes)
+	}
+
+	// Larger: charge exactly the delta.
+	c.put("k", []byte("cccccccc"))
+	if _, bytes, _ := c.stats(); bytes != 8 {
+		t.Fatalf("after growing overwrite: bytes = %d, want 8", bytes)
+	}
+	// Smaller: release exactly the delta.
+	c.put("k", []byte("dd"))
+	if _, bytes, _ := c.stats(); bytes != 2 {
+		t.Fatalf("after shrinking overwrite: bytes = %d, want 2", bytes)
+	}
+}
+
+// TestCacheOverwriteEviction checks a growing overwrite still enforces the
+// byte bound through the shared eviction loop.
+func TestCacheOverwriteEviction(t *testing.T) {
+	c := newCache(16, 10)
+	c.put("a", []byte("xxxx"))
+	c.put("b", []byte("yyyy"))
+	c.put("b", []byte("yyyyyyyy")) // 4+8 = 12 > 10: must evict "a" (LRU)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("oldest entry survived an over-budget overwrite")
+	}
+	if got, ok := c.get("b"); !ok || string(got) != "yyyyyyyy" {
+		t.Fatalf("overwritten entry: get = %q, %v", got, ok)
+	}
+	if entries, bytes, evictions := c.stats(); entries != 1 || bytes != 8 || evictions != 1 {
+		t.Fatalf("entries=%d bytes=%d evictions=%d, want 1, 8, 1", entries, bytes, evictions)
+	}
+}
+
+// TestCacheConcurrentOverwrite hammers one hot key plus a rotating key set
+// from many goroutines; run under -race. The invariant checked afterwards is
+// the one the accounting bug broke: the byte gauge equals the sum of the
+// live entries.
+func TestCacheConcurrentOverwrite(t *testing.T) {
+	c := newCache(32, 1<<20)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.put("hot", make([]byte, 1+(i+w)%64))
+				c.put(fmt.Sprintf("k%d", i%40), make([]byte, 16))
+				c.get("hot")
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	var sum int64
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		sum += int64(len(el.Value.(*cacheEntry).data))
+	}
+	bytes, entries := c.bytes, c.ll.Len()
+	indexed := len(c.index)
+	c.mu.Unlock()
+	if bytes != sum {
+		t.Fatalf("byte gauge %d != live-entry sum %d", bytes, sum)
+	}
+	if entries != indexed {
+		t.Fatalf("list has %d entries, index has %d", entries, indexed)
+	}
+	if entries > 32 {
+		t.Fatalf("entry bound violated: %d > 32", entries)
+	}
+}

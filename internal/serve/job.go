@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/logic"
 	"repro/internal/obs"
 	"repro/internal/prop"
@@ -97,15 +99,18 @@ func (o ReqOptions) budget(ctx context.Context) *budget.Budget {
 // at /metrics instead.
 type Response struct {
 	JobID  string `json:"job_id,omitempty"`
-	Status string `json:"status"` // queued, running, done, failed, canceled
+	Status string `json:"status"` // queued, running, done, failed, canceled, interrupted
 	Cached bool   `json:"cached,omitempty"`
 	// Key is the content address: SHA-256 over the canonical .g form plus
 	// the canonical options encoding.
 	Key       string          `json:"key,omitempty"`
 	Error     string          `json:"error,omitempty"`
-	ErrorKind string          `json:"error_kind,omitempty"` // budget, canceled, internal, spec
+	ErrorKind string          `json:"error_kind,omitempty"` // budget, canceled, internal, spec, overload, interrupted
 	Attempts  []string        `json:"attempts,omitempty"`   // degradation-ladder trace on budget exits
 	Result    json.RawMessage `json:"result,omitempty"`
+	// RetryAfterMS mirrors the Retry-After header on overload (503)
+	// rejections, unquantized.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 
 	code int // HTTP status, not serialized
 }
@@ -221,10 +226,13 @@ type job struct {
 	id    string
 	kind  string
 	key   string // content address; "" = not cacheable
+	cost  int64  // admission weight held until finish
 	req   *Request
 	g     *stg.STG
 	nl    *logic.Netlist  // verify only
 	props []prop.Property // verify only
+
+	retried bool // the crash-retry policy fired (one retry max)
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -275,7 +283,11 @@ func (s *Server) worker() {
 
 // runJob executes one job under its budget with panic containment: a
 // panicking engine fails the job — surfaced as a typed *budget.ErrInternal
-// with the recovered stack — never the daemon.
+// with the recovered stack — never the daemon. An internal error gets one
+// retry with the degradation ladder forced (symbolic → stubborn-reduced →
+// capped explicit), so a single bad engine path doesn't fail work a cheaper
+// rung could finish. The start record hits the journal first: a crash
+// between start and finish is reported as "interrupted" after restart.
 func (s *Server) runJob(j *job) {
 	start := time.Now()
 	j.setStatus("running")
@@ -285,35 +297,80 @@ func (s *Server) runJob(j *job) {
 		s.finishJob(j, s.classify(j, nil, nil, err), start)
 		return
 	}
+	if err := s.journal.append(&journalRecord{T: "start", Job: j.id}); err != nil {
+		log.Printf("serve: journal start %s: %v", j.id, err)
+	}
+	faultinject.Crash("serve.job.run") // chaos kill site: die mid-job
 
-	// Each job records into its own registry (flow → phase → engine spans
-	// plus engine counters); scalar instruments are folded into the
-	// long-running server registry afterwards so /metrics aggregates every
-	// request without unbounded span growth.
-	reg := obs.NewRegistry()
-	s.engineRuns.Inc()
-	var (
-		raw json.RawMessage
-		rep *core.Report
-		err error
-	)
-	func() {
-		defer cli.Recover(&err)
-		raw, rep, err = s.execute(j, reg)
-	}()
-	s.reg.Merge(reg.Snapshot())
+	raw, rep, err := s.attempt(j, false)
+	var retryTrace []string
+	var ie *budget.ErrInternal
+	if err != nil && errors.As(err, &ie) && j.ctx.Err() == nil && !j.retried {
+		// Crash-retry policy: one retry per job, ladder forced.
+		j.retried = true
+		s.jobsRetried.Inc()
+		retryTrace = append(attemptStrings(rep),
+			"retried with fallback ladder after: "+err.Error())
+		if jerr := s.journal.append(&journalRecord{
+			T: "retry", Job: j.id, Error: err.Error(), Attempts: attemptStrings(rep),
+		}); jerr != nil {
+			log.Printf("serve: journal retry %s: %v", j.id, jerr)
+		}
+		raw, rep, err = s.attempt(j, true)
+	}
 
 	resp := s.classify(j, raw, rep, err)
+	if len(retryTrace) > 0 {
+		resp.Attempts = append(retryTrace, resp.Attempts...)
+	}
 	s.finishJob(j, resp, start)
 }
 
-// finishJob stores a successful result in the cache, retires the
-// singleflight slot and publishes the response.
+// attempt is one panic-contained engine run. Each attempt records into its
+// own registry (flow → phase → engine spans plus engine counters); scalar
+// instruments are folded into the long-running server registry afterwards so
+// /metrics aggregates every request without unbounded span growth.
+func (s *Server) attempt(j *job, forceFallback bool) (raw json.RawMessage, rep *core.Report, err error) {
+	reg := obs.NewRegistry()
+	s.engineRuns.Inc()
+	func() {
+		defer cli.Recover(&err)
+		raw, rep, err = s.execute(j, reg, forceFallback)
+	}()
+	s.reg.Merge(reg.Snapshot())
+	return raw, rep, err
+}
+
+// attemptStrings renders a report's attempt trace for the wire and journal.
+func attemptStrings(rep *core.Report) []string {
+	if rep == nil {
+		return nil
+	}
+	out := make([]string, 0, len(rep.Attempts))
+	for _, a := range rep.Attempts {
+		out = append(out, a.String())
+	}
+	return out
+}
+
+// finishJob stores a successful result in both cache tiers, journals the
+// terminal record, returns the job's admission cost and publishes the
+// response. Order matters: the disk write and the finish record land before
+// any waiter observes the terminal status, so a crash after publication can
+// neither lose the cached bytes nor resurrect the job.
 func (s *Server) finishJob(j *job, resp *Response, start time.Time) {
 	if resp.Status == "done" && !resp.Degraded() && j.key != "" {
 		s.cache.put(j.key, resp.Result)
+		s.disk.put(j.key, resp.Result)
 		s.syncCacheGauges()
 	}
+	if err := s.journal.append(&journalRecord{
+		T: "finish", Job: j.id, Status: resp.Status,
+		Error: resp.Error, Attempts: resp.Attempts,
+	}); err != nil {
+		log.Printf("serve: journal finish %s: %v", j.id, err)
+	}
+	s.gate.release(j.cost)
 	switch resp.Status {
 	case "done":
 		s.jobsDone.Inc()
@@ -381,9 +438,11 @@ func (s *Server) classify(j *job, raw json.RawMessage, rep *core.Report, err err
 
 // execute runs the job's engine under its budget and renders the result
 // payload. The returned *core.Report carries partial attempts on budget
-// exits (synthesize only).
-func (s *Server) execute(j *job, reg *obs.Registry) (json.RawMessage, *core.Report, error) {
+// exits (synthesize only). forceFallback — set by the crash-retry policy —
+// overrides the request's fallback switch so the retry walks the ladder.
+func (s *Server) execute(j *job, reg *obs.Registry, forceFallback bool) (json.RawMessage, *core.Report, error) {
 	bgt := j.req.Options.budget(j.ctx)
+	bgt.Hook = s.testBudgetHook
 	hash, err := j.g.CanonicalHash()
 	if err != nil {
 		return nil, nil, err
@@ -406,7 +465,7 @@ func (s *Server) execute(j *job, reg *obs.Registry) (json.RawMessage, *core.Repo
 			SkipVerify: j.req.Options.SkipVerify,
 			Workers:    j.req.Options.Workers,
 			Budget:     bgt,
-			Fallback:   j.req.Options.Fallback,
+			Fallback:   j.req.Options.Fallback || forceFallback,
 			Obs:        reg,
 		})
 		if err != nil {

@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// The write-ahead job journal is the durability half of the service layer:
+// an append-only JSONL file (<data-dir>/journal.jsonl) recording every job
+// state transition, fsync'd before the transition takes effect. The record
+// order is the recovery contract:
+//
+//	accept  — written (and synced) before the job enters the queue and
+//	          before any response reaches the client, so every acknowledged
+//	          job is on disk;
+//	start   — a worker picked the job up; a crash after start and before
+//	          finish means the job died mid-run and is reported as
+//	          "interrupted" after restart (engines are not idempotent
+//	          enough to silently re-run: the client may have observed the
+//	          first attempt's side effects via /v1/jobs);
+//	retry   — the crash-retry policy re-ran the job after a recovered
+//	          panic, carrying the failed attempt trace;
+//	cancel  — DELETE /v1/jobs landed; replay treats an unfinished canceled
+//	          job as terminal instead of re-enqueueing it;
+//	finish  — terminal status written after the result is cached.
+//
+// Replay tolerates a truncated final record — the torn tail of the write
+// the crash interrupted — by stopping at the first undecodable line and
+// reporting it, never by failing recovery. On startup the journal is
+// compacted: finished jobs are dropped and a fresh journal holding only the
+// recovered state is atomically swapped in, bounding growth across restarts.
+
+// journalName is the journal file name under Config.DataDir.
+const journalName = "journal.jsonl"
+
+// journalRecord is one JSONL line. T selects the record type; only accept
+// records carry the request payload (canonical spec text plus the
+// result-shaping and budget options), which is exactly what replay needs to
+// re-enqueue the job on a fresh process.
+type journalRecord struct {
+	T        string      `json:"t"` // accept | start | retry | cancel | finish
+	Job      string      `json:"job"`
+	Kind     string      `json:"kind,omitempty"`
+	Key      string      `json:"key,omitempty"`
+	Spec     string      `json:"spec,omitempty"`  // canonical .g rendering
+	Impl     string      `json:"impl,omitempty"`  // verify: .eqn text
+	Props    string      `json:"props,omitempty"` // verify: property file text
+	Opts     *ReqOptions `json:"opts,omitempty"`
+	Status   string      `json:"status,omitempty"`   // finish: done/failed/canceled/interrupted
+	Error    string      `json:"error,omitempty"`    // finish (failed) and retry
+	Attempts []string    `json:"attempts,omitempty"` // retry and finish: ladder trace
+}
+
+// journal is the append side. A nil *journal (no -data-dir) is a valid
+// no-op sink, so call sites never branch on durability.
+type journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	records *obs.Counter
+}
+
+// openJournal opens (creating if absent) the journal for appending.
+func openJournal(path string, records *obs.Counter) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: journal: %w", err)
+	}
+	return &journal{f: f, path: path, records: records}, nil
+}
+
+// append writes one record and fsyncs before returning, so a record the
+// caller acts on is on disk first. The serve.journal.append kill site
+// models the worst crash: when armed, the record is written in two synced
+// halves with the death between them, leaving a genuinely torn tail for
+// replay to tolerate.
+func (j *journal) append(rec *journalRecord) error {
+	if j == nil {
+		return nil
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if faultinject.CrashArmed("serve.journal.append") {
+		half := len(line) / 2
+		if _, err := j.f.Write(line[:half]); err != nil {
+			return fmt.Errorf("serve: journal: %w", err)
+		}
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("serve: journal: %w", err)
+		}
+		faultinject.Crash("serve.journal.append")
+		line = line[half:]
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	j.records.Inc()
+	return nil
+}
+
+// Close syncs and closes the journal file.
+func (j *journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// replay is the journal's recovered state: which accepted jobs never
+// reached a terminal record, and how far each one got.
+type replay struct {
+	accepts  map[string]*journalRecord
+	order    []string // accept order
+	started  map[string]bool
+	attempts map[string][]string // accumulated retry traces
+	terminal map[string]bool     // finish or cancel seen
+	maxSeq   int
+	// Truncated counts undecodable trailing bytes events (0 or 1): the torn
+	// tail of the record a crash interrupted. Replay stops there; everything
+	// before it is intact (records are fsync'd in order).
+	Truncated bool
+	// TruncatedLine is the byte-limited prefix of the bad line, for the log.
+	TruncatedLine string
+}
+
+// replayJournal reads the journal back. A missing file is a clean cold
+// start (empty replay, nil error). A torn final record is tolerated and
+// flagged; an unreadable file is an error — recovery must not silently
+// drop an intact journal.
+func replayJournal(path string) (*replay, error) {
+	rp := &replay{
+		accepts:  map[string]*journalRecord{},
+		started:  map[string]bool{},
+		attempts: map[string][]string{},
+		terminal: map[string]bool{},
+	}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return rp, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: journal replay: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 64<<20) // accept records carry whole specs
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			rp.markTruncated(line)
+			break
+		}
+		rp.apply(&rec)
+	}
+	if err := sc.Err(); err != nil {
+		// A final line over the buffer limit or a read error mid-tail: treat
+		// like a torn tail — everything scanned so far is intact.
+		rp.markTruncated([]byte(err.Error()))
+	}
+	return rp, nil
+}
+
+func (rp *replay) markTruncated(line []byte) {
+	rp.Truncated = true
+	if len(line) > 120 {
+		line = line[:120]
+	}
+	rp.TruncatedLine = string(line)
+}
+
+func (rp *replay) apply(rec *journalRecord) {
+	switch rec.T {
+	case "accept":
+		if _, dup := rp.accepts[rec.Job]; !dup {
+			rp.accepts[rec.Job] = rec
+			rp.order = append(rp.order, rec.Job)
+		}
+		if n, err := strconv.Atoi(strings.TrimPrefix(rec.Job, "j")); err == nil && n > rp.maxSeq {
+			rp.maxSeq = n
+		}
+	case "start":
+		rp.started[rec.Job] = true
+	case "retry":
+		rp.attempts[rec.Job] = append(rp.attempts[rec.Job], rec.Attempts...)
+		if rec.Error != "" {
+			rp.attempts[rec.Job] = append(rp.attempts[rec.Job], "retried after: "+rec.Error)
+		}
+	case "cancel", "finish":
+		rp.terminal[rec.Job] = true
+	}
+}
+
+// open returns the accept records of jobs with no terminal record, in
+// accept order — the jobs recovery must account for.
+func (rp *replay) open() []*journalRecord {
+	var out []*journalRecord
+	for _, id := range rp.order {
+		if !rp.terminal[id] {
+			out = append(out, rp.accepts[id])
+		}
+	}
+	return out
+}
+
+// compact atomically replaces the journal with only the given records
+// (the recovered state), dropping everything terminal. Called on startup
+// before the journal is opened for appending.
+func compactJournal(path string, recs []*journalRecord) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: journal compact: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("serve: journal compact: %w", err)
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: journal compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: journal compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("serve: journal compact: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("serve: journal compact: %w", err)
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash of the
+// directory entry itself. Best effort: some filesystems reject directory
+// fsync, and the rename alone is already atomic.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

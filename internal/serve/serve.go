@@ -25,7 +25,9 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"strings"
@@ -59,6 +61,22 @@ type Config struct {
 	JobTimeout time.Duration
 	// JobHistory bounds how many finished jobs stay pollable (default 1024).
 	JobHistory int
+	// DataDir enables durability: a write-ahead job journal
+	// (<DataDir>/journal.jsonl, replayed on startup — accepted jobs are
+	// re-enqueued, jobs that died mid-run are reported as interrupted) and
+	// a disk-backed result cache (<DataDir>/cache/, LRU-bounded by
+	// CacheEntries/CacheBytes) that survives restarts byte-identically.
+	// Empty runs fully in memory.
+	DataDir string
+	// ShedCost bounds the total admission cost in flight (each job costs
+	// its requested max_states, or 2^20 when unbounded); past it, requests
+	// are shed with 503 + Retry-After. 0 selects 4 × Queue × 2^20 — a
+	// generous ceiling the plain queue bound normally beats, unless jobs
+	// carry large explicit budgets. Negative disables shedding.
+	ShedCost int64
+	// ShedBase and ShedCap bound the decorrelated-jitter Retry-After hints
+	// (defaults 1s and 30s).
+	ShedBase, ShedCap time.Duration
 	// Registry receives the aggregated server metrics; a fresh registry is
 	// created when nil.
 	Registry *obs.Registry
@@ -83,6 +101,15 @@ func (c Config) withDefaults() Config {
 	if c.JobHistory <= 0 {
 		c.JobHistory = 1024
 	}
+	if c.ShedCost == 0 {
+		c.ShedCost = 4 * int64(c.Queue) * defaultJobCost
+	}
+	if c.ShedBase <= 0 {
+		c.ShedBase = time.Second
+	}
+	if c.ShedCap <= 0 {
+		c.ShedCap = 30 * time.Second
+	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
@@ -92,10 +119,13 @@ func (c Config) withDefaults() Config {
 // Server is the daemon state: worker pool, job table, result cache and
 // metrics registry. Create with New, serve via Handler, stop with Shutdown.
 type Server struct {
-	cfg   Config
-	reg   *obs.Registry
-	cache *cache
-	mux   *http.ServeMux
+	cfg     Config
+	reg     *obs.Registry
+	cache   *cache
+	disk    *diskCache // nil without Config.DataDir
+	journal *journal   // nil without Config.DataDir
+	gate    *shedGate
+	mux     *http.ServeMux
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -105,18 +135,30 @@ type Server struct {
 	closed bool
 	seq    int
 
-	wg    sync.WaitGroup
-	depth atomic.Int64
+	wg       sync.WaitGroup
+	depth    atomic.Int64
+	draining atomic.Bool // set the instant Shutdown begins; flips /readyz
 
 	requests, cacheHits, cacheMisses, cacheEvictions *obs.Counter
 	engineRuns, sharedFlights                        *obs.Counter
 	jobsDone, jobsFailed, jobsCanceled               *obs.Counter
+	jobsRecovered, jobsInterrupted, jobsRetried      *obs.Counter
+	diskHits, diskEvictions, diskCorrupt             *obs.Counter
 	queueDepth, cacheEntries, cacheBytes             *obs.Gauge
+	diskEntries, diskBytes                           *obs.Gauge
 	latency                                          *obs.Histogram
+
+	// testBudgetHook, when set by a test, is installed as the fault-injection
+	// hook on every job budget (see budget.Budget.Hook). Nil in production.
+	testBudgetHook func(site string) error
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server, replays the journal under Config.DataDir (if any)
+// and starts the worker pool. Recovery happens before the first worker
+// runs: jobs accepted-but-unstarted at the crash are back in the queue and
+// jobs that died mid-run are pollable as "interrupted" by the time New
+// returns.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:    cfg,
@@ -135,10 +177,25 @@ func New(cfg Config) *Server {
 	s.jobsDone = s.reg.Counter("serve.jobs_done")
 	s.jobsFailed = s.reg.Counter("serve.jobs_failed")
 	s.jobsCanceled = s.reg.Counter("serve.jobs_canceled")
+	s.jobsRecovered = s.reg.Counter("serve.jobs_recovered")
+	s.jobsInterrupted = s.reg.Counter("serve.jobs_interrupted")
+	s.jobsRetried = s.reg.Counter("serve.jobs_retried")
+	s.diskHits = s.reg.Counter("serve.cache_disk_hits")
+	s.diskEvictions = s.reg.Counter("serve.cache_disk_evictions")
+	s.diskCorrupt = s.reg.Counter("serve.cache_disk_corrupt")
 	s.queueDepth = s.reg.Gauge("serve.queue_depth")
 	s.cacheEntries = s.reg.Gauge("serve.cache_entries")
 	s.cacheBytes = s.reg.Gauge("serve.cache_bytes")
+	s.diskEntries = s.reg.Gauge("serve.cache_disk_entries")
+	s.diskBytes = s.reg.Gauge("serve.cache_disk_bytes")
 	s.latency = s.reg.Histogram("serve.latency_us", obs.Pow2Buckets(30)...)
+	s.gate = newShedGate(cfg.ShedCost, cfg.ShedBase, cfg.ShedCap,
+		s.reg.Counter("serve.shed_total"), s.reg.Gauge("serve.inflight_cost"))
+	if cfg.DataDir != "" {
+		if err := s.openDurable(); err != nil {
+			return nil, err
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/parse", s.handleParse)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleRun("analyze"))
@@ -147,21 +204,27 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Shutdown drains the daemon: new jobs are rejected with 503, queued and
-// running jobs finish normally. When ctx expires first, every live job is
-// canceled (it finishes through the normal budget-cancellation path) and
-// Shutdown still waits for the workers before returning ctx's error.
+// Shutdown drains the daemon: /readyz flips to 503 immediately (load
+// balancers stop routing before the drain deadline), new jobs are rejected
+// with 503, queued and running jobs finish normally. When ctx expires
+// first, every live job is canceled (it finishes through the normal
+// budget-cancellation path) and Shutdown still waits for the workers before
+// returning ctx's error. The journal is closed once the workers are done —
+// every drained job has its finish record on disk.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
@@ -173,9 +236,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
 		for _, j := range s.jobs {
@@ -183,8 +246,25 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	s.journal.Close()
+	return err
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 from the instant Shutdown begins, so load
+// balancers drain routes before the deadline; 200 otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // cacheKey is the content address of a request: the kind, the canonical
@@ -237,6 +317,21 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, &Response{Status: "failed", Error: fmt.Sprintf(format, args...)})
+}
+
+// writeOverload is the admission-layer rejection: 503 with a Retry-After
+// header (whole seconds, rounded up) and the same hint in milliseconds in
+// the body, for clients that want the jittered value unquantized.
+func writeOverload(w http.ResponseWriter, ov *errOverload) {
+	secs := int64((ov.retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeJSON(w, http.StatusServiceUnavailable, &Response{
+		Status: "failed", Error: ov.msg, ErrorKind: "overload",
+		RetryAfterMS: ov.retryAfter.Milliseconds(),
+	})
 }
 
 // decode parses and validates the request body far enough to reject
@@ -362,6 +457,15 @@ func (s *Server) handleRun(kind string) http.HandlerFunc {
 			})
 			return
 		}
+		// Disk hits survive restarts: promote into the memory tier and
+		// replay the stored bytes exactly like a warm hit.
+		if data, ok := s.disk.get(key); ok {
+			s.cache.put(key, data)
+			writeJSON(w, http.StatusOK, &Response{
+				Status: "done", Cached: true, Key: key, Result: data,
+			})
+			return
+		}
 		s.cacheMisses.Inc()
 
 		async := len(g.Net.Transitions) > s.cfg.AsyncThreshold
@@ -371,6 +475,11 @@ func (s *Server) handleRun(kind string) http.HandlerFunc {
 
 		j, shared, err := s.admit(kind, key, req, g, nl, props)
 		if err != nil {
+			var ov *errOverload
+			if errors.As(err, &ov) {
+				writeOverload(w, ov)
+				return
+			}
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
@@ -393,8 +502,10 @@ func (s *Server) handleRun(kind string) http.HandlerFunc {
 }
 
 // admit finds a running job with the same content address or creates and
-// enqueues a new one. It fails when the daemon is draining or the queue is
-// full.
+// enqueues a new one. It fails when the daemon is draining, the shed gate
+// is over its in-flight cost bound, or the queue is full. The journal
+// accept record is written — and fsync'd — before the job enters the queue,
+// so no acknowledged job can be lost to a crash.
 func (s *Server) admit(kind, key string, req *Request, g *stg.STG, nl *logic.Netlist, props []prop.Property) (*job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -404,6 +515,17 @@ func (s *Server) admit(kind, key string, req *Request, g *stg.STG, nl *logic.Net
 	if f := s.flight[key]; f != nil {
 		return f, true, nil
 	}
+	// Only admit (serialized by s.mu) ever fills the queue, so a free slot
+	// observed here stays free until the send below.
+	if len(s.queue) == cap(s.queue) {
+		return nil, false, s.gate.overload("serve: queue full (%d jobs)", s.cfg.Queue)
+	}
+	cost := jobCost(req.Options)
+	if !s.gate.admit(cost) {
+		return nil, false, s.gate.overload(
+			"serve: overloaded (in-flight cost %d over %d)", s.gate.inflight.Load(), s.gate.limit)
+	}
+	s.gate.settle()
 	s.seq++
 	var ctx context.Context
 	var cancel context.CancelFunc
@@ -416,6 +538,7 @@ func (s *Server) admit(kind, key string, req *Request, g *stg.STG, nl *logic.Net
 		id:     fmt.Sprintf("j%d", s.seq),
 		kind:   kind,
 		key:    key,
+		cost:   cost,
 		req:    req,
 		g:      g,
 		nl:     nl,
@@ -425,18 +548,44 @@ func (s *Server) admit(kind, key string, req *Request, g *stg.STG, nl *logic.Net
 		done:   make(chan struct{}),
 		status: "queued",
 	}
-	select {
-	case s.queue <- j:
-	default:
+	if err := s.journalAccept(j); err != nil {
+		// Durability is the contract when a data dir is configured: refuse
+		// work the journal cannot record rather than accept it silently
+		// volatile.
 		cancel()
-		return nil, false, fmt.Errorf("serve: queue full (%d jobs)", s.cfg.Queue)
+		s.gate.release(cost)
+		return nil, false, fmt.Errorf("serve: journal unavailable: %w", err)
 	}
+	s.queue <- j // cannot block: slot reserved above under s.mu
 	s.queueDepth.Set(s.depth.Add(1))
 	s.jobs[j.id] = j
 	s.flight[key] = j
 	s.order = append(s.order, j.id)
 	s.evictHistoryLocked()
 	return j, false, nil
+}
+
+// journalAccept renders the job's accept record — the canonical spec plus
+// everything needed to re-run it on a fresh process — and appends it.
+func (s *Server) journalAccept(j *job) error {
+	if s.journal == nil {
+		return nil
+	}
+	var spec strings.Builder
+	if err := j.g.WriteG(&spec); err != nil {
+		return err
+	}
+	opts := j.req.Options
+	return s.journal.append(&journalRecord{
+		T:     "accept",
+		Job:   j.id,
+		Kind:  j.kind,
+		Key:   j.key,
+		Spec:  spec.String(),
+		Impl:  j.req.Impl,
+		Props: j.req.Properties,
+		Opts:  &opts,
+	})
 }
 
 // jobTimeout combines the per-request timeout with the server ceiling.
@@ -501,6 +650,12 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
+	// Journal the cancellation before acting on it: if the process dies
+	// before the job finishes unwinding, replay must not resurrect a job
+	// the client was told is being canceled.
+	if err := s.journal.append(&journalRecord{T: "cancel", Job: j.id}); err != nil {
+		log.Printf("serve: journal cancel %s: %v", j.id, err)
+	}
 	j.cancel()
 	writeJSON(w, http.StatusOK, j.snapshot())
 }
@@ -511,6 +666,11 @@ func (s *Server) syncCacheGauges() {
 	s.cacheBytes.Set(bytes)
 	if d := evictions - s.cacheEvictions.Value(); d > 0 {
 		s.cacheEvictions.Add(d)
+	}
+	if s.disk != nil {
+		dEntries, dBytes := s.disk.stats()
+		s.diskEntries.Set(int64(dEntries))
+		s.diskBytes.Set(dBytes)
 	}
 }
 

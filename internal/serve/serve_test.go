@@ -48,7 +48,10 @@ func bigSpec(n int) string {
 
 func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
 	t.Helper()
-	srv := serve.New(cfg)
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -605,5 +608,126 @@ func TestVerifyPropertiesBudget(t *testing.T) {
 	}
 	if resp.ErrorKind != "budget" {
 		t.Fatalf("error_kind = %q, want budget", resp.ErrorKind)
+	}
+}
+
+// TestHealthReadyFlip: /healthz stays 200 for the process lifetime while
+// /readyz flips to 503 the instant Shutdown begins — before the drain
+// finishes — so a load balancer stops routing while in-flight jobs complete.
+func TestHealthReadyFlip(t *testing.T) {
+	srv, ts := newTestServer(t, serve.Config{Workers: 1})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		if code, resp := getJSON(t, ts.URL+path); code != http.StatusOK {
+			t.Fatalf("%s = %d %q, want 200", path, code, resp.Status)
+		}
+	}
+
+	// A long job keeps the drain in progress while we probe readiness.
+	code, blocker := postJSON(t, ts.URL+"/v1/analyze",
+		map[string]any{"spec": bigSpec(20), "async": true})
+	if code != http.StatusAccepted {
+		t.Fatal("blocker not accepted")
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(t.Context()) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code, _ := getJSON(t, ts.URL+"/readyz"); code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never flipped to 503 during drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Liveness is about the process, not routability: still 200 mid-drain.
+	if code, _ := getJSON(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d, want 200", code)
+	}
+
+	doDelete(t, ts.URL+"/v1/jobs/"+blocker.JobID)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("shutdown never drained")
+	}
+}
+
+// TestAdmissionShedding: past the in-flight cost bound the daemon sheds with
+// 503, an overload error kind, and Retry-After hints in both the header
+// (whole seconds) and the body (milliseconds); capacity returns once the
+// held job finishes.
+func TestAdmissionShedding(t *testing.T) {
+	// ShedCost of one default job: the first unbounded job fills the gate.
+	srv, ts := newTestServer(t, serve.Config{Workers: 1, Queue: 8, ShedCost: 1 << 20})
+	_ = srv
+	code, blocker := postJSON(t, ts.URL+"/v1/analyze",
+		map[string]any{"spec": bigSpec(20), "async": true})
+	if code != http.StatusAccepted {
+		t.Fatalf("blocker = %d, want 202", code)
+	}
+
+	body, err := json.Marshal(map[string]any{"spec": vmeSpec(t), "async": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/synthesize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shed serve.Response
+	if err := json.NewDecoder(resp.Body).Decode(&shed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || shed.ErrorKind != "overload" {
+		t.Fatalf("shed = %d kind=%q (%s), want 503/overload", resp.StatusCode, shed.ErrorKind, shed.Error)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After header = %q, want >= 1 second", ra)
+	}
+	if shed.RetryAfterMS <= 0 {
+		t.Fatalf("retry_after_ms = %d, want > 0", shed.RetryAfterMS)
+	}
+	if snap := metrics(t, ts.URL); snap.Counters["serve.shed_total"] != 1 {
+		t.Fatalf("shed_total = %d, want 1", snap.Counters["serve.shed_total"])
+	}
+
+	// Cancel the holder; its cost releases at finish and admission recovers.
+	doDelete(t, ts.URL+"/v1/jobs/"+blocker.JobID)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, out := postJSON(t, ts.URL+"/v1/synthesize", map[string]any{"spec": vmeSpec(t), "async": true})
+		if code == http.StatusAccepted {
+			if _, final := pollJob(t, ts.URL, out.JobID); final.Status != "done" {
+				t.Fatalf("post-shed job: %q (%s)", final.Status, final.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("admission never recovered after release: %d (%s)", code, out.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRetryCounterExported pins the /metrics contract for the durability
+// counters. The crash-retry behaviour itself (panic → one retry with the
+// fallback ladder forced) is exercised end-to-end in internal/faultinject,
+// where engine panics can be injected.
+func TestRetryCounterExported(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	snap := metrics(t, ts.URL)
+	if _, ok := snap.Counters["serve.jobs_retried"]; !ok {
+		t.Fatalf("serve.jobs_retried missing from /metrics: %v", snap.Counters)
+	}
+	for _, name := range []string{"serve.jobs_recovered", "serve.jobs_interrupted", "serve.shed_total"} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Fatalf("%s missing from /metrics", name)
+		}
 	}
 }

@@ -61,6 +61,8 @@ names = {b["name"] for b in rec["benchmarks"]}
 for want in ("SolveCSC/cscring-3/w1", "SolveCSC/cscring-3/w4",
              "EquationDerivation/cscring-2/w1", "EquationDerivation/cscring-2/w4",
              "ServeSynthesize/cold", "ServeSynthesize/cached",
+             "ServeSynthesize/cold-durable", "ServeSynthesize/cached-durable",
+             "ServeSynthesize/disk-hit",
              "SymbolicParallel/toggles-16/w1", "SymbolicParallel/toggles-16/w4",
              "PropCheck/vme-read/explicit/w1", "PropCheck/vme-read/symbolic"):
     assert want in names, f"{want} missing from {sorted(names)}"

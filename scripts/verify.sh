@@ -72,6 +72,12 @@ OBS_REQUIRE_COUNTERS=reach.states,symbolic.iterations,bdd.cache_lookups,unfold.e
 # charge an engine run), validates /metrics through obs.ParseSnapshot, and
 # drains cleanly on SIGINT.
 go test -timeout 120s -race -run TestDaemonSmokeAndGracefulShutdown -count=1 ./cmd/serve/
+# Chaos gate under the race detector (goroutine-leak-checked): cmd/serve as
+# a real subprocess SIGKILLed at the journal-append, mid-job and
+# mid-cache-write kill sites, restarted on the same data dir. Invariants:
+# no acknowledged job lost, died-mid-run jobs reported interrupted, torn
+# cache writes never served, warm p50 journaling overhead within 10%.
+go test -timeout 300s -race -count=1 ./internal/chaos/
 # Benchmark trajectory harness smoke: one iteration of the suite, parsed
 # through cmd/report -bench-json into a validated throwaway record.
 scripts/bench.sh -smoke
