@@ -6,10 +6,16 @@
 //
 //	go run ./cmd/report                    # experiment tables
 //	go test -bench ... | go run ./cmd/report -bench-json > BENCH_synth.json
+//	go run ./cmd/report -regress [-threshold 0.15] OLD.json NEW.json
 //
 // -merge-metrics file1,file2 embeds validated metrics snapshots (from
 // cmd/synth/cmd/reach -metrics runs) into the bench JSON under
 // "metrics_snapshots", keyed by base filename.
+//
+// -regress compares two bench-json records and exits non-zero when any
+// benchmark present in both slowed down by more than -threshold (a
+// fraction; 0.15 allows +15%). Benchmarks in only one record are
+// informational, never failures.
 package main
 
 import (
@@ -44,9 +50,24 @@ func main() {
 		"comma-separated metrics snapshot files (from -metrics runs) to embed in the bench JSON")
 	scaling := flag.String("scaling", "",
 		"GOMAXPROCS sweep spec 'procs=file,procs=file,...' of raw bench outputs; adds per-worker-count speedup columns to the bench JSON")
+	regress := flag.Bool("regress", false,
+		"compare two bench-json records (positional args: OLD.json NEW.json); exit non-zero on ns/op regressions past -threshold")
+	threshold := flag.Float64("threshold", 0.15,
+		"relative ns/op growth tolerated by -regress before it fails (0.15 = +15%)")
+	minNs := flag.Float64("min-ns", 1000,
+		"baseline ns/op floor under which -regress reports but never gates (too fast to time reliably)")
 	flag.Parse()
 	if *benchJSON {
 		if err := writeBenchJSON(os.Stdin, os.Stdout, *mergeMetrics, *scaling); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *regress {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: report -regress [-threshold F] OLD.json NEW.json")
+		}
+		if err := runRegress(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *minNs); err != nil {
 			log.Fatal(err)
 		}
 		return

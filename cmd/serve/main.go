@@ -8,11 +8,19 @@
 //	      [-cache-entries N] [-cache-bytes N] [-async-threshold N]
 //	      [-job-timeout D] [-drain D] [-data-dir DIR]
 //	      [-shed-cost N] [-shed-base D] [-shed-cap D]
+//	      [-log-format text|json] [-pprof-addr HOST:PORT]
+//	      [-trace-entries N] [-trace-bytes N]
 //	      [-metrics FILE] [-trace-json FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Endpoints (see internal/serve): POST /v1/parse, /v1/analyze,
-// /v1/synthesize, /v1/verify; GET /v1/jobs/{id}; DELETE /v1/jobs/{id};
-// GET /metrics; GET /healthz; GET /readyz.
+// /v1/synthesize, /v1/verify; GET /v1/jobs/{id}, /v1/jobs/{id}/trace,
+// /v1/jobs/{id}/events (SSE); DELETE /v1/jobs/{id}; GET /metrics (JSON, or
+// Prometheus text via Accept: text/plain); GET /healthz; GET /readyz.
+//
+// The daemon logs structured records (log/slog) to stderr — text by
+// default, JSON with -log-format json — each stamped with the request's
+// trace id. -pprof-addr exposes net/http/pprof on a separate private
+// listener; the public mux never serves /debug/pprof/.
 //
 // -data-dir makes the daemon durable: jobs are journaled (accepted jobs
 // survive a crash and re-enqueue on restart; jobs that died mid-run are
@@ -35,8 +43,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -69,6 +79,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) (err erro
 	shedCost := fs.Int64("shed-cost", 0, "in-flight admission-cost bound; past it requests shed with 503 + Retry-After (0 = 4×queue×2^20, negative disables)")
 	shedBase := fs.Duration("shed-base", time.Second, "minimum Retry-After hint on shed responses")
 	shedCap := fs.Duration("shed-cap", 30*time.Second, "maximum Retry-After hint on shed responses")
+	logFormat := fs.String("log-format", "text", "structured log format on stderr: text or json")
+	pprofAddr := fs.String("pprof-addr", "", "listen address for net/http/pprof on a separate private listener (empty = disabled)")
+	traceEntries := fs.Int("trace-entries", 64, "per-job trace ring entry bound (negative disables trace retention)")
+	traceBytes := fs.Int64("trace-bytes", 16<<20, "per-job trace ring byte bound")
 	var ins cli.Instrumentation
 	ins.AddFlags(fs)
 	if err := cli.Parse(fs, args); err != nil {
@@ -77,6 +91,16 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) (err erro
 	if fs.NArg() > 0 {
 		fmt.Fprintln(stderr, "serve: unexpected argument", fs.Arg(0))
 		return cli.Usage{Err: errors.New("unexpected argument")}
+	}
+	var logHandler slog.Handler
+	switch *logFormat {
+	case "text":
+		logHandler = slog.NewTextHandler(stderr, nil)
+	case "json":
+		logHandler = slog.NewJSONHandler(stderr, nil)
+	default:
+		fmt.Fprintf(stderr, "serve: unknown -log-format %q (want text or json)\n", *logFormat)
+		return cli.Usage{Err: errors.New("unknown log format")}
 	}
 	if err := ins.Start(); err != nil {
 		return err
@@ -97,10 +121,32 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) (err erro
 		ShedCost:       *shedCost,
 		ShedBase:       *shedBase,
 		ShedCap:        *shedCap,
+		Logger:         slog.New(logHandler),
+		TraceEntries:   *traceEntries,
+		TraceBytes:     *traceBytes,
 		Registry:       ins.Registry, // nil without -metrics/-trace-json: serve makes its own
 	})
 	if err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		// A dedicated private listener: the profiling surface never shares a
+		// mux (or a port) with the public API, so it cannot leak through it.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return err
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps := &http.Server{Handler: pmux}
+		defer ps.Close()
+		fmt.Fprintf(stdout, "serve: pprof on http://%s\n", pln.Addr())
+		go ps.Serve(pln)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

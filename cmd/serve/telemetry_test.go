@@ -1,0 +1,347 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/obs"
+)
+
+const (
+	e2eTraceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	e2eTraceID     = "4bf92f3577b34da6a3ce929d0e0e4736"
+)
+
+// sseFrame is one parsed server-sent event.
+type sseFrame struct {
+	event string
+	data  string
+}
+
+// readSSEFrames drains an SSE body to EOF (the handler returns after the
+// terminal "done" event), skipping ":" heartbeat comments.
+func readSSEFrames(t *testing.T, r io.Reader) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	var cur sseFrame
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" || cur.data != "" {
+				frames = append(frames, cur)
+			}
+			cur = sseFrame{}
+		case strings.HasPrefix(line, ":"):
+			// heartbeat comment
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading SSE stream: %v", err)
+	}
+	return frames
+}
+
+// TestLiveTelemetryE2E drives the whole telemetry plane through the real
+// daemon: an async synthesize carrying a W3C traceparent, the SSE event
+// stream, the retained trace in both schemas, /metrics content negotiation,
+// JSON structured logs stamped with the trace id, the private pprof
+// listener, and a clean drain.
+func TestLiveTelemetryE2E(t *testing.T) {
+	spec, err := os.ReadFile("../../testdata/vme-read.g")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := &syncBuffer{}  // stdout: banners
+	logs := &syncBuffer{} // stderr: slog JSON records
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-pprof-addr", "127.0.0.1:0",
+			"-log-format", "json",
+			"-drain", "30s",
+		}, out, logs, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited before listening: %v\n%s\n%s", err, out, logs)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+
+	// The pprof banner is printed before the listen banner, so it is
+	// complete by the time ready fires.
+	var pprofBase string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "serve: pprof on http://"); ok {
+			pprofBase = "http://" + strings.TrimSpace(rest)
+		}
+	}
+	if pprofBase == "" {
+		t.Fatalf("missing pprof banner:\n%s", out)
+	}
+
+	// Async synthesize carrying an incoming traceparent: the envelope and
+	// the X-Trace-Id header both echo the propagated trace id.
+	body, err := json.Marshal(map[string]any{"spec": string(spec), "async": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/synthesize", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", e2eTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted struct {
+		JobID   string `json:"job_id"`
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || accepted.JobID == "" {
+		t.Fatalf("async synthesize: %d %+v", resp.StatusCode, accepted)
+	}
+	if accepted.TraceID != e2eTraceID {
+		t.Fatalf("envelope trace_id = %q, want propagated %q", accepted.TraceID, e2eTraceID)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != e2eTraceID {
+		t.Fatalf("X-Trace-Id = %q, want %q", got, e2eTraceID)
+	}
+
+	// Poll to terminal.
+	jobURL := base + "/v1/jobs/" + accepted.JobID
+	deadline := time.Now().Add(30 * time.Second)
+	var final map[string]any
+	for {
+		r, err := http.Get(jobURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final = map[string]any{}
+		if err := json.NewDecoder(r.Body).Decode(&final); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if s, _ := final["status"].(string); s != "queued" && s != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %v", final)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if final["status"] != "done" || final["trace_id"] != e2eTraceID {
+		t.Fatalf("final job state: %v", final)
+	}
+
+	// SSE on the finished job: a late subscriber still gets the initial
+	// status snapshot plus the buffered terminal "done" event.
+	r, err := http.Get(jobURL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("SSE content type = %q", ct)
+	}
+	frames := readSSEFrames(t, r.Body)
+	r.Body.Close()
+	if len(frames) < 2 || frames[0].event != "status" || frames[len(frames)-1].event != "done" {
+		t.Fatalf("SSE frames = %+v", frames)
+	}
+	var doneEv struct {
+		Status  string `json:"status"`
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal([]byte(frames[len(frames)-1].data), &doneEv); err != nil {
+		t.Fatal(err)
+	}
+	if doneEv.Status != "done" || doneEv.TraceID != e2eTraceID {
+		t.Fatalf("terminal SSE event: %+v", doneEv)
+	}
+
+	// Retained trace, obs snapshot schema: parseable, hierarchically valid,
+	// and actually carrying the engine span tree.
+	r, err = http.Get(jobURL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceJSON, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace: %d %s", r.StatusCode, traceJSON)
+	}
+	if got := r.Header.Get("X-Trace-Id"); got != e2eTraceID {
+		t.Fatalf("trace endpoint X-Trace-Id = %q, want %q", got, e2eTraceID)
+	}
+	snap, err := obs.ParseSnapshot(traceJSON)
+	if err != nil {
+		t.Fatalf("trace does not parse as obs snapshot: %v", err)
+	}
+	if err := snap.ValidateHierarchy(); err != nil {
+		t.Fatalf("trace hierarchy invalid: %v", err)
+	}
+	if len(snap.Spans) == 0 {
+		t.Fatal("retained trace has no spans")
+	}
+
+	// Same trace, Chrome trace_event schema.
+	r, err = http.Get(jobURL + "/trace?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chrome, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTraceJSON(chrome); err != nil {
+		t.Fatalf("chrome trace invalid: %v", err)
+	}
+
+	// /metrics content negotiation: JSON by default, Prometheus text
+	// exposition when asked for text/plain.
+	r, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsJSON, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msnap, err := obs.ParseSnapshot(metricsJSON)
+	if err != nil {
+		t.Fatalf("/metrics JSON: %v", err)
+	}
+	if err := msnap.Validate(); err != nil {
+		t.Fatalf("/metrics snapshot invalid: %v", err)
+	}
+	preq, err := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preq.Header.Set("Accept", "text/plain")
+	r, err = http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	promText, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := r.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("prom content type = %q, want %q", ct, obs.PromContentType)
+	}
+	if err := obs.ValidateProm(promText); err != nil {
+		t.Fatalf("prom exposition invalid: %v\n%s", err, promText)
+	}
+	if !strings.Contains(string(promText), "serve_requests") {
+		t.Fatalf("prom exposition missing serve_requests:\n%s", promText)
+	}
+
+	// Structured logs: JSON records on stderr stamped with the trace id,
+	// including access-log and job-lifecycle records.
+	logText := logs.String()
+	if !strings.Contains(logText, e2eTraceID) {
+		t.Fatalf("stderr logs never mention the trace id:\n%s", logText)
+	}
+	if !strings.Contains(logText, `"msg":"http"`) {
+		t.Fatalf("stderr logs missing access-log records:\n%s", logText)
+	}
+	if !strings.Contains(logText, `"msg":"job finished"`) {
+		t.Fatalf("stderr logs missing job lifecycle records:\n%s", logText)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(logText), "\n") {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("non-JSON log line: %q", line)
+		}
+	}
+
+	// The profiling surface lives only on the private listener.
+	r, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("public mux serves /debug/pprof/: %d", r.StatusCode)
+	}
+	r, err = http.Get(pprofBase + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("pprof listener /debug/pprof/cmdline: %d", r.StatusCode)
+	}
+
+	// Clean drain.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain exit: %v\n%s\n%s", err, out, logs)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never drained after SIGINT")
+	}
+	if !strings.Contains(out.String(), "serve: drained") {
+		t.Fatalf("missing drain confirmation:\n%s", out)
+	}
+}
+
+// TestBadLogFormatIsUsageError pins the flag contract: an unknown
+// -log-format is a usage error (exit 2), not a silent fallback.
+func TestBadLogFormatIsUsageError(t *testing.T) {
+	var stderr bytes.Buffer
+	err := run([]string{"-log-format", "xml"}, io.Discard, &stderr, nil)
+	if err == nil {
+		t.Fatal("run accepted -log-format xml")
+	}
+	var u cli.Usage
+	if !errors.As(err, &u) {
+		t.Fatalf("error is %T (%v), want cli.Usage", err, err)
+	}
+	if !strings.Contains(stderr.String(), "unknown -log-format") {
+		t.Fatalf("stderr missing diagnostic: %s", &stderr)
+	}
+}

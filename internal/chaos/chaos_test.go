@@ -73,6 +73,7 @@ func leakCheck(t *testing.T) func() {
 type wireResp struct {
 	JobID     string          `json:"job_id"`
 	Status    string          `json:"status"`
+	TraceID   string          `json:"trace_id"`
 	Cached    bool            `json:"cached"`
 	Error     string          `json:"error"`
 	ErrorKind string          `json:"error_kind"`
@@ -80,13 +81,27 @@ type wireResp struct {
 	Result    json.RawMessage `json:"result"`
 }
 
+// chaosTraceparent is the fixed W3C trace context every postSynth carries;
+// the trace id is journaled with the accept record, so it must survive a
+// crash and restart along with the job.
+const (
+	chaosTraceparent = "00-c4a05c75a11b44e59c2255a4a0e5f7d1-00f067aa0ba902b7-01"
+	chaosTraceID     = "c4a05c75a11b44e59c2255a4a0e5f7d1"
+)
+
 // postSynth submits the tiny spec. async jobs come back 202 with a job id;
 // lostOK tolerates a connection torn by the daemon dying mid-response (the
 // whole point of some scenarios).
 func postSynth(t *testing.T, addr string, async, lostOK bool) *wireResp {
 	t.Helper()
 	body, _ := json.Marshal(map[string]any{"spec": tinySpec, "async": async})
-	resp, err := http.Post("http://"+addr+"/v1/synthesize", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/synthesize", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", chaosTraceparent)
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		if lostOK {
 			return nil
@@ -186,6 +201,11 @@ func TestCrashJournalAppend(t *testing.T) {
 	out := pollJob(t, p2.Addr, "j1", func(r *wireResp) bool { return r.Status == "done" })
 	if len(out.Result) == 0 {
 		t.Fatalf("recovered job finished without a result: %+v", out)
+	}
+	// The trace id rode the journaled accept record across the crash: the
+	// recovered job still answers with the trace the original request carried.
+	if out.TraceID != chaosTraceID {
+		t.Fatalf("recovered job trace_id = %q, want journaled %q", out.TraceID, chaosTraceID)
 	}
 	if c := counters(t, p2.Addr); c["serve.jobs_recovered"] != 1 {
 		t.Fatalf("jobs_recovered = %d, want 1", c["serve.jobs_recovered"])

@@ -15,6 +15,19 @@
 // the same counter concurrently. Span event/attribute recording takes a
 // per-span mutex; spans themselves are cheap but not meant for per-state
 // granularity — counters are.
+//
+// # Aggregation contract
+//
+// Long-running processes fold many short-lived per-request registries into
+// one aggregate via Merge, which combines scalar instruments only: counters
+// add, gauges raise to the larger value, histograms merge bucket-for-bucket.
+// Span trees are deliberately NOT merged — spans are per-request data, and an
+// aggregate registry that accumulated every request's tree would grow without
+// bound. A caller that wants to keep them has two supported paths: MergeRetain
+// hands the snapshot (spans intact) to a retention callback in the same call
+// that folds the scalars, and TraceRing is the bounded newest-N store built
+// for exactly that callback. Live consumers subscribe with SetStream instead
+// and receive span open/close/event records as they happen.
 package obs
 
 import (
@@ -30,6 +43,11 @@ import (
 // is a no-op.
 type Registry struct {
 	epoch time.Time
+
+	// stream, when set (SetStream, before the first span), receives live
+	// span open/close/event records. Read without synchronization on the
+	// span paths: the install must happen-before the instrumented run.
+	stream StreamFunc
 
 	mu         sync.Mutex
 	counters   map[string]*Counter

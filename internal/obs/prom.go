@@ -1,0 +1,420 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) over a Snapshot, plus a
+// strict validator for the produced format — the text-format sibling of
+// ValidateTraceJSON. WriteProm renders counters, gauges and histograms;
+// spans are per-request data and have no exposition-format equivalent, so
+// they are deliberately omitted (retrieve them from the trace endpoint or
+// the JSON snapshot instead).
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes an instrument name into a legal Prometheus metric name:
+// every byte outside [a-zA-Z0-9_:] becomes '_', and a leading digit gains a
+// '_' prefix. "serve.cache_hits" renders as "serve_cache_hits".
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFamilies maps every instrument to its sanitized family name, resolving
+// sanitization collisions deterministically by suffixing _2, _3, ... in the
+// sorted order of the original names.
+func promFamilies(names []string) map[string]string {
+	sort.Strings(names)
+	out := make(map[string]string, len(names))
+	taken := make(map[string]bool, len(names))
+	for _, name := range names {
+		fam := promName(name)
+		if taken[fam] {
+			for n := 2; ; n++ {
+				cand := fam + "_" + strconv.Itoa(n)
+				if !taken[cand] {
+					fam = cand
+					break
+				}
+			}
+		}
+		taken[fam] = true
+		out[name] = fam
+	}
+	return out
+}
+
+// WriteProm renders the snapshot's scalar instruments in the Prometheus text
+// exposition format: one "# TYPE" line per family followed by its samples,
+// families sorted by name for deterministic output. Histograms render the
+// conventional cumulative series — name_bucket{le="..."} per bound plus
+// le="+Inf", then name_sum and name_count. A nil snapshot writes nothing.
+func (s *Snapshot) WriteProm(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	fam := promFamilies(names)
+
+	type row struct {
+		name string
+		fam  string
+	}
+	sortedRows := func(m map[string]string, keys []string) []row {
+		rows := make([]row, 0, len(keys))
+		for _, k := range keys {
+			rows = append(rows, row{name: k, fam: m[k]})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].fam < rows[j].fam })
+		return rows
+	}
+
+	counterNames := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		counterNames = append(counterNames, name)
+	}
+	for _, r := range sortedRows(fam, counterNames) {
+		fmt.Fprintf(bw, "# TYPE %s counter\n", r.fam)
+		fmt.Fprintf(bw, "%s %d\n", r.fam, s.Counters[r.name])
+	}
+
+	gaugeNames := make([]string, 0, len(s.Gauges))
+	for name := range s.Gauges {
+		gaugeNames = append(gaugeNames, name)
+	}
+	for _, r := range sortedRows(fam, gaugeNames) {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", r.fam)
+		fmt.Fprintf(bw, "%s %d\n", r.fam, s.Gauges[r.name])
+	}
+
+	histNames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		histNames = append(histNames, name)
+	}
+	for _, r := range sortedRows(fam, histNames) {
+		h := s.Histograms[r.name]
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", r.fam)
+		var cum int64
+		for i, bound := range h.Buckets {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", r.fam, bound, cum)
+		}
+		// The overflow bucket closes the cumulative series at +Inf; rendering
+		// the total (not h.Count) keeps bucket/count consistency even for
+		// snapshots that did not come from Registry.Snapshot.
+		if len(h.Counts) == len(h.Buckets)+1 {
+			cum += h.Counts[len(h.Buckets)]
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", r.fam, cum)
+		fmt.Fprintf(bw, "%s_sum %d\n", r.fam, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", r.fam, cum)
+	}
+
+	return bw.Flush()
+}
+
+// promSample is one parsed sample line.
+type promSample struct {
+	family string // base family (histogram suffixes stripped)
+	suffix string // "", "_bucket", "_sum" or "_count"
+	le     string // le label value for _bucket samples
+	value  float64
+	line   int
+}
+
+// ValidateProm is the strict checker for the text exposition format that
+// WriteProm produces — the Prometheus sibling of ValidateTraceJSON, used by
+// the verify.sh live-telemetry gate to hold the /metrics endpoint to its
+// contract. It enforces:
+//
+//   - every sample's family is declared by a preceding # TYPE line, and no
+//     family is declared twice;
+//   - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, label syntax is well
+//     formed, and sample values parse as floats;
+//   - histogram families expose _sum, _count and a cumulative _bucket series
+//     with ascending le bounds, non-decreasing counts, and an le="+Inf"
+//     bucket equal to _count;
+//   - counter and gauge samples are bare (no _bucket/_sum/_count suffixes
+//     leaking from a histogram without a TYPE line);
+//   - the payload is newline-terminated.
+func ValidateProm(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("obs: prom: empty payload")
+	}
+	if data[len(data)-1] != '\n' {
+		return fmt.Errorf("obs: prom: payload not newline-terminated")
+	}
+
+	types := map[string]string{} // family -> counter|gauge|histogram
+	var samples []promSample
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("obs: prom line %d: malformed TYPE line %q", lineNo, line)
+				}
+				fam, typ := fields[2], fields[3]
+				if !validPromName(fam) {
+					return fmt.Errorf("obs: prom line %d: invalid metric name %q", lineNo, fam)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("obs: prom line %d: unknown type %q", lineNo, typ)
+				}
+				if _, dup := types[fam]; dup {
+					return fmt.Errorf("obs: prom line %d: duplicate TYPE for %q", lineNo, fam)
+				}
+				types[fam] = typ
+			}
+			continue // HELP and other comments pass through
+		}
+
+		name, labels, valueStr, err := splitPromSample(line)
+		if err != nil {
+			return fmt.Errorf("obs: prom line %d: %v", lineNo, err)
+		}
+		if !validPromName(name) {
+			return fmt.Errorf("obs: prom line %d: invalid metric name %q", lineNo, name)
+		}
+		value, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			return fmt.Errorf("obs: prom line %d: bad value %q", lineNo, valueStr)
+		}
+
+		family, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base != name && types[base] == "histogram" {
+				family, suffix = base, sfx
+				break
+			}
+		}
+		typ, ok := types[family]
+		if !ok {
+			return fmt.Errorf("obs: prom line %d: sample %q has no preceding TYPE line", lineNo, name)
+		}
+		le := ""
+		if suffix == "_bucket" {
+			le, ok = labels["le"]
+			if !ok {
+				return fmt.Errorf("obs: prom line %d: %s_bucket sample missing le label", lineNo, family)
+			}
+		} else if typ == "histogram" && suffix == "" {
+			return fmt.Errorf("obs: prom line %d: bare sample %q for histogram family", lineNo, name)
+		}
+		samples = append(samples, promSample{
+			family: family, suffix: suffix, le: le, value: value, line: lineNo,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("obs: prom: scan: %v", err)
+	}
+
+	// Cross-sample histogram checks.
+	for fam, typ := range types {
+		if typ != "histogram" {
+			continue
+		}
+		var buckets []promSample
+		var sum, count *promSample
+		for i := range samples {
+			smp := &samples[i]
+			if smp.family != fam {
+				continue
+			}
+			switch smp.suffix {
+			case "_bucket":
+				buckets = append(buckets, *smp)
+			case "_sum":
+				sum = smp
+			case "_count":
+				count = smp
+			}
+		}
+		if len(buckets) == 0 {
+			return fmt.Errorf("obs: prom: histogram %q has no _bucket samples", fam)
+		}
+		if sum == nil {
+			return fmt.Errorf("obs: prom: histogram %q has no _sum sample", fam)
+		}
+		if count == nil {
+			return fmt.Errorf("obs: prom: histogram %q has no _count sample", fam)
+		}
+		prevBound := float64(0)
+		prevSet := false
+		prevCum := float64(0)
+		sawInf := false
+		for i, b := range buckets {
+			var bound float64
+			if b.le == "+Inf" {
+				if i != len(buckets)-1 {
+					return fmt.Errorf("obs: prom: histogram %q has le=\"+Inf\" before the final bucket", fam)
+				}
+				sawInf = true
+			} else {
+				var err error
+				bound, err = strconv.ParseFloat(b.le, 64)
+				if err != nil {
+					return fmt.Errorf("obs: prom line %d: histogram %q has bad le %q", b.line, fam, b.le)
+				}
+				if prevSet && bound <= prevBound {
+					return fmt.Errorf("obs: prom: histogram %q le bounds not ascending", fam)
+				}
+				prevBound, prevSet = bound, true
+			}
+			if b.value < prevCum {
+				return fmt.Errorf("obs: prom: histogram %q bucket counts not cumulative", fam)
+			}
+			prevCum = b.value
+		}
+		if !sawInf {
+			return fmt.Errorf("obs: prom: histogram %q missing le=\"+Inf\" bucket", fam)
+		}
+		if buckets[len(buckets)-1].value != count.value {
+			return fmt.Errorf("obs: prom: histogram %q +Inf bucket %g != count %g",
+				fam, buckets[len(buckets)-1].value, count.value)
+		}
+	}
+	return nil
+}
+
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// splitPromSample splits a sample line into name, labels and value string.
+func splitPromSample(line string) (name string, labels map[string]string, value string, err error) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.IndexByte(rest, '}')
+		if end < i {
+			return "", nil, "", fmt.Errorf("unterminated label set in %q", line)
+		}
+		for _, pair := range splitLabelPairs(rest[i+1 : end]) {
+			eq := strings.IndexByte(pair, '=')
+			if eq < 1 {
+				return "", nil, "", fmt.Errorf("malformed label pair %q", pair)
+			}
+			k := strings.TrimSpace(pair[:eq])
+			v := strings.TrimSpace(pair[eq+1:])
+			if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", nil, "", fmt.Errorf("label %q value not quoted", k)
+			}
+			uq, uerr := strconv.Unquote(v)
+			if uerr != nil {
+				return "", nil, "", fmt.Errorf("label %q value %q: %v", k, v, uerr)
+			}
+			if !validPromName(k) || strings.Contains(k, ":") {
+				return "", nil, "", fmt.Errorf("invalid label name %q", k)
+			}
+			labels[k] = uq
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", nil, "", fmt.Errorf("sample %q has no value", line)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", nil, "", fmt.Errorf("sample %q has no value", line)
+	}
+	// An optional trailing timestamp (integer ms) is tolerated.
+	if len(fields) > 2 {
+		return "", nil, "", fmt.Errorf("sample %q has trailing garbage", line)
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", nil, "", fmt.Errorf("sample %q has bad timestamp %q", line, fields[1])
+		}
+	}
+	return name, labels, fields[0], nil
+}
+
+// splitLabelPairs splits "a=\"x\",b=\"y\"" on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

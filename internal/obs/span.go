@@ -54,6 +54,12 @@ func (r *Registry) newSpan(name string, parent, lane int) *Span {
 	s.id = len(r.spans)
 	r.spans = append(r.spans, s)
 	r.mu.Unlock()
+	if r.stream != nil {
+		r.stream(StreamEvent{
+			Type: "open", Span: s.id, Parent: parent,
+			Name: name, Cat: Category(name), TSUS: float64(s.start) / 1e3,
+		})
+	}
 	return s
 }
 
@@ -75,18 +81,26 @@ func (s *Span) ChildLane(name string, lane int) *Span {
 	return s.reg.newSpan(name, s.id, lane)
 }
 
-// End closes the span. Ending twice keeps the first end time; exporting an
-// unended span uses the export time.
+// End closes the span. Ending twice keeps the first end time (and streams a
+// single close record); exporting an unended span uses the export time.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	now := s.reg.since()
 	s.mu.Lock()
-	if s.end == 0 {
+	first := s.end == 0
+	if first {
 		s.end = now
 	}
 	s.mu.Unlock()
+	if first && s.reg.stream != nil {
+		s.reg.stream(StreamEvent{
+			Type: "close", Span: s.id, Parent: s.parent,
+			Name: s.name, Cat: Category(s.name),
+			TSUS: float64(now) / 1e3, DurUS: float64(now-s.start) / 1e3,
+		})
+	}
 }
 
 // Attr records a span-level key/value attribute (exported under trace_event
@@ -113,6 +127,13 @@ func (s *Span) Event(name string, kv ...string) {
 	s.mu.Lock()
 	s.events = append(s.events, ev)
 	s.mu.Unlock()
+	if s.reg.stream != nil {
+		s.reg.stream(StreamEvent{
+			Type: "event", Span: s.id, Parent: s.parent,
+			Name: name, Cat: Category(s.name),
+			TSUS: float64(ev.ts) / 1e3, KV: append([]KV(nil), ev.kv...),
+		})
+	}
 }
 
 // Registry returns the registry the span records into (nil on a nil span) —

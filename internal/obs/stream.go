@@ -1,0 +1,56 @@
+package obs
+
+// Live span streaming: a registry may carry a StreamFunc that receives one
+// StreamEvent per span open, span close and span event, in real time, as the
+// instrumented code runs. This is the feed behind the service layer's
+// Server-Sent-Events job-progress endpoint: the snapshot exporters show what
+// a run did, the stream shows what it is doing.
+//
+// The hook must be installed with SetStream before any span is created —
+// typically right after NewRegistry — because span creation reads the field
+// without synchronization (the install happens-before the run that
+// instruments). A nil registry ignores SetStream like every other operation,
+// and a registry without a hook pays one nil check per span operation;
+// counters, gauges and histograms are never streamed (they are hot-loop
+// instruments, sampled via Snapshot instead).
+//
+// Ordering: events for one span are emitted in open → events → close order,
+// and a parent's open always precedes its children's opens (a child is
+// created from the parent's handle). Sibling spans on different goroutines
+// may interleave arbitrarily; consumers that need one total order must
+// serialize in the StreamFunc, which is called concurrently from every
+// instrumented goroutine.
+
+// StreamEvent is one live record of the span stream.
+type StreamEvent struct {
+	// Type is "open", "close" or "event".
+	Type string `json:"type"`
+	// Span is the span id (matching SpanSnapshot.ID in the final snapshot);
+	// Parent its parent span id, -1 for roots.
+	Span   int `json:"span"`
+	Parent int `json:"parent"`
+	// Name is the span name for open/close records, the event name for
+	// event records. Cat is always the span's category.
+	Name string `json:"name"`
+	Cat  string `json:"cat"`
+	// TSUS is the registry-relative timestamp in microseconds; DurUS the
+	// span duration, set on close records only.
+	TSUS  float64 `json:"ts_us"`
+	DurUS float64 `json:"dur_us,omitempty"`
+	// KV carries an event record's key/value pairs.
+	KV []KV `json:"kv,omitempty"`
+}
+
+// StreamFunc receives live span records. It is called synchronously on the
+// instrumented goroutine and concurrently from parallel workers: keep it
+// fast and do your own serialization.
+type StreamFunc func(StreamEvent)
+
+// SetStream installs fn as the registry's live span feed. Install before the
+// first span is created; installing on a nil registry is a no-op.
+func (r *Registry) SetStream(fn StreamFunc) {
+	if r == nil {
+		return
+	}
+	r.stream = fn
+}

@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -100,7 +100,12 @@ func (o ReqOptions) budget(ctx context.Context) *budget.Budget {
 type Response struct {
 	JobID  string `json:"job_id,omitempty"`
 	Status string `json:"status"` // queued, running, done, failed, canceled, interrupted
-	Cached bool   `json:"cached,omitempty"`
+	// TraceID is the 128-bit request trace id (hex): the incoming W3C
+	// traceparent trace id when one was supplied, minted otherwise. Job
+	// responses carry the trace of the request that created the job —
+	// singleflight-attached and replayed-after-recovery requests included.
+	TraceID string `json:"trace_id,omitempty"`
+	Cached  bool   `json:"cached,omitempty"`
 	// Key is the content address: SHA-256 over the canonical .g form plus
 	// the canonical options encoding.
 	Key       string          `json:"key,omitempty"`
@@ -227,10 +232,13 @@ type job struct {
 	kind  string
 	key   string // content address; "" = not cacheable
 	cost  int64  // admission weight held until finish
+	trace string // request trace id, stable across journal replay
 	req   *Request
 	g     *stg.STG
 	nl    *logic.Netlist  // verify only
 	props []prop.Property // verify only
+
+	events *broadcaster // SSE fan-out; always non-nil on a served job
 
 	retried bool // the crash-retry policy fired (one retry max)
 
@@ -241,6 +249,7 @@ type job struct {
 	mu     sync.Mutex
 	status string
 	resp   *Response
+	runReg *obs.Registry // current attempt's registry while running
 }
 
 func (j *job) setStatus(s string) {
@@ -249,13 +258,29 @@ func (j *job) setStatus(s string) {
 	j.mu.Unlock()
 }
 
+// setRegistry publishes the running attempt's registry so the trace endpoint
+// can snapshot a live job; registry reads it back (nil once finished).
+func (j *job) setRegistry(reg *obs.Registry) {
+	j.mu.Lock()
+	j.runReg = reg
+	j.mu.Unlock()
+}
+
+func (j *job) registry() *obs.Registry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.runReg
+}
+
 // finish publishes the final response and wakes every waiter.
 func (j *job) finish(resp *Response) {
 	resp.JobID = j.id
 	resp.Key = j.key
+	resp.TraceID = j.trace
 	j.mu.Lock()
 	j.status = resp.Status
 	j.resp = resp
+	j.runReg = nil // the retained snapshot (trace ring) owns the tree now
 	j.mu.Unlock()
 	j.cancel() // release the context's timer; the run is over
 	close(j.done)
@@ -269,7 +294,10 @@ func (j *job) snapshot() *Response {
 	if j.resp != nil {
 		return j.resp
 	}
-	return &Response{JobID: j.id, Status: j.status, Key: j.key, code: http.StatusOK}
+	return &Response{
+		JobID: j.id, Status: j.status, Key: j.key, TraceID: j.trace,
+		code: http.StatusOK,
+	}
 }
 
 // worker drains the job queue until it is closed by Shutdown.
@@ -291,6 +319,7 @@ func (s *Server) worker() {
 func (s *Server) runJob(j *job) {
 	start := time.Now()
 	j.setStatus("running")
+	j.events.publish("status", j.snapshot())
 	if j.ctx.Err() != nil {
 		// Canceled while queued: don't charge an engine run.
 		err := fmt.Errorf("serve: canceled while queued: %w", budget.ErrCanceled)
@@ -298,7 +327,7 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	if err := s.journal.append(&journalRecord{T: "start", Job: j.id}); err != nil {
-		log.Printf("serve: journal start %s: %v", j.id, err)
+		s.jobLog(j, slog.LevelError, "journal start failed", err)
 	}
 	faultinject.Crash("serve.job.run") // chaos kill site: die mid-job
 
@@ -314,7 +343,7 @@ func (s *Server) runJob(j *job) {
 		if jerr := s.journal.append(&journalRecord{
 			T: "retry", Job: j.id, Error: err.Error(), Attempts: attemptStrings(rep),
 		}); jerr != nil {
-			log.Printf("serve: journal retry %s: %v", j.id, jerr)
+			s.jobLog(j, slog.LevelError, "journal retry failed", jerr)
 		}
 		raw, rep, err = s.attempt(j, true)
 	}
@@ -328,16 +357,22 @@ func (s *Server) runJob(j *job) {
 
 // attempt is one panic-contained engine run. Each attempt records into its
 // own registry (flow → phase → engine spans plus engine counters); scalar
-// instruments are folded into the long-running server registry afterwards so
-// /metrics aggregates every request without unbounded span growth.
+// instruments are folded into the long-running server registry afterwards
+// (keeping the /metrics aggregate span-free per the obs aggregation
+// contract), while the span tree is retained in the trace ring behind
+// GET /v1/jobs/{id}/trace and streamed live to SSE subscribers.
 func (s *Server) attempt(j *job, forceFallback bool) (raw json.RawMessage, rep *core.Report, err error) {
 	reg := obs.NewRegistry()
+	reg.SetStream(func(ev obs.StreamEvent) { j.events.publish("span", ev) })
+	j.setRegistry(reg)
 	s.engineRuns.Inc()
 	func() {
 		defer cli.Recover(&err)
 		raw, rep, err = s.execute(j, reg, forceFallback)
 	}()
-	s.reg.Merge(reg.Snapshot())
+	s.reg.MergeRetain(reg.Snapshot(), func(snap *obs.Snapshot) {
+		s.traces.Put(j.id, j.trace, snap)
+	})
 	return raw, rep, err
 }
 
@@ -368,7 +403,7 @@ func (s *Server) finishJob(j *job, resp *Response, start time.Time) {
 		T: "finish", Job: j.id, Status: resp.Status,
 		Error: resp.Error, Attempts: resp.Attempts,
 	}); err != nil {
-		log.Printf("serve: journal finish %s: %v", j.id, err)
+		s.jobLog(j, slog.LevelError, "journal finish failed", err)
 	}
 	s.gate.release(j.cost)
 	switch resp.Status {
@@ -386,6 +421,27 @@ func (s *Server) finishJob(j *job, resp *Response, start time.Time) {
 	}
 	s.mu.Unlock()
 	j.finish(resp)
+	// Terminal SSE event after finish: the response snapshot subscribers see
+	// is the one pollers see, and every engine goroutine has already joined,
+	// so span records strictly precede the "done" record.
+	j.events.finish("done", resp)
+	s.jobLog(j, slog.LevelInfo, "job finished", nil,
+		slog.String("status", resp.Status),
+		slog.Duration("dur", time.Since(start)))
+}
+
+// jobLog emits one structured record about a job, stamped with the job id,
+// kind and trace id (plus an error attr when err is non-nil).
+func (s *Server) jobLog(j *job, level slog.Level, msg string, err error, attrs ...slog.Attr) {
+	base := []slog.Attr{
+		slog.String("job_id", j.id),
+		slog.String("kind", j.kind),
+		slog.String("trace_id", j.trace),
+	}
+	if err != nil {
+		base = append(base, slog.String("err", err.Error()))
+	}
+	s.log.LogAttrs(context.Background(), level, msg, append(base, attrs...)...)
 }
 
 // Degraded reports whether the response is a fallback-analysis result

@@ -51,6 +51,7 @@ type journalRecord struct {
 	Job      string      `json:"job"`
 	Kind     string      `json:"kind,omitempty"`
 	Key      string      `json:"key,omitempty"`
+	Trace    string      `json:"trace,omitempty"` // request trace id (accept)
 	Spec     string      `json:"spec,omitempty"`  // canonical .g rendering
 	Impl     string      `json:"impl,omitempty"`  // verify: .eqn text
 	Props    string      `json:"props,omitempty"` // verify: property file text

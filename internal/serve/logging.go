@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// Structured logging: the daemon logs through log/slog, every record stamped
+// with the request's trace id (and the job id / kind where one applies), so
+// one grep by trace_id follows a request across the access log, the journal
+// warnings and the job lifecycle. The library default is silence — a nil
+// Config.Logger installs a disabled handler, keeping serve free of global
+// log state and the hot paths free of formatting work (slog checks Enabled
+// before building the record). cmd/serve wires a real text or JSON handler
+// behind -log-format.
+
+// nopHandler is the disabled slog handler (slog.DiscardHandler needs a newer
+// stdlib than the module targets).
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// statusWriter records the committed status and body size for the access
+// log, and forwards Flush so the SSE endpoint streams through it.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (sw *statusWriter) status() int {
+	if sw.code == 0 {
+		return http.StatusOK
+	}
+	return sw.code
+}
+
+// telemetry is the outermost middleware: resolve the request's trace id
+// (incoming traceparent or minted), expose it via context and the X-Trace-Id
+// header, and emit one access-log record per request with method, path,
+// status, size and latency.
+func (s *Server) telemetry(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace, ok := parseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			trace = mintTraceID()
+		}
+		r = r.WithContext(withTrace(r.Context(), trace))
+		w.Header().Set("X-Trace-Id", trace)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "http",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status()),
+			slog.Int64("bytes", sw.bytes),
+			slog.Duration("dur", time.Since(start)),
+			slog.String("trace_id", trace),
+		)
+	})
+}

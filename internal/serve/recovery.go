@@ -3,7 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -53,7 +53,9 @@ func (s *Server) openDurable() error {
 		return err
 	}
 	if rp.Truncated {
-		log.Printf("serve: journal: tolerating truncated final record (torn crash write): %.120q", rp.TruncatedLine)
+		s.log.LogAttrs(context.Background(), slog.LevelWarn,
+			"serve: journal: tolerating truncated final record (torn crash write)",
+			slog.String("tail", rp.TruncatedLine))
 	}
 	s.seq = rp.maxSeq
 	keep := s.recoverJobs(rp)
@@ -122,6 +124,8 @@ func (s *Server) interruptJob(rec *journalRecord, attempts []string, why string)
 		id:     rec.Job,
 		kind:   rec.Kind,
 		key:    rec.Key,
+		trace:  recoveredTrace(rec),
+		events: newBroadcaster(s.cfg.StreamQueue, s.sseDropped.Add),
 		ctx:    context.Background(),
 		cancel: func() {},
 		done:   make(chan struct{}),
@@ -129,6 +133,7 @@ func (s *Server) interruptJob(rec *journalRecord, attempts []string, why string)
 	j.resp = &Response{
 		JobID:     j.id,
 		Status:    "interrupted",
+		TraceID:   j.trace,
 		ErrorKind: "interrupted",
 		Error:     why + "; resubmit to re-run",
 		Attempts:  attempts,
@@ -137,6 +142,7 @@ func (s *Server) interruptJob(rec *journalRecord, attempts []string, why string)
 	}
 	j.status = "interrupted"
 	close(j.done)
+	j.events.finish("done", j.resp)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.jobsInterrupted.Inc()
@@ -186,13 +192,24 @@ func (s *Server) rebuildJob(rec *journalRecord) (*job, error) {
 		kind:   rec.Kind,
 		key:    rec.Key,
 		cost:   cost,
+		trace:  recoveredTrace(rec),
 		req:    req,
 		g:      g,
 		nl:     nl,
 		props:  props,
+		events: newBroadcaster(s.cfg.StreamQueue, s.sseDropped.Add),
 		ctx:    ctx,
 		cancel: cancel,
 		done:   make(chan struct{}),
 		status: "queued",
 	}, nil
+}
+
+// recoveredTrace is the job's original trace id from its accept record; a
+// journal written before trace ids existed gets a fresh one.
+func recoveredTrace(rec *journalRecord) string {
+	if rec.Trace != "" {
+		return rec.Trace
+	}
+	return mintTraceID()
 }

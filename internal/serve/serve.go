@@ -9,9 +9,18 @@
 //	POST   /v1/synthesize  full synthesis flow (core.Synthesize)
 //	POST   /v1/verify      compose an .eqn netlist against the spec mirror
 //	                       and/or check temporal properties (internal/prop)
-//	GET    /v1/jobs/{id}   poll an async job
-//	DELETE /v1/jobs/{id}   cancel a queued or running job
-//	GET    /metrics        aggregated obs snapshot (JSON)
+//	GET    /v1/jobs/{id}          poll an async job
+//	GET    /v1/jobs/{id}/trace    the job's span tree (obs JSON snapshot;
+//	                              ?format=chrome for trace_event JSON)
+//	GET    /v1/jobs/{id}/events   live progress (Server-Sent Events)
+//	DELETE /v1/jobs/{id}          cancel a queued or running job
+//	GET    /metrics               aggregated obs snapshot (JSON by default;
+//	                              Accept: text/plain for Prometheus text)
+//
+// Every request carries a 128-bit trace id — honored from an incoming W3C
+// traceparent header, minted otherwise — echoed in the X-Trace-Id response
+// header and the trace_id envelope field, threaded through the journal (so
+// it survives crash recovery) and stamped on the job's retained span tree.
 //
 // Requests are deduplicated by content address — SHA-256 over the
 // canonical .g form (stg.CanonicalHash) plus a canonical encoding of the
@@ -27,7 +36,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
@@ -80,6 +89,21 @@ type Config struct {
 	// Registry receives the aggregated server metrics; a fresh registry is
 	// created when nil.
 	Registry *obs.Registry
+	// Logger receives structured daemon logs (access log, journal warnings,
+	// job lifecycle), every record stamped with the request's trace id. Nil
+	// keeps the library silent (a disabled handler is installed).
+	Logger *slog.Logger
+	// TraceEntries and TraceBytes bound the per-job trace ring — the
+	// newest-N, size-capped store of finished jobs' span trees behind
+	// GET /v1/jobs/{id}/trace (defaults 64 entries, 16 MiB). Setting
+	// TraceEntries negative disables retention.
+	TraceEntries int
+	TraceBytes   int64
+	// StreamQueue bounds each SSE subscriber's event queue; a slow reader
+	// drops its oldest undelivered records (default 256).
+	StreamQueue int
+	// StreamHeartbeat is the SSE comment-heartbeat interval (default 15s).
+	StreamHeartbeat time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +137,21 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(nopHandler{})
+	}
+	if c.TraceEntries == 0 {
+		c.TraceEntries = 64
+	}
+	if c.TraceBytes == 0 {
+		c.TraceBytes = 16 << 20
+	}
+	if c.StreamQueue <= 0 {
+		c.StreamQueue = 256
+	}
+	if c.StreamHeartbeat <= 0 {
+		c.StreamHeartbeat = 15 * time.Second
+	}
 	return c
 }
 
@@ -121,11 +160,14 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	reg     *obs.Registry
+	log     *slog.Logger
+	traces  *obs.TraceRing // nil when Config.TraceEntries < 0
 	cache   *cache
 	disk    *diskCache // nil without Config.DataDir
 	journal *journal   // nil without Config.DataDir
 	gate    *shedGate
 	mux     *http.ServeMux
+	root    http.Handler // mux wrapped in the telemetry middleware
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -144,8 +186,10 @@ type Server struct {
 	jobsDone, jobsFailed, jobsCanceled               *obs.Counter
 	jobsRecovered, jobsInterrupted, jobsRetried      *obs.Counter
 	diskHits, diskEvictions, diskCorrupt             *obs.Counter
+	traceEvictions, sseDropped                       *obs.Counter
 	queueDepth, cacheEntries, cacheBytes             *obs.Gauge
 	diskEntries, diskBytes                           *obs.Gauge
+	traceEntries, traceBytes                         *obs.Gauge
 	latency                                          *obs.Histogram
 
 	// testBudgetHook, when set by a test, is installed as the fault-injection
@@ -163,10 +207,14 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:    cfg,
 		reg:    cfg.Registry,
+		log:    cfg.Logger,
 		cache:  newCache(cfg.CacheEntries, cfg.CacheBytes),
 		jobs:   make(map[string]*job),
 		flight: make(map[string]*job),
 		queue:  make(chan *job, cfg.Queue),
+	}
+	if cfg.TraceEntries > 0 {
+		s.traces = obs.NewTraceRing(cfg.TraceEntries, cfg.TraceBytes)
 	}
 	s.requests = s.reg.Counter("serve.requests")
 	s.cacheHits = s.reg.Counter("serve.cache_hits")
@@ -183,11 +231,15 @@ func New(cfg Config) (*Server, error) {
 	s.diskHits = s.reg.Counter("serve.cache_disk_hits")
 	s.diskEvictions = s.reg.Counter("serve.cache_disk_evictions")
 	s.diskCorrupt = s.reg.Counter("serve.cache_disk_corrupt")
+	s.traceEvictions = s.reg.Counter("serve.trace_evictions")
+	s.sseDropped = s.reg.Counter("serve.sse_dropped")
 	s.queueDepth = s.reg.Gauge("serve.queue_depth")
 	s.cacheEntries = s.reg.Gauge("serve.cache_entries")
 	s.cacheBytes = s.reg.Gauge("serve.cache_bytes")
 	s.diskEntries = s.reg.Gauge("serve.cache_disk_entries")
 	s.diskBytes = s.reg.Gauge("serve.cache_disk_bytes")
+	s.traceEntries = s.reg.Gauge("serve.trace_entries")
+	s.traceBytes = s.reg.Gauge("serve.trace_bytes")
 	s.latency = s.reg.Histogram("serve.latency_us", obs.Pow2Buckets(30)...)
 	s.gate = newShedGate(cfg.ShedCost, cfg.ShedBase, cfg.ShedCap,
 		s.reg.Counter("serve.shed_total"), s.reg.Gauge("serve.inflight_cost"))
@@ -202,10 +254,13 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleRun("synthesize"))
 	s.mux.HandleFunc("POST /v1/verify", s.handleRun("verify"))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.root = s.telemetry(s.mux)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -213,8 +268,9 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP handler: the route mux wrapped in the
+// tracing/access-log middleware.
+func (s *Server) Handler() http.Handler { return s.root }
 
 // Shutdown drains the daemon: /readyz flips to 503 immediately (load
 // balancers stop routing before the drain deadline), new jobs are rejected
@@ -315,21 +371,25 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v) // the response is already committed; nothing to do on error
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, &Response{Status: "failed", Error: fmt.Sprintf(format, args...)})
+func writeError(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
+	writeJSON(w, code, &Response{
+		Status: "failed", TraceID: traceID(r.Context()),
+		Error: fmt.Sprintf(format, args...),
+	})
 }
 
 // writeOverload is the admission-layer rejection: 503 with a Retry-After
 // header (whole seconds, rounded up) and the same hint in milliseconds in
 // the body, for clients that want the jittered value unquantized.
-func writeOverload(w http.ResponseWriter, ov *errOverload) {
+func writeOverload(w http.ResponseWriter, r *http.Request, ov *errOverload) {
 	secs := int64((ov.retryAfter + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
 	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 	writeJSON(w, http.StatusServiceUnavailable, &Response{
-		Status: "failed", Error: ov.msg, ErrorKind: "overload",
+		Status: "failed", TraceID: traceID(r.Context()),
+		Error: ov.msg, ErrorKind: "overload",
 		RetryAfterMS: ov.retryAfter.Milliseconds(),
 	})
 }
@@ -341,50 +401,50 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, kind string) (*R
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		writeError(w, r, http.StatusBadRequest, "bad request: %v", err)
 		return nil, nil, nil, nil, false
 	}
 	if strings.TrimSpace(req.Spec) == "" {
-		writeError(w, http.StatusBadRequest, "bad request: empty spec")
+		writeError(w, r, http.StatusBadRequest, "bad request: empty spec")
 		return nil, nil, nil, nil, false
 	}
 	if _, err := req.Options.style(); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		writeError(w, r, http.StatusBadRequest, "bad request: %v", err)
 		return nil, nil, nil, nil, false
 	}
 	if _, err := req.Options.propEngine(); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		writeError(w, r, http.StatusBadRequest, "bad request: %v", err)
 		return nil, nil, nil, nil, false
 	}
 	g, err := stg.ParseG(strings.NewReader(req.Spec))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		writeError(w, r, http.StatusBadRequest, "bad spec: %v", err)
 		return nil, nil, nil, nil, false
 	}
 	var nl *logic.Netlist
 	var props []prop.Property
 	if kind == "verify" {
 		if strings.TrimSpace(req.Impl) == "" && strings.TrimSpace(req.Properties) == "" {
-			writeError(w, http.StatusBadRequest, "bad request: verify needs an impl (.eqn) or a properties field")
+			writeError(w, r, http.StatusBadRequest, "bad request: verify needs an impl (.eqn) or a properties field")
 			return nil, nil, nil, nil, false
 		}
 		if strings.TrimSpace(req.Impl) != "" {
 			if nl, err = logic.ParseEquations(strings.NewReader(req.Impl)); err != nil {
-				writeError(w, http.StatusBadRequest, "bad impl: %v", err)
+				writeError(w, r, http.StatusBadRequest, "bad impl: %v", err)
 				return nil, nil, nil, nil, false
 			}
 		}
 		if strings.TrimSpace(req.Properties) != "" {
 			if props, err = prop.Parse(req.Properties); err != nil {
-				writeError(w, http.StatusBadRequest, "bad properties: %v", err)
+				writeError(w, r, http.StatusBadRequest, "bad properties: %v", err)
 				return nil, nil, nil, nil, false
 			}
 			if len(props) == 0 {
-				writeError(w, http.StatusBadRequest, "bad properties: no properties declared")
+				writeError(w, r, http.StatusBadRequest, "bad properties: no properties declared")
 				return nil, nil, nil, nil, false
 			}
 			if err := prop.Bind(g, props); err != nil {
-				writeError(w, http.StatusBadRequest, "bad properties: %v", err)
+				writeError(w, r, http.StatusBadRequest, "bad properties: %v", err)
 				return nil, nil, nil, nil, false
 			}
 		}
@@ -401,12 +461,12 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	}
 	hash, err := g.CanonicalHash()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		writeError(w, r, http.StatusBadRequest, "bad spec: %v", err)
 		return
 	}
 	var canon strings.Builder
 	if err := g.WriteG(&canon); err != nil {
-		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		writeError(w, r, http.StatusBadRequest, "bad spec: %v", err)
 		return
 	}
 	counts := map[string]int{}
@@ -423,10 +483,12 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		Canonical:   canon.String(),
 	})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, &Response{Status: "done", Result: raw})
+	writeJSON(w, http.StatusOK, &Response{
+		Status: "done", Result: raw, TraceID: traceID(r.Context()),
+	})
 }
 
 // handleRun is the shared front end of /v1/analyze, /v1/synthesize and
@@ -442,7 +504,7 @@ func (s *Server) handleRun(kind string) http.HandlerFunc {
 		}
 		specHash, err := g.CanonicalHash()
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+			writeError(w, r, http.StatusBadRequest, "bad spec: %v", err)
 			return
 		}
 		ih := ""
@@ -454,6 +516,7 @@ func (s *Server) handleRun(kind string) http.HandlerFunc {
 			s.cacheHits.Inc()
 			writeJSON(w, http.StatusOK, &Response{
 				Status: "done", Cached: true, Key: key, Result: data,
+				TraceID: traceID(r.Context()),
 			})
 			return
 		}
@@ -463,6 +526,7 @@ func (s *Server) handleRun(kind string) http.HandlerFunc {
 			s.cache.put(key, data)
 			writeJSON(w, http.StatusOK, &Response{
 				Status: "done", Cached: true, Key: key, Result: data,
+				TraceID: traceID(r.Context()),
 			})
 			return
 		}
@@ -473,14 +537,14 @@ func (s *Server) handleRun(kind string) http.HandlerFunc {
 			async = *req.Async
 		}
 
-		j, shared, err := s.admit(kind, key, req, g, nl, props)
+		j, shared, err := s.admit(kind, key, traceID(r.Context()), req, g, nl, props)
 		if err != nil {
 			var ov *errOverload
 			if errors.As(err, &ov) {
-				writeOverload(w, ov)
+				writeOverload(w, r, ov)
 				return
 			}
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			writeError(w, r, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
 		if shared {
@@ -505,8 +569,10 @@ func (s *Server) handleRun(kind string) http.HandlerFunc {
 // enqueues a new one. It fails when the daemon is draining, the shed gate
 // is over its in-flight cost bound, or the queue is full. The journal
 // accept record is written — and fsync'd — before the job enters the queue,
-// so no acknowledged job can be lost to a crash.
-func (s *Server) admit(kind, key string, req *Request, g *stg.STG, nl *logic.Netlist, props []prop.Property) (*job, bool, error) {
+// so no acknowledged job can be lost to a crash. A singleflight-attached
+// request shares the existing job, including its trace id — the trace
+// belongs to the request that created the job.
+func (s *Server) admit(kind, key, trace string, req *Request, g *stg.STG, nl *logic.Netlist, props []prop.Property) (*job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -534,15 +600,20 @@ func (s *Server) admit(kind, key string, req *Request, g *stg.STG, nl *logic.Net
 	} else {
 		ctx, cancel = context.WithCancel(context.Background())
 	}
+	if trace == "" {
+		trace = mintTraceID() // admitted outside the middleware (tests)
+	}
 	j := &job{
 		id:     fmt.Sprintf("j%d", s.seq),
 		kind:   kind,
 		key:    key,
 		cost:   cost,
+		trace:  trace,
 		req:    req,
 		g:      g,
 		nl:     nl,
 		props:  props,
+		events: newBroadcaster(s.cfg.StreamQueue, s.sseDropped.Add),
 		ctx:    ctx,
 		cancel: cancel,
 		done:   make(chan struct{}),
@@ -581,6 +652,7 @@ func (s *Server) journalAccept(j *job) error {
 		Job:   j.id,
 		Kind:  j.kind,
 		Key:   j.key,
+		Trace: j.trace,
 		Spec:  spec.String(),
 		Impl:  j.req.Impl,
 		Props: j.req.Properties,
@@ -630,7 +702,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	j := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
 	if j == nil {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, r, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	resp := j.snapshot()
@@ -647,14 +719,14 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	j := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
 	if j == nil {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, r, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	// Journal the cancellation before acting on it: if the process dies
 	// before the job finishes unwinding, replay must not resurrect a job
 	// the client was told is being canceled.
 	if err := s.journal.append(&journalRecord{T: "cancel", Job: j.id}); err != nil {
-		log.Printf("serve: journal cancel %s: %v", j.id, err)
+		s.jobLog(j, slog.LevelError, "journal cancel failed", err)
 	}
 	j.cancel()
 	writeJSON(w, http.StatusOK, j.snapshot())
@@ -672,10 +744,4 @@ func (s *Server) syncCacheGauges() {
 		s.diskEntries.Set(int64(dEntries))
 		s.diskBytes.Set(dBytes)
 	}
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.syncCacheGauges()
-	w.Header().Set("Content-Type", "application/json")
-	s.reg.WriteJSON(w)
 }

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Per-job traces and metrics exposition.
+//
+// GET /v1/jobs/{id}/trace serves the job's span tree: from the trace ring
+// for finished jobs (each attempt's registry snapshot is retained there by
+// MergeRetain, newest-N / size-capped), or a live snapshot of the running
+// attempt's registry. Default rendering is the obs JSON-snapshot schema
+// (obs.ParseSnapshot-compatible); ?format=chrome renders Chrome trace_event
+// JSON for about://tracing (obs.ValidateTraceJSON-compatible).
+//
+// GET /metrics content-negotiates: the default JSON snapshot is unchanged
+// (byte-compatible with obs.ParseSnapshot), while an Accept header asking
+// for text/plain (or OpenMetrics) gets the Prometheus text exposition
+// rendered by obs.WriteProm.
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	id := r.PathValue("id")
+	trace, snap, ok := s.traces.Get(id)
+	if !ok {
+		s.mu.Lock()
+		j := s.jobs[id]
+		s.mu.Unlock()
+		if j == nil {
+			writeError(w, r, http.StatusNotFound, "unknown job %q", id)
+			return
+		}
+		reg := j.registry()
+		if reg == nil {
+			writeError(w, r, http.StatusNotFound,
+				"no trace recorded for job %q (not yet started, or evicted from the trace ring)", id)
+			return
+		}
+		trace, snap = j.trace, reg.Snapshot()
+	}
+	w.Header().Set("X-Trace-Id", trace)
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("format") == "chrome" {
+		snap.WriteTrace(w)
+		return
+	}
+	snap.WriteJSON(w)
+}
+
+// wantsProm reports whether the Accept header asks for the text exposition
+// format: any text/plain or OpenMetrics media type selects it, everything
+// else (including no header) keeps the JSON default.
+func wantsProm(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mt {
+		case "text/plain", "application/openmetrics-text":
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.syncCacheGauges()
+	s.syncTelemetryGauges()
+	if wantsProm(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		s.reg.Snapshot().WriteProm(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.WriteJSON(w)
+}
+
+// syncTelemetryGauges mirrors the trace ring's occupancy into the registry.
+func (s *Server) syncTelemetryGauges() {
+	entries, bytes, evictions := s.traces.Stats()
+	s.traceEntries.Set(int64(entries))
+	s.traceBytes.Set(bytes)
+	if d := evictions - s.traceEvictions.Value(); d > 0 {
+		s.traceEvictions.Add(d)
+	}
+}

@@ -1,0 +1,443 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+const testTraceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+const testTraceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+// postTraced posts a JSON body with a traceparent header and returns the
+// decoded envelope plus the X-Trace-Id response header.
+func postTraced(t *testing.T, url, traceparent string, body any) (*serve.Response, string) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out serve.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out, resp.Header.Get("X-Trace-Id")
+}
+
+func isHex32(s string) bool {
+	if len(s) != 32 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTraceparentHonored(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+	resp, header := postTraced(t, ts.URL+"/v1/synthesize", testTraceparent,
+		map[string]any{"spec": vmeSpec(t)})
+	if resp.Status != "done" {
+		t.Fatalf("status = %q (%s)", resp.Status, resp.Error)
+	}
+	if resp.TraceID != testTraceID {
+		t.Fatalf("trace_id = %q, want the traceparent trace id %q", resp.TraceID, testTraceID)
+	}
+	if header != testTraceID {
+		t.Fatalf("X-Trace-Id = %q, want %q", header, testTraceID)
+	}
+}
+
+func TestMalformedTraceparentMinted(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+	malformed := []string{
+		"",
+		"garbage",
+		"00-zzzz2f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // non-hex
+		"00-4bf92f3577b34da6-00f067aa0ba902b7-01",                 // short trace id
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // forbidden version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // all-zero trace id
+	}
+	seen := map[string]bool{}
+	for _, tp := range malformed {
+		resp, header := postTraced(t, ts.URL+"/v1/parse", tp,
+			map[string]any{"spec": vmeSpec(t)})
+		if !isHex32(resp.TraceID) {
+			t.Fatalf("traceparent %q: trace_id %q is not 32 hex digits", tp, resp.TraceID)
+		}
+		if resp.TraceID != header {
+			t.Fatalf("traceparent %q: envelope %q != header %q", tp, resp.TraceID, header)
+		}
+		if seen[resp.TraceID] {
+			t.Fatalf("minted trace id %q repeated", resp.TraceID)
+		}
+		seen[resp.TraceID] = true
+	}
+}
+
+func TestTraceIDOnErrorsAndCacheHits(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+	// Error envelope carries the honored trace id.
+	resp, _ := postTraced(t, ts.URL+"/v1/synthesize", testTraceparent,
+		map[string]any{"spec": "not a .g file"})
+	if resp.Status != "failed" || resp.TraceID != testTraceID {
+		t.Fatalf("error envelope: status %q trace %q", resp.Status, resp.TraceID)
+	}
+	// A cache hit is a new request: it carries its own trace id, not the
+	// trace of the run that populated the cache.
+	cold, _ := postTraced(t, ts.URL+"/v1/synthesize", testTraceparent,
+		map[string]any{"spec": vmeSpec(t)})
+	if cold.Status != "done" {
+		t.Fatalf("cold run failed: %s", cold.Error)
+	}
+	warm, _ := postTraced(t, ts.URL+"/v1/synthesize", "",
+		map[string]any{"spec": vmeSpec(t)})
+	if !warm.Cached {
+		t.Fatal("second identical request was not a cache hit")
+	}
+	if warm.TraceID == testTraceID || !isHex32(warm.TraceID) {
+		t.Fatalf("cache-hit trace_id = %q, want a fresh mint", warm.TraceID)
+	}
+}
+
+func TestJobTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+	async := true
+	resp, _ := postTraced(t, ts.URL+"/v1/synthesize", testTraceparent,
+		map[string]any{"spec": vmeSpec(t), "async": &async})
+	if resp.JobID == "" {
+		t.Fatalf("no job handle: %+v", resp)
+	}
+	_, final := pollJob(t, ts.URL, resp.JobID)
+	if final.Status != "done" {
+		t.Fatalf("job failed: %s", final.Error)
+	}
+	if final.TraceID != testTraceID {
+		t.Fatalf("job trace_id = %q, want %q", final.TraceID, testTraceID)
+	}
+
+	// Default rendering: obs JSON snapshot, ParseSnapshot-compatible, with a
+	// full flow → phase span hierarchy.
+	hr, err := http.Get(ts.URL + "/v1/jobs/" + resp.JobID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("/trace status %d: %s", hr.StatusCode, data)
+	}
+	if got := hr.Header.Get("X-Trace-Id"); got != testTraceID {
+		t.Fatalf("/trace X-Trace-Id = %q, want %q", got, testTraceID)
+	}
+	snap, err := obs.ParseSnapshot(data)
+	if err != nil {
+		t.Fatalf("/trace does not parse as a snapshot: %v", err)
+	}
+	if len(snap.Spans) == 0 {
+		t.Fatal("/trace snapshot has no spans")
+	}
+	if err := snap.ValidateHierarchy(); err != nil {
+		t.Fatalf("/trace span hierarchy invalid: %v", err)
+	}
+
+	// Chrome rendering: trace_event JSON.
+	hr, err = http.Get(ts.URL + "/v1/jobs/" + resp.JobID + "/trace?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err = io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTraceJSON(data); err != nil {
+		t.Fatalf("/trace?format=chrome invalid: %v", err)
+	}
+
+	// Unknown job: 404 with a traced error envelope.
+	code, errResp := getJSON(t, ts.URL+"/v1/jobs/nope/trace")
+	if code != http.StatusNotFound || !isHex32(errResp.TraceID) {
+		t.Fatalf("unknown-job trace: code %d trace %q", code, errResp.TraceID)
+	}
+}
+
+// sseEvent is one parsed SSE frame.
+type sseEvent struct {
+	event string
+	data  []byte
+}
+
+// readSSE consumes the stream until the "done" event or EOF.
+func readSSE(t *testing.T, r io.Reader) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" || cur.data != nil {
+				out = append(out, cur)
+				if cur.event == "done" {
+					return out
+				}
+				cur = sseEvent{}
+			}
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = []byte(strings.TrimPrefix(line, "data: "))
+		case strings.HasPrefix(line, ":"): // heartbeat comment
+		}
+	}
+	return out
+}
+
+func TestSSEStreamMatchesFinalTrace(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{
+		Workers: 1, Queue: 8, StreamHeartbeat: 50 * time.Millisecond,
+	})
+	// Hold the only worker so the subscriber attaches while the target job
+	// is still queued — the stream then carries the complete span record
+	// sequence, not a mid-run suffix.
+	blocker, _ := postTraced(t, ts.URL+"/v1/analyze", "",
+		map[string]any{"spec": bigSpec(20), "async": true})
+	async := true
+	resp, _ := postTraced(t, ts.URL+"/v1/synthesize", testTraceparent,
+		map[string]any{"spec": vmeSpec(t), "async": &async})
+	if resp.JobID == "" {
+		t.Fatalf("no job handle: %+v", resp)
+	}
+	hr, err := http.Get(ts.URL + "/v1/jobs/" + resp.JobID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	doDelete(t, ts.URL+"/v1/jobs/"+blocker.JobID)
+	if ct := hr.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if got := hr.Header.Get("X-Trace-Id"); got != testTraceID {
+		t.Fatalf("SSE X-Trace-Id = %q, want %q", got, testTraceID)
+	}
+	events := readSSE(t, hr.Body)
+	if len(events) == 0 || events[len(events)-1].event != "done" {
+		t.Fatalf("stream did not end with a done event: %d events", len(events))
+	}
+	if events[0].event != "status" {
+		t.Fatalf("stream did not open with a status event: %q", events[0].event)
+	}
+
+	// Span records must be monotone — every close preceded by its open, no
+	// record after done — and cover flow and phase levels.
+	open := map[int]bool{}
+	closed := map[int]bool{}
+	cats := map[string]bool{}
+	var spanIDs []int
+	for _, ev := range events {
+		if ev.event != "span" {
+			continue
+		}
+		var rec obs.StreamEvent
+		if err := json.Unmarshal(ev.data, &rec); err != nil {
+			t.Fatalf("bad span record %s: %v", ev.data, err)
+		}
+		switch rec.Type {
+		case "open":
+			if open[rec.Span] {
+				t.Fatalf("span %d opened twice", rec.Span)
+			}
+			open[rec.Span] = true
+			cats[rec.Cat] = true
+			spanIDs = append(spanIDs, rec.Span)
+		case "close":
+			if !open[rec.Span] {
+				t.Fatalf("span %d closed before open", rec.Span)
+			}
+			if closed[rec.Span] {
+				t.Fatalf("span %d closed twice", rec.Span)
+			}
+			closed[rec.Span] = true
+		case "event":
+			if !open[rec.Span] {
+				t.Fatalf("event on unopened span %d", rec.Span)
+			}
+		default:
+			t.Fatalf("unknown span record type %q", rec.Type)
+		}
+	}
+	if !cats["flow"] || !cats["phase"] {
+		t.Fatalf("stream lacked flow/phase records: cats %v", cats)
+	}
+
+	// The final done envelope matches the poll result, and the streamed span
+	// set matches the retained trace.
+	var done serve.Response
+	if err := json.Unmarshal(events[len(events)-1].data, &done); err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != "done" || done.TraceID != testTraceID {
+		t.Fatalf("done event: status %q trace %q", done.Status, done.TraceID)
+	}
+	hr2, err := http.Get(ts.URL + "/v1/jobs/" + resp.JobID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(hr2.Body)
+	hr2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Spans) != len(spanIDs) {
+		t.Fatalf("streamed %d span opens, final trace has %d spans", len(spanIDs), len(snap.Spans))
+	}
+	finalIDs := map[int]bool{}
+	for _, sp := range snap.Spans {
+		finalIDs[sp.ID] = true
+	}
+	for _, id := range spanIDs {
+		if !finalIDs[id] {
+			t.Fatalf("streamed span %d missing from the final trace", id)
+		}
+	}
+}
+
+func TestSSELateSubscriberGetsTerminal(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+	async := true
+	resp, _ := postTraced(t, ts.URL+"/v1/synthesize", testTraceparent,
+		map[string]any{"spec": vmeSpec(t), "async": &async})
+	_, final := pollJob(t, ts.URL, resp.JobID)
+	if final.Status != "done" {
+		t.Fatalf("job failed: %s", final.Error)
+	}
+	hr, err := http.Get(ts.URL + "/v1/jobs/" + resp.JobID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	events := readSSE(t, hr.Body)
+	// Initial status snapshot (already terminal) then the retained done event.
+	if len(events) < 2 || events[len(events)-1].event != "done" {
+		t.Fatalf("late subscriber got %d events, last %q",
+			len(events), events[len(events)-1].event)
+	}
+}
+
+func TestMetricsContentNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 2})
+	if _, r := postJSON(t, ts.URL+"/v1/synthesize", map[string]any{"spec": vmeSpec(t)}); r.Status != "done" {
+		t.Fatalf("synthesize failed: %s", r.Error)
+	}
+
+	// Default: the JSON snapshot, ParseSnapshot-compatible (the metrics
+	// helper also re-asserts the span-free aggregate invariant).
+	snap := metrics(t, ts.URL)
+	if snap.Counters["serve.engine_runs"] == 0 {
+		t.Fatal("JSON snapshot missing engine runs")
+	}
+
+	// Accept: text/plain selects the Prometheus text exposition.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	hr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := hr.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("prom Content-Type = %q", ct)
+	}
+	if err := obs.ValidateProm(data); err != nil {
+		t.Fatalf("prom exposition invalid: %v\n%s", err, data)
+	}
+	for _, want := range []string{
+		"# TYPE serve_engine_runs counter",
+		"# TYPE serve_latency_us histogram",
+		"serve_latency_us_bucket{le=\"+Inf\"}",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("prom exposition missing %q:\n%s", want, data)
+		}
+	}
+
+	// An Accept header that doesn't ask for text keeps the JSON default.
+	req.Header.Set("Accept", "application/json")
+	hr, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err = io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ParseSnapshot(data); err != nil {
+		t.Fatalf("JSON negotiation broke ParseSnapshot compatibility: %v", err)
+	}
+}
+
+func TestSingleflightSharesTrace(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 1, Queue: 8})
+	// Hold the only worker so the shared job stays queued while the second
+	// request attaches to it (same pattern as TestSingleflight).
+	blocker, _ := postTraced(t, ts.URL+"/v1/analyze", "",
+		map[string]any{"spec": bigSpec(20), "async": true})
+	defer doDelete(t, ts.URL+"/v1/jobs/"+blocker.JobID)
+	async := true
+	first, _ := postTraced(t, ts.URL+"/v1/synthesize", testTraceparent,
+		map[string]any{"spec": vmeSpec(t), "async": &async})
+	second, _ := postTraced(t, ts.URL+"/v1/synthesize",
+		"00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaab-00f067aa0ba902b7-01",
+		map[string]any{"spec": vmeSpec(t), "async": &async})
+	if first.JobID == "" || first.JobID != second.JobID {
+		t.Fatalf("no singleflight share: %q vs %q", first.JobID, second.JobID)
+	}
+	// The shared job keeps the creating request's trace.
+	if second.TraceID != testTraceID {
+		t.Fatalf("attached request trace_id = %q, want the creator's %q",
+			second.TraceID, testTraceID)
+	}
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+)
+
+// Request-scoped tracing: every request gets a 128-bit trace id — honored
+// from an incoming W3C traceparent header when it is well formed, minted
+// otherwise — threaded through the request context, echoed in the X-Trace-Id
+// response header and the trace_id field of every response envelope, stamped
+// on the job's journal accept record (so it survives crash recovery), and
+// attached to the job's retained span tree in the trace ring.
+
+type traceCtxKey struct{}
+
+// withTrace stores the trace id on the context.
+func withTrace(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, id)
+}
+
+// traceID returns the context's trace id ("" outside the middleware).
+func traceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceCtxKey{}).(string)
+	return id
+}
+
+// mintTraceID returns a fresh random 128-bit trace id as 32 lowercase hex
+// digits. crypto/rand failure is unrecoverable process state; the fallback
+// constant keeps the daemon serving (ids then collide, traces still work).
+func mintTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000000000000000000000000001"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// parseTraceparent extracts the trace id from a W3C traceparent header
+// ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>"). It returns
+// ok=false — caller mints instead — for anything malformed: wrong field
+// count or width, non-hex bytes, the forbidden version ff, or the all-zero
+// trace id the spec reserves as invalid.
+func parseTraceparent(header string) (string, bool) {
+	header = strings.TrimSpace(header)
+	if header == "" {
+		return "", false
+	}
+	parts := strings.Split(header, "-")
+	if len(parts) != 4 {
+		return "", false
+	}
+	version, trace, parent, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || len(trace) != 32 || len(parent) != 16 || len(flags) != 2 {
+		return "", false
+	}
+	if !isLowerHex(version) || !isLowerHex(trace) || !isLowerHex(parent) || !isLowerHex(flags) {
+		return "", false
+	}
+	if version == "ff" {
+		return "", false
+	}
+	if trace == strings.Repeat("0", 32) {
+		return "", false
+	}
+	return trace, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -6,15 +6,22 @@
 #   scripts/bench.sh            # full run, writes BENCH_synth.json
 #   scripts/bench.sh -smoke     # 1-iteration run into a temp file; validates
 #                               # the harness without touching the committed
-#                               # record (used by scripts/verify.sh)
+#                               # record, then diffs it against the committed
+#                               # trajectory via cmd/report -regress (used by
+#                               # scripts/verify.sh)
 #
 # Environment:
-#   BENCHTIME   go test -benchtime value for the full run (default 1s)
-#   OUT         output path for the full run (default BENCH_synth.json)
+#   BENCHTIME               go test -benchtime for the full run (default 1s)
+#   OUT                     output path for the full run (default BENCH_synth.json)
+#   SMOKE_REGRESS_THRESHOLD -regress threshold for the smoke diff (default 8.0,
+#                           i.e. +800% — a blowup guard, not a timing gate)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES='^(BenchmarkSolveCSC|BenchmarkEquationDerivation|BenchmarkFullFlow|BenchmarkSymbolicVsExplicit|BenchmarkParallelExplore|BenchmarkSymbolicParallel|BenchmarkServeSynthesize|BenchmarkPropCheck)$'
+BENCHES='^(BenchmarkSolveCSC|BenchmarkEquationDerivation|BenchmarkFullFlow|BenchmarkSymbolicVsExplicit|BenchmarkParallelExplore|BenchmarkSymbolicParallel|BenchmarkServeSynthesize|BenchmarkPropCheck|BenchmarkObsDisabledOverhead|BenchmarkObsEnabledCounter)$'
+# The obs overhead guards live in their own package; the root package holds
+# everything else.
+BENCH_PKGS='. ./internal/obs'
 # Parallel families swept across GOMAXPROCS for the speedup columns: the
 # work-stealing explicit engine, the parallel symbolic image and the
 # lock-free shardset (the latter lives in its own package).
@@ -47,7 +54,8 @@ go run ./cmd/synth -metrics "$snap" testdata/vme-read.g > /dev/null
 if [ "${1:-}" = "-smoke" ]; then
     out=$(mktemp "$snapdir/bench_synth.XXXXXX.json")
     run_sweep sweepspec 1x
-    go test -run '^$' -bench "$BENCHES" -benchtime=1x . \
+    # shellcheck disable=SC2086
+    go test -run '^$' -bench "$BENCHES" -benchtime=1x $BENCH_PKGS \
         | go run ./cmd/report -bench-json -merge-metrics "$snap" -scaling "$sweepspec" > "$out"
     # The record must be well-formed JSON with a non-empty benchmark list.
     go run ./cmd/report -bench-json < /dev/null > /dev/null # exercises the empty path
@@ -65,6 +73,9 @@ for want in ("SolveCSC/cscring-3/w1", "SolveCSC/cscring-3/w4",
              "ServeSynthesize/disk-hit",
              "SymbolicParallel/toggles-16/w1", "SymbolicParallel/toggles-16/w4",
              "PropCheck/vme-read/explicit/w1", "PropCheck/vme-read/symbolic"):
+    assert want in names, f"{want} missing from {sorted(names)}"
+for want in ("ObsDisabledOverhead/counter", "ObsDisabledOverhead/span",
+             "ObsEnabledCounter"):
     assert want in names, f"{want} missing from {sorted(names)}"
 snap = rec["metrics_snapshots"]["vme-read"]
 for counter in ("reach.states", "encoding.candidates", "logic.signals"):
@@ -85,11 +96,18 @@ print(f"bench smoke: {len(rec['benchmarks'])} benchmarks parsed OK, "
       f"{len(snap['counters'])} counters merged, "
       f"{len(rows)} scaling rows across GOMAXPROCS {scaling['gomaxprocs']}")
 EOF
+    # Regression guard against the committed trajectory. The smoke run is a
+    # single iteration on whatever machine runs the gate, so the threshold is
+    # deliberately loose (order-of-magnitude guard, default +800%): it
+    # catches accidental algorithmic blowups, not scheduling noise.
+    go run ./cmd/report -regress -threshold "${SMOKE_REGRESS_THRESHOLD:-8.0}" \
+        BENCH_synth.json "$out"
     exit 0
 fi
 
 out=${OUT:-BENCH_synth.json}
 run_sweep sweepspec "${BENCHTIME:-1s}"
-go test -run '^$' -bench "$BENCHES" -benchtime="${BENCHTIME:-1s}" -benchmem . \
+# shellcheck disable=SC2086
+go test -run '^$' -bench "$BENCHES" -benchtime="${BENCHTIME:-1s}" -benchmem $BENCH_PKGS \
     | go run ./cmd/report -bench-json -merge-metrics "$snap" -scaling "$sweepspec" > "$out"
 echo "wrote $out"

@@ -72,6 +72,16 @@ OBS_REQUIRE_COUNTERS=reach.states,symbolic.iterations,bdd.cache_lookups,unfold.e
 # charge an engine run), validates /metrics through obs.ParseSnapshot, and
 # drains cleanly on SIGINT.
 go test -timeout 120s -race -run TestDaemonSmokeAndGracefulShutdown -count=1 ./cmd/serve/
+# Live-telemetry gate under the race detector: W3C traceparent propagation
+# through envelope/header/journal, the retained per-job span tree in both
+# trace schemas, SSE job streaming, Prometheus content negotiation on
+# /metrics, JSON structured logs stamped with the trace id, and the private
+# pprof listener (the public mux must 404 /debug/pprof/).
+go test -timeout 120s -race -run 'TestLiveTelemetryE2E|TestBadLogFormatIsUsageError' -count=1 ./cmd/serve/
+go test -timeout 60s -race -run 'Trace|SSE|Prom|Metrics' -count=1 ./internal/serve/ ./internal/obs/
+# Bench regression comparator unit gate (the smoke diff below exercises the
+# real records).
+go test -timeout 30s -run Regress -count=1 ./cmd/report/
 # Chaos gate under the race detector (goroutine-leak-checked): cmd/serve as
 # a real subprocess SIGKILLed at the journal-append, mid-job and
 # mid-cache-write kill sites, restarted on the same data dir. Invariants:
